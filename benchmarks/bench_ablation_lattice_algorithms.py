@@ -1,0 +1,73 @@
+"""Ablation A1: lattice-construction algorithms.
+
+The paper uses Godin's incremental Algorithm 1 (Section 3.1.1, with the
+O(2^{2k}·|O|) bound).  This ablation compares it against NextClosure and
+the batch intersection closure on the evaluation's real contexts: same
+lattices, different costs — the incremental algorithm's advantage grows
+with context size because it never re-derives existing concepts.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.batch import build_lattice_batch
+from repro.core.godin import build_lattice_godin
+from repro.core.nextclosure import build_lattice_nextclosure
+from repro.util.tables import format_table
+from repro.workloads.pipeline import cached_run
+
+SPECS = ["Quarks", "RegionsAlloc", "XSetFont", "XtFree", "RegionsBig"]
+
+ALGORITHMS = (
+    ("godin", build_lattice_godin),
+    ("nextclosure", build_lattice_nextclosure),
+    ("batch", build_lattice_batch),
+)
+
+
+def _time(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def test_ablation_lattice_algorithms(benchmark):
+    def build_rows():
+        rows = []
+        for name in SPECS:
+            context = cached_run(name).clustering.lattice.context
+            lattices = {}
+            timings = {}
+            for algo_name, algo in ALGORITHMS:
+                timings[algo_name] = _time(algo, context)
+                lattices[algo_name] = algo(context)
+            sizes = {len(lat) for lat in lattices.values()}
+            assert len(sizes) == 1, f"{name}: algorithms disagree"
+            rows.append(
+                [
+                    name,
+                    context.num_objects,
+                    context.num_attributes,
+                    sizes.pop(),
+                    timings["godin"] * 1000,
+                    timings["nextclosure"] * 1000,
+                    timings["batch"] * 1000,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["spec", "|O|", "|A|", "concepts", "godin ms", "nextclosure ms", "batch ms"],
+        rows,
+        title="Ablation A1: lattice construction algorithms (identical lattices)",
+    )
+    report("ablation_a1_lattice_algorithms", text)
+
+
+@pytest.mark.parametrize("algo_name,algo", ALGORITHMS, ids=[a for a, _ in ALGORITHMS])
+def test_bench_algorithm_on_largest(benchmark, algo_name, algo):
+    context = cached_run("RegionsBig").clustering.lattice.context
+    benchmark(algo, context)

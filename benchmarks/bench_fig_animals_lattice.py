@@ -1,0 +1,45 @@
+"""Figures 9 and 10: the animals context and its concept lattice.
+
+The introduction to concept analysis (Section 3.1) uses a small context
+of animals × adjectives from Siff's thesis.  This benchmark regenerates
+the incidence table (Figure 9) and the full lattice (Figure 10), and
+times the incremental construction on it.
+"""
+
+from benchmarks.conftest import report
+from repro.core.godin import build_lattice_godin
+from repro.workloads.animals import animals_context
+
+
+def _incidence_table(context) -> str:
+    header = " " * 10 + "  ".join(f"{a:>12s}" for a in context.attributes)
+    lines = [header]
+    for o, name in enumerate(context.objects):
+        cells = "  ".join(
+            f"{'X' if context.has(o, a) else '.':>12s}"
+            for a in range(context.num_attributes)
+        )
+        lines.append(f"{name:<10s}{cells}")
+    return "\n".join(lines)
+
+
+def test_figures_9_and_10(benchmark):
+    context = animals_context()
+    lattice = benchmark(build_lattice_godin, context)
+    lattice.validate()
+
+    parts = ["Figure 9: the context (objects x attributes)", _incidence_table(context), ""]
+    parts.append("Figure 10: the concept lattice (top-down)")
+    for c in lattice.bfs_top_down():
+        extent = ", ".join(context.object_names(lattice.extent(c))) or "-"
+        intent = ", ".join(context.attribute_names(lattice.intent(c))) or "-"
+        children = ", ".join(f"#{k}" for k in lattice.children[c]) or "-"
+        parts.append(f"  #{c}: ({{{extent}}}, {{{intent}}}) -> children {children}")
+    report("fig9_10_animals", "\n".join(parts))
+
+    assert len(lattice) == 8
+    # The lattice orders by extent inclusion and reverse intent inclusion.
+    for c in lattice:
+        for p in lattice.parents[c]:
+            assert lattice.extent(c) < lattice.extent(p)
+            assert lattice.intent(p) < lattice.intent(c)

@@ -1,0 +1,121 @@
+"""Figures 7 and 8: the Strauss architecture and the mining walkthrough.
+
+Figure 7 is the miner's two-stage architecture (front end extracts
+scenario traces; back end learns the specification); Figure 8 lists good
+scenario traces and discusses generalization.  This benchmark runs the
+architecture end to end on the stdio corpus, shows the Figure 8 good
+scenarios are learned into a generalizing FA, and demonstrates the
+over-generalization fix (several kinds of good labels).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.cable.session import CableSession
+from repro.core.trace_clustering import cluster_traces
+from repro.lang.traces import dedup_traces, parse_trace
+from repro.mining.strauss import Strauss
+from repro.workloads.stdio import StdioExample, fixed_spec
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return StdioExample(n_programs=10, instances_per_program=6)
+
+
+@pytest.fixture(scope="module")
+def miner():
+    return Strauss(seeds=frozenset(["fopen", "popen"]), k=2, s=1.0)
+
+
+def test_figure7_architecture(benchmark, corpus, miner):
+    programs = corpus.program_traces()
+    mined = benchmark(miner.mine, programs)
+
+    classes = dedup_traces(mined.scenarios)
+    parts = [
+        "Figure 7: the Strauss architecture, executed",
+        f"  training set: {len(programs)} program execution traces",
+        f"  front end:    {len(mined.scenarios)} scenario traces "
+        f"({classes.num_classes} unique)",
+        f"  back end:     FA with {mined.fa.num_states} states / "
+        f"{mined.fa.num_transitions} transitions",
+        "",
+        "mined (buggy) specification:",
+        mined.fa.pretty(),
+    ]
+    report("fig7_strauss_architecture", "\n".join(parts))
+
+    # The training runs contain bugs, so the mined FA is buggy.
+    assert mined.fa.accepts(parse_trace("popen(X); fread(X); fclose(X)"))
+
+
+def test_figure8_generalization_dilemma(benchmark, corpus):
+    """The Figure 8 discussion, executed.
+
+    "A miner given the good scenario traces in Figure 8 would ideally
+    produce an FA that accepts any number of calls to fread and fwrite
+    ... Unfortunately, the miner can make mistakes: a miner might
+    produce an FA that allows a call to popen to be followed by a call
+    to fclose."  The fix: vary parameters, or — more fruitfully —
+    subdivide the training set with several kinds of good labels.
+    """
+    from repro.learners.sk_strings import learn_sk_strings
+
+    good = benchmark.pedantic(
+        corpus.good_scenarios, rounds=1, iterations=1
+    )
+    many_reads = parse_trace("popen(X)" + "; fread(X)" * 7 + "; pclose(X)")
+    wrong_close = parse_trace("popen(X); fclose(X)")
+
+    conservative = learn_sk_strings(good, k=2, s=1.0).fa
+    aggressive = learn_sk_strings(good, k=1, s=0.5).fa
+    split = learn_sk_strings(
+        [t for t in good if "popen" in t.symbols], k=1, s=0.5
+    ).fa
+
+    parts = ["Figure 8: good scenario traces"]
+    parts.extend(f"  {t}" for t in good)
+    parts += [
+        "",
+        "the generalization dilemma (accepts 7 reads / accepts popen;fclose):",
+        f"  sk-strings k=2 s=1.0 (conservative): "
+        f"{conservative.accepts(many_reads)} / {conservative.accepts(wrong_close)}",
+        f"  sk-strings k=1 s=0.5 (aggressive):   "
+        f"{aggressive.accepts(many_reads)} / {aggressive.accepts(wrong_close)}",
+        f"  aggressive, good_popen label only:   "
+        f"{split.accepts(many_reads)} / {split.accepts(wrong_close)}",
+        "",
+        "the re-mined good_popen specification:",
+        split.pretty(),
+    ]
+    report("fig8_good_scenarios", "\n".join(parts))
+
+    # Conservative: sound but no generalization.
+    assert not conservative.accepts(many_reads)
+    assert not conservative.accepts(wrong_close)
+    # Aggressive: generalizes but makes the paper's exact mistake.
+    assert aggressive.accepts(many_reads)
+    assert aggressive.accepts(wrong_close)
+    # Label splitting resolves the dilemma.
+    assert split.accepts(many_reads)
+    assert not split.accepts(wrong_close)
+
+
+def test_debug_and_remine_roundtrip(benchmark, corpus, miner):
+    """The Section 2.2 loop: mine → label with Cable → re-mine."""
+    mined = miner.mine(corpus.program_traces())
+    clustering = cluster_traces(list(mined.scenarios), mined.fa)
+    session = CableSession(clustering)
+    for o, rep in enumerate(clustering.representatives):
+        session.labels.assign(
+            [o], "bad" if corpus.error_oracle(rep) else "good"
+        )
+    labels = session.scenario_labels(list(mined.scenarios))
+
+    result = benchmark(miner.remine, list(mined.scenarios), labels)
+    refit = result["good"].fa
+    from repro.fa.ops import language_subset
+
+    assert language_subset(refit, fixed_spec())
+    assert not refit.accepts(parse_trace("popen(X); fread(X); fclose(X)"))

@@ -1,0 +1,113 @@
+"""Ablation A4: scalability of concept analysis.
+
+Section 5.2's empirical observations: "the size of the lattices ...
+varied roughly linearly with the number of FA transitions" and "the
+times seem to vary slightly worse than linearly".  This benchmark grows
+the context along both axes — more objects (scenario classes) at fixed
+attributes, and more attributes (richer reference FA) at fixed objects —
+and reports sizes and build times for Godin's algorithm.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.context import FormalContext
+from repro.core.godin import build_lattice_godin
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+
+def _random_context(num_objects: int, num_attrs: int, row_size: int, seed: str):
+    """Contexts shaped like the paper's: small rows (k < 10) over many
+    objects, with heavy row duplication (identical-event classes)."""
+    rng = make_rng(seed)
+    distinct = max(4, num_objects // 3)
+    pool = [
+        frozenset(rng.sample(range(num_attrs), min(row_size, num_attrs)))
+        for _ in range(distinct)
+    ]
+    rows = [rng.choice(pool) for _ in range(num_objects)]
+    return FormalContext(
+        [f"o{i}" for i in range(num_objects)],
+        [f"a{i}" for i in range(num_attrs)],
+        rows,
+    )
+
+
+def _measure(context) -> tuple[int, float]:
+    start = time.perf_counter()
+    lattice = build_lattice_godin(context)
+    return len(lattice), time.perf_counter() - start
+
+
+def test_scalability_in_objects(benchmark):
+    def build_rows():
+        rows = []
+        for n in (50, 100, 200, 400, 800):
+            context = _random_context(n, 24, 6, f"objs-{n}")
+            concepts, seconds = _measure(context)
+            rows.append([n, 24, concepts, seconds * 1000])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["objects", "attributes", "concepts", "ms"],
+        rows,
+        title="Ablation A4a: lattice growth in the number of objects",
+    )
+    report("ablation_a4a_scalability_objects", text)
+    # Time grows but stays far below the paper's 22 s worst case.
+    assert all(row[3] < 22_000 for row in rows)
+
+
+def test_scalability_in_attributes(benchmark):
+    """Section 5.2's observation, on the evaluation's own contexts:
+    "although concept lattices are potentially exponentially large ...
+    the size of the lattices generated for our specifications varied
+    roughly linearly with the number of FA transitions"."""
+    from repro.workloads.pipeline import cached_run
+    from repro.workloads.specs_catalog import SPEC_CATALOG
+
+    def build_rows():
+        rows = []
+        for spec in SPEC_CATALOG:
+            run = cached_run(spec.name)
+            context = run.clustering.lattice.context
+            rows.append(
+                [
+                    spec.name,
+                    context.num_attributes,
+                    run.num_concepts,
+                    run.num_concepts / max(context.num_attributes, 1),
+                ]
+            )
+        rows.sort(key=lambda r: r[1])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["spec", "transitions (|A|)", "concepts", "concepts per transition"],
+        rows,
+        title=(
+            "Ablation A4b: lattice size vs FA transitions across the "
+            "evaluation's 17 contexts"
+        ),
+    )
+    ratios = [row[3] for row in rows]
+    text += (
+        f"\n\nconcepts per transition across specs: "
+        f"min {min(ratios):.1f}, max {max(ratios):.1f} — bounded, i.e. "
+        "far from the 2^min(|O|,|A|) worst case"
+    )
+    report("ablation_a4b_scalability_attributes", text)
+    # Bounded ratio = roughly linear; the exponential worst case would
+    # put concepts orders of magnitude above |A|.
+    for _, attrs, concepts, _ in rows:
+        assert concepts <= 12 * attrs
+
+
+def test_bench_godin_800_objects(benchmark):
+    context = _random_context(800, 24, 6, "bench")
+    benchmark(build_lattice_godin, context)

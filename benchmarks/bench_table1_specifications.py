@@ -1,0 +1,63 @@
+"""Table 1: the seventeen debugged specifications.
+
+For each specification: the number of states and transitions in its FA
+after debugging (re-mined from the traces labeled good), and its English
+gloss.  The paper's own table values are not present in our copy of the
+text; the in-text claims it must satisfy are that the specifications are
+"fairly simple" and accept only very short scenarios.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.util.tables import format_table
+from repro.workloads.pipeline import cached_run
+from repro.workloads.specs_catalog import SPEC_CATALOG
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {spec.name: cached_run(spec.name) for spec in SPEC_CATALOG}
+
+
+def test_table1(benchmark, runs):
+    """Regenerate Table 1 (benchmarks the re-mining of all 17 specs)."""
+
+    def build_rows():
+        rows = []
+        for spec in SPEC_CATALOG:
+            fa = spec.debugged_fa()
+            name = spec.name + (" *" if spec.reconstructed else "")
+            rows.append(
+                [name, fa.num_states, fa.num_transitions, spec.description]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["specification", "states", "transitions", "description"],
+        rows,
+        title=(
+            "Table 1: the debugged specifications "
+            "(*: reconstructed, unnamed in the paper)"
+        ),
+        align_left=(0, 3),
+    )
+    report("table1_specifications", text)
+
+    # Sanity: every debugged FA accepts its good behaviors and rejects
+    # its bad ones (debugging recovered the ground truth on the observed
+    # classes).
+    for spec in SPEC_CATALOG:
+        fa = runs[spec.name].debugged_fa
+        for behavior in spec.behaviors:
+            assert fa.accepts(behavior.trace()) == behavior.good, (
+                spec.name,
+                behavior.symbols,
+            )
+
+
+def test_bench_debugged_fa_largest(benchmark):
+    """Time re-mining the debugged specification for the largest spec."""
+    spec = next(s for s in SPEC_CATALOG if s.name == "XtFree")
+    benchmark(spec.debugged_fa)

@@ -1,0 +1,81 @@
+"""End-to-end: specification mining and debugging from executed programs.
+
+The closest analogue of the paper's actual experiment: a suite of
+simulated X11 clients is *run* under instrumentation (several times
+each, like the paper's 90 traces of 72 programs, in miniature), Strauss
+mines the GC protocol from the recorded traces, and the mined — buggy —
+specification is debugged with a Cable session whose labels come from
+the ground-truth GC lifecycle.  The re-mined specification must be sound
+and must reject all three bug classes the buggy clients planted.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.cable.session import CableSession
+from repro.core.trace_clustering import cluster_traces
+from repro.fa.ops import language_subset
+from repro.lang.traces import dedup_traces, parse_trace
+from repro.mining.strauss import Strauss
+from repro.strategies.expert import expert_strategy
+from repro.util.tables import format_table
+from repro.workloads.xclients.corpus import mine_gc_specification
+from repro.workloads.xclients.programs import CLIENT_PROGRAMS, buggy_clients
+
+
+def test_xclients_pipeline(benchmark):
+    result = benchmark.pedantic(
+        mine_gc_specification, kwargs={"runs_per_client": 6}, rounds=1, iterations=1
+    )
+    mined = result.mined
+    clustering = cluster_traces(list(mined.scenarios), mined.fa)
+    session = CableSession(clustering)
+    reference = {
+        o: result.oracle_label(rep)
+        for o, rep in enumerate(clustering.representatives)
+    }
+    expert = expert_strategy(clustering.lattice, reference)
+
+    for o, label in reference.items():
+        session.labels.assign([o], label)
+    miner = Strauss(seeds=frozenset(["XCreateGC"]), k=2, s=1.0)
+    labels = session.scenario_labels(list(mined.scenarios))
+    refit = miner.remine(list(mined.scenarios), labels)["good"].fa
+
+    rows = [
+        ["client programs", len(CLIENT_PROGRAMS), ""],
+        ["  of which buggy", len(buggy_clients()), ""],
+        ["program traces", len(result.corpus), ""],
+        ["GC scenario traces", len(mined.scenarios), ""],
+        ["  unique classes", dedup_traces(mined.scenarios).num_classes, ""],
+        ["mined FA", mined.fa.num_states, "states (buggy)"],
+        ["re-mined FA", refit.num_states, "states (debugged)"],
+        ["Cable operations (expert)", expert.cost, ""],
+        ["Baseline operations", 2 * clustering.num_objects, ""],
+    ]
+    text = format_table(
+        ["quantity", "value", "note"],
+        rows,
+        title="Mining + debugging the GC protocol from executed client programs",
+        align_left=(0, 2),
+    )
+    report("xclients_corpus", text)
+
+    # The mined spec is buggy; the debugged one is sound.
+    double_free = parse_trace(
+        "XCreateGC(X); XSetForeground(X); XDrawString(X); XFreeGC(X); XFreeGC(X)"
+    )
+    leak = parse_trace("XCreateGC(X); XDrawLine(X)")
+    uaf = parse_trace("XCreateGC(X); XDrawLine(X); XFreeGC(X); XDrawLine(X)")
+    assert mined.fa.accepts(double_free) or mined.fa.accepts(leak) or mined.fa.accepts(uaf)
+    for bug in (double_free, leak, uaf):
+        assert not refit.accepts(bug)
+    assert language_subset(refit, result.ground_truth)
+    assert expert.cost <= 2 * clustering.num_objects
+
+
+def test_bench_corpus_execution(benchmark):
+    from repro.workloads.xclients.corpus import build_corpus
+
+    corpus = benchmark(build_corpus, 6)
+    assert len(corpus) == 6 * len(CLIENT_PROGRAMS)

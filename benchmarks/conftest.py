@@ -1,0 +1,39 @@
+"""Benchmark-suite plumbing.
+
+Benchmarks regenerate the paper's tables and figures; the rendered
+artifacts are collected here and printed in the terminal summary (so
+``pytest benchmarks/ --benchmark-only`` shows them even with output
+capture on) and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_REPORTS: list[tuple[str, str]] = []
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Register a rendered table/figure for the terminal summary."""
+    _REPORTS.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} " + "-" * max(0, 66 - len(name)))
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(also written to {RESULTS_DIR}{os.sep}*.txt)"
+    )

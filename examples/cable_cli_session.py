@@ -1,0 +1,73 @@
+"""A scripted Cable CLI session.
+
+Demonstrates the command-line interface end to end without needing a
+terminal: writes a violation-trace file, builds a session the way the
+``cable`` entry point would, and drives it with the same commands a user
+would type — including a Focus sub-session under the Seed-order template.
+
+Run with::
+
+    python examples/cable_cli_session.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cable.cli import CableCLI, build_session
+
+TRACES = """\
+popen(p1); fread(p1); pclose(p1)
+popen(p2); pclose(p2)
+popen(p3); fwrite(p3); pclose(p3)
+fopen(f1); fread(f1); fclose(f1)
+fopen(f2); fwrite(f2); fclose(f2)
+fopen(f3); fread(f3)
+popen(p4); fread(p4); fclose(p4)
+fopen(f4); fread(f4); pclose(f4)
+"""
+
+SCRIPT = """\
+lattice
+inspect 0
+trans 0
+focus 0 seed pclose(X)
+lattice
+endfocus
+state
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_file = Path(tmp) / "violations.txt"
+        trace_file.write_text(TRACES)
+        session = build_session(str(trace_file), None)
+        cli = CableCLI(session, out=sys.stdout)
+        print(
+            f"cable: {session.clustering.num_objects} trace classes, "
+            f"{len(session.lattice)} concepts"
+        )
+        for line in SCRIPT.splitlines():
+            print(f"\ncable> {line}")
+            cli.run_line(line)
+
+        # Label interactively-discovered clusters: everything that
+        # pcloses a popen or fcloses an fopen is good.
+        print("\ncable> (labeling by object concept, then checking)")
+        reps = session.clustering.representatives
+        for o, rep in enumerate(reps):
+            symbols = set(rep.symbols)
+            good = ("popen" in symbols) == ("pclose" in symbols) and (
+                "fopen" in symbols
+            ) == ("fclose" in symbols) and ("pclose" in symbols or "fclose" in symbols)
+            gamma = session.lattice.object_concept(o)
+            if session.labels.unlabeled_in({o}):
+                session.labels.assign([o], "good" if good else "bad")
+        cli.run_line("state")
+        print("\ncable> good")
+        cli.run_line("good")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Compare the Section 4.2 labeling strategies on catalogue specs.
+
+Runs the full pipeline for a few specifications and prints a miniature
+Table 3 (Expert / Baseline / Top-down / Bottom-up / Random / Optimal).
+Pass specification names as arguments to choose which; default is a small
+spread.  ``python benchmarks/bench_table3_labeling_cost.py`` produces the
+full 17-row table.
+
+Run with::
+
+    python examples/strategy_comparison.py [SpecName ...]
+"""
+
+import sys
+
+from repro.strategies import evaluate_strategies
+from repro.strategies.runner import StrategyTable
+from repro.util.tables import format_table
+from repro.workloads import run_spec
+from repro.workloads.specs_catalog import FOUR_LARGEST
+
+DEFAULT = ["XGetSelOwner", "Quarks", "RegionsAlloc", "XtFree"]
+
+
+def main(names: list[str]) -> None:
+    rows = []
+    for name in names:
+        run = run_spec(name)
+        table = evaluate_strategies(
+            run.clustering,
+            run.reference_labeling,
+            name=name,
+            random_trials=128,
+            shuffle_trials=8,
+            optimal_max_states=50_000,
+            optimal_max_objects=40,
+        )
+        rows.append(table.as_row())
+        print(
+            f"{name}: {run.num_scenarios} scenarios, "
+            f"{run.clustering.num_objects} classes, "
+            f"{run.num_concepts} concepts"
+        )
+    print()
+    print(
+        format_table(
+            StrategyTable.HEADERS,
+            rows,
+            title="Labeling cost by method (lower is better; '-' = not measurable)",
+        )
+    )
+    if any(name in FOUR_LARGEST for name in names):
+        print(
+            "\nNote: the exact Optimal search is declined for the four "
+            "largest specifications, as in the paper."
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT)

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``bdist_wheel`` for PEP 660 editable installs;
+this shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+(and plain ``python setup.py develop``) work offline.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""Reproduction of *Debugging Temporal Specifications with Concept
+Analysis* (Ammons, Bodík, Larus, Mandelin — PLDI 2003).
+
+The package rebuilds the paper's entire system stack:
+
+* :mod:`repro.lang` — events, event patterns, and traces;
+* :mod:`repro.fa` — temporal-specification automata, the executed-
+  transitions relation R, classical automaton algorithms, and the Focus
+  template FAs;
+* :mod:`repro.core` — concept analysis: contexts, Godin's incremental
+  lattice construction (plus two reference algorithms), trace clustering,
+  and well-formedness;
+* :mod:`repro.learners` — the sk-strings learner (and k-tails, coring);
+* :mod:`repro.mining` — the Strauss miner (scenario extraction front end
+  + learning back end);
+* :mod:`repro.verify` — the temporal-safety trace checker that produces
+  violation traces;
+* :mod:`repro.cable` — Cable itself: sessions, labels, summary views,
+  Focus, and a scriptable CLI;
+* :mod:`repro.strategies` — the Section 4.2 labeling strategies and cost
+  model;
+* :mod:`repro.workloads` — the synthetic X11 corpus, the 17-specification
+  catalogue, and the stdio / animals examples.
+
+Quickstart::
+
+    from repro import CableSession, cluster_traces, parse_trace
+    from repro.learners import learn_sk_strings
+
+    traces = [parse_trace(t) for t in [
+        "popen(X); fread(X); pclose(X)",
+        "fopen(X); fread(X); fclose(X)",
+        "fopen(X); fread(X)",                 # a leak
+    ]]
+    reference = learn_sk_strings(traces).fa
+    session = CableSession(cluster_traces(traces, reference))
+    summary = session.inspect(session.lattice.top)
+"""
+
+from repro.cable import CableSession, FocusSession
+from repro.core import (
+    Concept,
+    ConceptLattice,
+    FormalContext,
+    build_lattice_batch,
+    build_lattice_godin,
+    build_lattice_nextclosure,
+    cluster_traces,
+    is_well_formed,
+)
+from repro.fa import FA, Transition
+from repro.lang import Event, EventPattern, Trace, parse_event, parse_pattern, parse_trace
+from repro.learners import learn_sk_strings
+from repro.mining import Strauss
+from repro.verify import TemporalChecker, Violation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CableSession",
+    "Concept",
+    "ConceptLattice",
+    "Event",
+    "EventPattern",
+    "FA",
+    "FocusSession",
+    "FormalContext",
+    "Strauss",
+    "TemporalChecker",
+    "Trace",
+    "Transition",
+    "Violation",
+    "build_lattice_batch",
+    "build_lattice_godin",
+    "build_lattice_nextclosure",
+    "cluster_traces",
+    "is_well_formed",
+    "learn_sk_strings",
+    "parse_event",
+    "parse_pattern",
+    "parse_trace",
+    "__version__",
+]

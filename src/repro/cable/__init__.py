@@ -1,0 +1,33 @@
+"""Cable: the specification-debugging tool (Section 4).
+
+A :class:`~repro.cable.session.CableSession` wraps a trace clustering
+(lattice + traces) and lets a user — or a simulated strategy — inspect
+concepts, view summaries (*Show FA*, *Show transitions*, *Show traces*),
+label traces en masse, and open *Focus* sub-sessions that re-cluster one
+concept's traces under a different reference FA.  The original tool was a
+Dotty GUI; this reproduction exposes the same operations as a programmatic
+API plus a scriptable text CLI (:mod:`repro.cable.cli`), and exports the
+colored lattice as Graphviz dot.
+"""
+
+from repro.cable.labels import LabelStore
+from repro.cable.persist import load_session, save_session
+from repro.cable.refine import refine_clustering, refine_session
+from repro.cable.session import CableSession, SelectionError
+from repro.cable.focus import FocusSession
+from repro.cable.views import ConceptState, ConceptSummary, lattice_to_dot, render_lattice
+
+__all__ = [
+    "CableSession",
+    "ConceptState",
+    "ConceptSummary",
+    "FocusSession",
+    "LabelStore",
+    "SelectionError",
+    "lattice_to_dot",
+    "load_session",
+    "refine_clustering",
+    "refine_session",
+    "render_lattice",
+    "save_session",
+]

@@ -1,0 +1,308 @@
+"""A scriptable command-line interface for Cable.
+
+The original Cable was a Dotty GUI; this CLI exposes the same operations
+as line commands so sessions can be run interactively or scripted (and
+tested).  Start it with a trace file (one trace per line, events separated
+by ``;``) and optionally a reference-FA file in the format of
+:mod:`repro.fa.serialization`; without an FA, one is learned from the
+traces with sk-strings — the miner-FA default of Section 2.2.
+
+Commands::
+
+    lattice                     show the colored lattice
+    inspect N                   inspect concept N (counted operation)
+    fa N [all|unlabeled|=LBL]   Show FA for a selection of concept N
+    trans N [sel]               Show transitions
+    traces N [sel]              Show traces
+    label N LBL [sel]           Label traces (counted operation)
+    focus N unordered           focus concept N under the Unordered template
+    focus N seed SYMBOL         ... under the Seed-order template
+    focus N name VAR            ... under the Name-projection template
+    focus N fa FILE             ... under an FA loaded from FILE
+    focus N regex EXPR...       ... under an FA compiled from a regex
+    endfocus                    merge the focus session back
+    refine unordered            sharpen the whole lattice in place by
+    refine seed SYMBOL          apposing a template FA's distinctions
+    rank [N]                    the N most suspicious concepts (deviance)
+    addtraces FILE              fold new traces into the session
+    undo                        undo the last labeling
+    state                       operation counts + labeling progress
+    good [LBL]                  print the FA learned from traces labeled LBL
+    dot FILE                    write the colored lattice as Graphviz dot
+    save FILE                   write "<label>\\t<trace>" lines for all classes
+    savesession FILE            persist the whole session as JSON
+    quit
+
+(Restore a saved session by starting the CLI with ``--session FILE``.)
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Iterable
+
+from repro.cable.session import CableSession, Selection, SelectionError
+from repro.cable.views import lattice_to_dot, render_lattice
+from repro.core.trace_clustering import cluster_traces
+from repro.fa.serialization import fa_from_text
+from repro.fa.templates import name_projection_fa, seed_order_fa, unordered_fa
+from repro.lang.traces import TraceSet, parse_trace
+from repro.learners.sk_strings import learn_sk_strings
+
+
+def _parse_selection(token: str | None) -> Selection:
+    if token is None or token == "all":
+        return "all"
+    if token == "unlabeled":
+        return "unlabeled"
+    if token.startswith("="):
+        return ("label", token[1:])
+    raise SelectionError(f"bad selection {token!r} (use all|unlabeled|=LABEL)")
+
+
+class CableCLI:
+    """The command interpreter; one instance per top-level session."""
+
+    def __init__(self, session: CableSession, out=None) -> None:
+        self.stack: list[CableSession] = [session]
+        self.out = out or sys.stdout
+
+    @property
+    def session(self) -> CableSession:
+        return self.stack[-1]
+
+    def emit(self, text: str) -> None:
+        print(text, file=self.out)
+
+    # ------------------------------------------------------------------ #
+
+    def run_line(self, line: str) -> bool:
+        """Execute one command line; returns False on ``quit``."""
+        parts = line.split()
+        if not parts or parts[0].startswith("#"):
+            return True
+        cmd, *args = parts
+        try:
+            return self._dispatch(cmd, args)
+        except (SelectionError, ValueError, KeyError, IndexError) as exc:
+            self.emit(f"error: {exc}")
+            return True
+
+    def _dispatch(self, cmd: str, args: list[str]) -> bool:
+        if cmd in ("quit", "exit"):
+            return False
+        if cmd == "help":
+            self.emit(__doc__ or "")
+        elif cmd == "lattice":
+            if args and args[0] == "tree":
+                from repro.cable.views import render_lattice_tree
+
+                self.emit(render_lattice_tree(self.session))
+            else:
+                self.emit(render_lattice(self.session))
+        elif cmd == "inspect":
+            summary = self.session.inspect(int(args[0]))
+            self.emit(summary.render())
+        elif cmd == "fa":
+            which = _parse_selection(args[1] if len(args) > 1 else None)
+            self.emit(self.session.show_fa(int(args[0]), which).pretty())
+        elif cmd == "trans":
+            which = _parse_selection(args[1] if len(args) > 1 else None)
+            for t in self.session.show_transitions(int(args[0]), which):
+                self.emit(f"  {t}")
+        elif cmd == "traces":
+            which = _parse_selection(args[1] if len(args) > 1 else None)
+            for t in self.session.show_traces(int(args[0]), which):
+                self.emit(f"  {t}")
+        elif cmd == "label":
+            which = _parse_selection(args[2] if len(args) > 2 else "unlabeled")
+            n = self.session.label_traces(int(args[0]), args[1], which)
+            self.emit(f"labeled {n} trace class(es) {args[1]!r}")
+        elif cmd == "focus":
+            self._focus(int(args[0]), args[1:])
+        elif cmd == "refine":
+            self._refine(args)
+        elif cmd == "rank":
+            self._rank(int(args[0]) if args else 5)
+        elif cmd == "addtraces":
+            self._addtraces(args[0])
+        elif cmd == "savesession":
+            from repro.cable.persist import save_session
+
+            save_session(self.session, args[0])
+            self.emit(f"session saved to {args[0]}")
+        elif cmd == "endfocus":
+            if len(self.stack) == 1:
+                self.emit("error: not in a focus session")
+            else:
+                focused = self.stack.pop()
+                changed = focused.end()  # type: ignore[attr-defined]
+                self.emit(f"focus ended; {changed} label(s) merged back")
+        elif cmd == "undo":
+            self.emit("undone" if self.session.labels.undo() else "nothing to undo")
+        elif cmd == "state":
+            ops = self.session.ops
+            unlabeled = len(self.session.labels.unlabeled())
+            self.emit(
+                f"operations: {ops.total} "
+                f"(inspect {ops.inspections}, label {ops.labelings}); "
+                f"{unlabeled} trace class(es) unlabeled"
+            )
+        elif cmd == "good":
+            label = args[0] if args else "good"
+            self.emit(self.session.check_labeling(label).pretty())
+        elif cmd == "dot":
+            with open(args[0], "w") as fh:
+                fh.write(lattice_to_dot(self.session))
+            self.emit(f"wrote {args[0]}")
+        elif cmd == "save":
+            with open(args[0], "w") as fh:
+                for o, rep in enumerate(self.session.clustering.representatives):
+                    label = self.session.labels.label_of(o) or "-"
+                    fh.write(f"{label}\t{rep}\n")
+            self.emit(f"wrote {args[0]}")
+        else:
+            self.emit(f"error: unknown command {cmd!r} (try help)")
+        return True
+
+    def _focus(self, concept: int, args: list[str]) -> None:
+        symbols = sorted(
+            {str(e) for t in self.session.show_traces(concept) for e in t}
+        )
+        kind = args[0] if args else "unordered"
+        if kind == "unordered":
+            fa = unordered_fa(symbols)
+        elif kind == "seed":
+            fa = seed_order_fa(symbols, args[1])
+        elif kind == "name":
+            fa = name_projection_fa(symbols, args[1])
+        elif kind == "fa":
+            with open(args[1]) as fh:
+                fa = fa_from_text(fh.read())
+        elif kind == "regex":
+            from repro.fa.regex import compile_regex
+
+            fa = compile_regex(" ".join(args[1:]))
+        else:
+            raise ValueError(f"unknown focus template {kind!r}")
+        focused = self.session.focus(concept, fa)
+        if focused.unclustered:
+            self.emit(
+                f"note: {len(focused.unclustered)} trace class(es) rejected "
+                "by the focus FA stay with the parent session"
+            )
+        self.stack.append(focused)
+        self.emit(
+            f"focused on concept {concept} "
+            f"({len(focused.clustering.representatives)} trace classes, "
+            f"{len(focused.lattice)} concepts)"
+        )
+
+    def _template_fa(self, args: list[str]):
+        symbols = sorted(
+            {str(e) for t in self.session.clustering.representatives for e in t}
+        )
+        kind = args[0] if args else "unordered"
+        if kind == "unordered":
+            return unordered_fa(symbols)
+        if kind == "seed":
+            return seed_order_fa(symbols, args[1])
+        if kind == "name":
+            return name_projection_fa(symbols, args[1])
+        raise ValueError(f"unknown template {kind!r}")
+
+    def _refine(self, args: list[str]) -> None:
+        from repro.cable.refine import refine_session
+
+        if len(self.stack) > 1:
+            raise ValueError("end the focus session before refining")
+        concepts = refine_session(self.session, self._template_fa(args))
+        self.emit(f"lattice refined: now {concepts} concepts (labels kept)")
+
+    def _rank(self, count: int) -> None:
+        from repro.rank.scores import concept_scores
+
+        scores = concept_scores(self.session.clustering)
+        lattice = self.session.lattice
+        ranked = sorted(
+            (c for c in lattice if lattice.extent(c)),
+            key=lambda c: (-scores[c], c),
+        )
+        self.emit("most suspicious concepts (deviance score):")
+        for c in ranked[:count]:
+            state = self.session.concept_state(c)
+            self.emit(
+                f"  #{c:<4d} score={scores[c]:.3f} "
+                f"traces={len(lattice.extent(c)):<4d} [{state.name}]"
+            )
+
+    def _addtraces(self, path: str) -> None:
+        if len(self.stack) > 1:
+            raise ValueError("end the focus session before adding traces")
+        with open(path) as fh:
+            texts = [line.strip() for line in fh if line.strip()]
+        traces = [
+            parse_trace(text, trace_id=f"added{i}").standardize_names()
+            for i, text in enumerate(texts)
+        ]
+        added = self.session.add_traces(traces)
+        self.emit(
+            f"added {len(traces)} trace(s): {added} new class(es), "
+            f"lattice now has {len(self.session.lattice)} concepts"
+        )
+
+    def run(self, lines: Iterable[str]) -> None:
+        for line in lines:
+            if not self.run_line(line):
+                break
+
+
+def build_session(trace_path: str, fa_path: str | None) -> CableSession:
+    """Load traces (and optionally a reference FA) and build a session.
+
+    Trace names are standardized (``X, Y, ...`` by first appearance), as
+    the miner front end and the verifier both do, so traces differing
+    only in concrete object ids form one class.
+    """
+    with open(trace_path) as fh:
+        texts = [line.strip() for line in fh if line.strip()]
+    raw = TraceSet.from_strings(texts)
+    traces = TraceSet([t.standardize_names() for t in raw])
+    if fa_path:
+        with open(fa_path) as fh:
+            reference = fa_from_text(fh.read())
+    else:
+        reference = learn_sk_strings(list(traces), k=2, s=1.0).fa
+    clustering = cluster_traces(list(traces), reference)
+    return CableSession(clustering)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help"):
+        print(
+            "usage: cable TRACE_FILE [FA_FILE]  |  cable --session FILE",
+            file=sys.stderr,
+        )
+        print(__doc__, file=sys.stderr)
+        return 0 if argv else 2
+    if argv[0] == "--session":
+        from repro.cable.persist import load_session
+
+        session = load_session(argv[1])
+    else:
+        session = build_session(argv[0], argv[1] if len(argv) > 1 else None)
+    cli = CableCLI(session)
+    cli.emit(
+        f"cable: {session.clustering.num_objects} trace classes, "
+        f"{len(session.lattice)} concepts; type 'help' for commands"
+    )
+    try:
+        cli.run(iter(sys.stdin.readline, ""))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

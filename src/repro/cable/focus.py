@@ -1,0 +1,89 @@
+"""Focus sub-sessions (Section 4.1).
+
+``Focus`` starts a sub-session on a single concept's traces, clustered
+under a *different* reference FA (typically one of the templates of
+:mod:`repro.fa.templates`).  The user labels inside the sub-session; when
+the session ends, the labels are merged back into the parent.
+
+The sub-session is itself a full :class:`~repro.cable.session.CableSession`,
+so focusing nests.  Traces the new reference FA rejects cannot be
+clustered under it; they are tracked in :attr:`unclustered` and stay for
+the parent session (or hand labeling) to deal with — this situation is
+exactly what Section 4.3 describes for non-well-formed lattices.
+"""
+
+from __future__ import annotations
+
+from repro.cable.session import CableSession
+from repro.core.trace_clustering import cluster_traces
+from repro.fa.automaton import FA
+
+
+class FocusSession(CableSession):
+    """A Cable sub-session over a subset of the parent's traces.
+
+    The subset is normally one concept's extent (the paper's Focus
+    command); passing ``objects`` instead supports the Section 4.3
+    ``mixed`` workflow, where the traces of concepts that could not be
+    labeled en masse are re-clustered under a different FA — see
+    :meth:`repro.cable.session.CableSession.focus_label`.
+    """
+
+    def __init__(
+        self,
+        parent: CableSession,
+        concept: int | None,
+        reference_fa: FA,
+        objects: "list[int] | None" = None,
+    ) -> None:
+        self.parent = parent
+        self.parent_concept = concept
+        if objects is not None:
+            parent_objects = sorted(objects)
+        elif concept is not None:
+            parent_objects = sorted(parent.lattice.extent(concept))
+        else:
+            raise ValueError("focus needs a concept or an object set")
+        traces = [
+            parent.clustering.representatives[o] for o in parent_objects
+        ]
+        clustering = cluster_traces(traces, reference_fa, dedup=False)
+        super().__init__(clustering, learner=parent._learner)
+        # Map local object indices back to parent object indices.  The
+        # sub-clustering preserves the order of accepted traces, so walk
+        # both lists in step.
+        accepted_keys = [t.key() for t in clustering.representatives]
+        self._to_parent: list[int] = []
+        cursor = 0
+        for key in accepted_keys:
+            while traces[cursor].key() != key:
+                cursor += 1
+            self._to_parent.append(parent_objects[cursor])
+            cursor += 1
+        clustered = set(self._to_parent)
+        self.unclustered: frozenset[int] = frozenset(
+            o for o in parent_objects if o not in clustered
+        )
+        # Carry existing parent labels into the sub-session so PartlyLabeled
+        # state is visible while focused.
+        for local, parent_obj in enumerate(self._to_parent):
+            label = parent.labels.label_of(parent_obj)
+            if label is not None:
+                self.labels.assign([local], label)
+
+    def end(self) -> int:
+        """Close the sub-session, merging labels back into the parent.
+
+        Returns the number of parent trace classes whose label changed.
+        The sub-session's operation counts are added to the parent's (a
+        focused inspection is still an inspection the user performed).
+        """
+        changed = 0
+        for local, parent_obj in enumerate(self._to_parent):
+            label = self.labels.label_of(local)
+            if label is not None and self.parent.labels.label_of(parent_obj) != label:
+                self.parent.labels.assign([parent_obj], label)
+                changed += 1
+        self.parent.ops.inspections += self.ops.inspections
+        self.parent.ops.labelings += self.ops.labelings
+        return changed

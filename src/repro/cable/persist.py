@@ -1,0 +1,78 @@
+"""Saving and restoring Cable sessions.
+
+A debugging session over hundreds of trace classes spans sittings; this
+module serializes everything a session needs — the reference FA, the
+traces (class members, so counts survive), the labels, and the operation
+counters — as a single JSON document.  Loading re-clusters
+deterministically, so the lattice does not need to be stored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cable.session import CableSession
+from repro.core.trace_clustering import cluster_traces
+from repro.fa.serialization import fa_from_text, fa_to_text
+from repro.lang.traces import parse_trace
+
+#: Format marker for forward compatibility.
+FORMAT = "cable-session/1"
+
+
+def session_to_dict(session: CableSession) -> dict:
+    """The JSON-serializable form of a session."""
+    clustering = session.clustering
+    classes = []
+    for o in range(clustering.num_objects):
+        classes.append(
+            {
+                "members": [str(t) for t in clustering.class_members[o]],
+                "ids": [t.trace_id for t in clustering.class_members[o]],
+                "label": session.labels.label_of(o),
+            }
+        )
+    return {
+        "format": FORMAT,
+        "reference_fa": fa_to_text(clustering.reference_fa),
+        "classes": classes,
+        "rejected": [str(t) for t in clustering.rejected],
+        "operations": {
+            "inspections": session.ops.inspections,
+            "labelings": session.ops.labelings,
+        },
+    }
+
+
+def session_from_dict(data: dict) -> CableSession:
+    """Rebuild a session from :func:`session_to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise ValueError(f"not a cable session document: {data.get('format')!r}")
+    reference = fa_from_text(data["reference_fa"])
+    traces = []
+    labels_by_key: dict[tuple, str] = {}
+    for entry in data["classes"]:
+        for text, trace_id in zip(entry["members"], entry["ids"]):
+            trace = parse_trace(text, trace_id=trace_id)
+            traces.append(trace)
+            if entry["label"] is not None:
+                labels_by_key[trace.key()] = entry["label"]
+    session = CableSession(cluster_traces(traces, reference))
+    for o, rep in enumerate(session.clustering.representatives):
+        label = labels_by_key.get(rep.key())
+        if label is not None:
+            session.labels.assign([o], label)
+    session.ops.inspections = data["operations"]["inspections"]
+    session.ops.labelings = data["operations"]["labelings"]
+    return session
+
+
+def save_session(session: CableSession, path: str | Path) -> None:
+    """Write ``session`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(session_to_dict(session), indent=2))
+
+
+def load_session(path: str | Path) -> CableSession:
+    """Read a session previously written by :func:`save_session`."""
+    return session_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,272 @@
+"""Cable sessions: the debugging workflow of Section 4.1.
+
+A session tracks labels over the trace classes of a
+:class:`~repro.core.trace_clustering.TraceClustering` and exposes Cable's
+operations:
+
+* ``inspect`` — view a concept's summary (counted as one user operation);
+* ``label_traces`` — the *Label traces* command: give one label to a
+  selection of a concept's traces (all / only unlabeled / only those with
+  a given label), replacing existing labels;
+* ``show_fa`` / ``show_transitions`` / ``show_traces`` — the three summary
+  views, each supporting the same selections;
+* ``focus`` — open a sub-session that re-clusters one concept's traces
+  under a different FA; ending it merges the labels back.
+
+The session counts inspect and label operations, which is the cost model
+of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.cable.labels import LabelStore
+from repro.cable.views import ConceptState, ConceptSummary
+from repro.core.trace_clustering import TraceClustering
+from repro.fa.automaton import FA
+from repro.lang.traces import Trace
+from repro.learners.sk_strings import learn_sk_strings
+
+#: A selection of a concept's traces: "all", "unlabeled", or
+#: ("label", <label>) for the traces currently carrying <label>.
+Selection = str | tuple[str, str]
+
+
+class SelectionError(ValueError):
+    """Raised when a selection is malformed or selects no traces."""
+
+
+@dataclass
+class OperationCount:
+    """Cable operations performed so far (Section 4.2's cost model)."""
+
+    inspections: int = 0
+    labelings: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.inspections + self.labelings
+
+
+class CableSession:
+    """One debugging session over a trace clustering."""
+
+    def __init__(
+        self,
+        clustering: TraceClustering,
+        learner: Callable[[Sequence[Trace]], FA] | None = None,
+    ) -> None:
+        self.clustering = clustering
+        self.lattice = clustering.lattice
+        self.labels = LabelStore(clustering.num_objects)
+        self.ops = OperationCount()
+        self._learner = learner or (
+            lambda traces: learn_sk_strings(traces, k=2, s=1.0).fa
+        )
+
+    # ------------------------------------------------------------------ #
+    # selections
+    # ------------------------------------------------------------------ #
+
+    def _select(self, concept: int, which: Selection) -> frozenset[int]:
+        extent = self.lattice.extent(concept)
+        if which == "all":
+            return frozenset(extent)
+        if which == "unlabeled":
+            return self.labels.unlabeled_in(extent)
+        if (
+            isinstance(which, tuple)
+            and len(which) == 2
+            and which[0] == "label"
+        ):
+            return self.labels.with_label(which[1], extent)
+        raise SelectionError(f"bad selection: {which!r}")
+
+    # ------------------------------------------------------------------ #
+    # states
+    # ------------------------------------------------------------------ #
+
+    def concept_state(self, concept: int) -> ConceptState:
+        """Unlabeled / PartlyLabeled / FullyLabeled (empty ⇒ FullyLabeled)."""
+        extent = self.lattice.extent(concept)
+        unlabeled = len(self.labels.unlabeled_in(extent))
+        if unlabeled == 0:
+            return ConceptState.FULLY_LABELED
+        if unlabeled == len(extent):
+            return ConceptState.UNLABELED
+        return ConceptState.PARTLY_LABELED
+
+    def concepts_in_state(self, state: ConceptState) -> list[int]:
+        return [c for c in self.lattice if self.concept_state(c) == state]
+
+    def done(self) -> bool:
+        """True once every trace has a label."""
+        return self.labels.all_labeled()
+
+    # ------------------------------------------------------------------ #
+    # user operations (counted)
+    # ------------------------------------------------------------------ #
+
+    def inspect(self, concept: int) -> ConceptSummary:
+        """View a concept; counts as one operation."""
+        self.ops.inspections += 1
+        extent = self.lattice.extent(concept)
+        return ConceptSummary(
+            concept=concept,
+            state=self.concept_state(concept),
+            num_traces=len(extent),
+            num_unlabeled=len(self.labels.unlabeled_in(extent)),
+            labels_present=self.labels.labels_in(extent),
+            similarity=self.lattice.similarity(concept),
+            transitions=tuple(
+                self.clustering.transitions_of(self.lattice.intent(concept))
+            ),
+            children=self.lattice.children[concept],
+            parents=self.lattice.parents[concept],
+        )
+
+    def label_traces(
+        self, concept: int, label: str, which: Selection = "unlabeled"
+    ) -> int:
+        """The *Label traces* command; counts as one operation.
+
+        Assigns ``label`` to the selected traces of ``concept`` (replacing
+        any labels they carried).  Returns the number of trace classes
+        affected; an empty selection is an error — the operation would be
+        meaningless and the strategies must not get it for free.
+        """
+        selected = self._select(concept, which)
+        if not selected:
+            raise SelectionError(
+                f"selection {which!r} of concept {concept} is empty"
+            )
+        self.ops.labelings += 1
+        self.labels.assign(selected, label)
+        return len(selected)
+
+    # ------------------------------------------------------------------ #
+    # summary views (not counted: the cost model counts the *inspect*,
+    # and a user looks at one or more views per inspection)
+    # ------------------------------------------------------------------ #
+
+    def show_fa(self, concept: int, which: Selection = "all") -> FA:
+        """An FA summarizing the selected traces (sk-strings by default)."""
+        selected = self._select(concept, which)
+        if not selected:
+            raise SelectionError(
+                f"selection {which!r} of concept {concept} is empty"
+            )
+        return self._learner(self.clustering.traces_of(selected))
+
+    def show_transitions(
+        self, concept: int, which: Selection = "all"
+    ) -> list[str]:
+        """The transitions shared by the selected traces.
+
+        For the whole concept this is its intent; for a sub-selection it is
+        σ of the selected objects.
+        """
+        selected = self._select(concept, which)
+        if not selected:
+            raise SelectionError(
+                f"selection {which!r} of concept {concept} is empty"
+            )
+        shared = self.lattice.context.sigma(selected)
+        return self.clustering.transitions_of(shared)
+
+    def show_traces(self, concept: int, which: Selection = "all") -> list[Trace]:
+        """The selected traces themselves (one representative per class)."""
+        return self.clustering.traces_of(self._select(concept, which))
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+
+    def add_traces(self, traces: Sequence[Trace]) -> int:
+        """Fold freshly reported traces into the open session.
+
+        Traces identical to an existing class join it (and keep its
+        label); new classes enter the lattice via Godin's incremental
+        insertion and start Unlabeled.  Returns the number of new
+        classes.  Concept *indices are preserved* for existing concepts,
+        so a user's mental map of the lattice survives the update.
+        """
+        from repro.core.trace_clustering import extend_clustering
+
+        before = self.clustering.num_objects
+        self.clustering = extend_clustering(self.clustering, traces)
+        self.lattice = self.clustering.lattice
+        self.labels.grow(self.clustering.num_objects)
+        return self.clustering.num_objects - before
+
+    # ------------------------------------------------------------------ #
+    # focus
+    # ------------------------------------------------------------------ #
+
+    def focus(self, concept: int, reference_fa: FA) -> "FocusSession":
+        """Open a Focus sub-session on ``concept`` under ``reference_fa``."""
+        from repro.cable.focus import FocusSession
+
+        return FocusSession(self, concept, reference_fa)
+
+    def focus_label(self, label: str, reference_fa: FA) -> "FocusSession":
+        """Open a Focus sub-session on all traces carrying ``label``.
+
+        This is Section 4.3's remedy for non-well-formed lattices: mark
+        the un-splittable concepts ``mixed``, then re-run the method
+        "with a different FA and with the set of traces restricted to the
+        mixed traces".  Labels assigned inside the sub-session replace
+        ``label`` when it ends.
+        """
+        from repro.cable.focus import FocusSession
+
+        objects = sorted(self.labels.with_label(label))
+        if not objects:
+            raise SelectionError(f"no traces labeled {label!r}")
+        return FocusSession(self, None, reference_fa, objects=objects)
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+
+    def traces_with_label(self, label: str) -> list[Trace]:
+        """Representative traces labeled ``label``."""
+        return self.clustering.traces_of(self.labels.with_label(label))
+
+    def expanded_labels(self) -> list[tuple[Trace, str | None]]:
+        """Every member trace (duplicates included) with its class label."""
+        out: list[tuple[Trace, str | None]] = []
+        for o, members in enumerate(self.clustering.class_members):
+            label = self.labels.label_of(o)
+            out.extend((member, label) for member in members)
+        return out
+
+    def scenario_labels(self, scenarios: Sequence[Trace]) -> dict[int, str]:
+        """Map scenario indices to labels by identical-event matching.
+
+        The miner's :meth:`repro.mining.strauss.Strauss.remine` wants labels
+        keyed by scenario index; classes without a label are omitted.
+        """
+        by_key: dict[tuple, str] = {}
+        for o, rep in enumerate(self.clustering.representatives):
+            label = self.labels.label_of(o)
+            if label is not None:
+                by_key[rep.key()] = label
+        return {
+            i: by_key[trace.key()]
+            for i, trace in enumerate(scenarios)
+            if trace.key() in by_key
+        }
+
+    def check_labeling(self, label: str = "good") -> FA:
+        """Step 2b: the FA inferred from all traces carrying ``label``.
+
+        The author examines this automaton at the top of the lattice to
+        confirm the labeling is right before fixing the specification.
+        """
+        traces = self.traces_with_label(label)
+        if not traces:
+            raise SelectionError(f"no traces labeled {label!r}")
+        return self._learner(traces)

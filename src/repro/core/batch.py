@@ -1,0 +1,31 @@
+"""Batch (non-incremental) concept-lattice construction.
+
+The closed intents of a context are exactly the full attribute set plus
+all intersections of object rows, so the concept set can be computed by
+closing ``{A} ∪ {row(o)}`` under pairwise intersection.  Simple, clearly
+correct, and the oracle against which the incremental Godin algorithm is
+property-tested.
+"""
+
+from __future__ import annotations
+
+from repro.core.concepts import Concept, ConceptLattice
+from repro.core.context import FormalContext
+
+
+def closed_intents_batch(context: FormalContext) -> set[frozenset[int]]:
+    """All closed intents of ``context`` via intersection closure."""
+    intents: set[frozenset[int]] = {context.all_attributes}
+    for row in context.rows:
+        intents |= {intent & row for intent in intents}
+        intents.add(row)
+    return intents
+
+
+def build_lattice_batch(context: FormalContext) -> ConceptLattice:
+    """Build the full concept lattice of ``context`` non-incrementally."""
+    concepts = [
+        Concept(context.tau(intent), intent)
+        for intent in closed_intents_batch(context)
+    ]
+    return ConceptLattice.from_concepts(context, concepts)

@@ -1,0 +1,162 @@
+"""Formal contexts and the derivation operators of concept analysis.
+
+A context is a triple (O, A, R) with R ⊆ O × A (Section 3.1).  Objects and
+attributes carry display names, but all set computations run over integer
+indices for speed; rows (per-object attribute sets) and columns
+(per-attribute object sets) are precomputed.
+
+The two derivation operators:
+
+* ``σ(X) = {a | ∀x ∈ X. (x, a) ∈ R}`` — attributes common to all of X;
+  by the usual convention ``σ(∅)`` is the full attribute set.
+* ``τ(Y) = {o | ∀y ∈ Y. (o, y) ∈ R}`` — objects enjoying all of Y;
+  ``τ(∅)`` is the full object set.
+
+The paper's similarity measure is ``sim(X) = |σ(X)|`` (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class FormalContext:
+    """An immutable formal context (O, A, R)."""
+
+    def __init__(
+        self,
+        objects: Sequence[str],
+        attributes: Sequence[str],
+        rows: Sequence[Iterable[int]],
+    ) -> None:
+        self.objects: tuple[str, ...] = tuple(objects)
+        self.attributes: tuple[str, ...] = tuple(attributes)
+        if len(rows) != len(self.objects):
+            raise ValueError(
+                f"{len(self.objects)} objects but {len(rows)} incidence rows"
+            )
+        self.rows: tuple[frozenset[int], ...] = tuple(frozenset(r) for r in rows)
+        num_attrs = len(self.attributes)
+        for o, row in enumerate(self.rows):
+            for a in row:
+                if not 0 <= a < num_attrs:
+                    raise ValueError(
+                        f"object {self.objects[o]!r} has out-of-range attribute {a}"
+                    )
+        columns: list[set[int]] = [set() for _ in range(num_attrs)]
+        for o, row in enumerate(self.rows):
+            for a in row:
+                columns[a].add(o)
+        self.columns: tuple[frozenset[int], ...] = tuple(
+            frozenset(c) for c in columns
+        )
+        self.all_objects: frozenset[int] = frozenset(range(len(self.objects)))
+        self.all_attributes: frozenset[int] = frozenset(range(num_attrs))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_pairs(
+        cls,
+        objects: Sequence[str],
+        attributes: Sequence[str],
+        pairs: Iterable[tuple[str, str]],
+    ) -> "FormalContext":
+        """Build a context from named ``(object, attribute)`` pairs."""
+        obj_index = {name: i for i, name in enumerate(objects)}
+        attr_index = {name: i for i, name in enumerate(attributes)}
+        rows: list[set[int]] = [set() for _ in objects]
+        for obj, attr in pairs:
+            rows[obj_index[obj]].add(attr_index[attr])
+        return cls(objects, attributes, rows)
+
+    @classmethod
+    def from_bools(
+        cls,
+        objects: Sequence[str],
+        attributes: Sequence[str],
+        table: Sequence[Sequence[bool]],
+    ) -> "FormalContext":
+        """Build a context from a boolean incidence matrix (rows=objects)."""
+        rows = [
+            {a for a, flag in enumerate(row) if flag} for row in table
+        ]
+        return cls(objects, attributes, rows)
+
+    # ------------------------------------------------------------------ #
+    # derivation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.attributes)
+
+    def sigma(self, objs: Iterable[int]) -> frozenset[int]:
+        """σ: attributes shared by every object in ``objs``."""
+        result: frozenset[int] | None = None
+        for o in objs:
+            result = self.rows[o] if result is None else result & self.rows[o]
+            if not result:
+                break
+        return self.all_attributes if result is None else result
+
+    def tau(self, attrs: Iterable[int]) -> frozenset[int]:
+        """τ: objects enjoying every attribute in ``attrs``."""
+        result: frozenset[int] | None = None
+        for a in attrs:
+            result = self.columns[a] if result is None else result & self.columns[a]
+            if not result:
+                break
+        return self.all_objects if result is None else result
+
+    def intent_closure(self, attrs: Iterable[int]) -> frozenset[int]:
+        """The closure σ(τ(Y)) of an attribute set."""
+        return self.sigma(self.tau(attrs))
+
+    def extent_closure(self, objs: Iterable[int]) -> frozenset[int]:
+        """The closure τ(σ(X)) of an object set."""
+        return self.tau(self.sigma(objs))
+
+    def similarity(self, objs: Iterable[int]) -> int:
+        """The paper's similarity of an object set: ``|σ(X)|``."""
+        return len(self.sigma(objs))
+
+    def has(self, obj: int, attr: int) -> bool:
+        """Membership test for R."""
+        return attr in self.rows[obj]
+
+    # ------------------------------------------------------------------ #
+    # display helpers
+    # ------------------------------------------------------------------ #
+
+    def object_names(self, objs: Iterable[int]) -> list[str]:
+        return [self.objects[o] for o in sorted(objs)]
+
+    def attribute_names(self, attrs: Iterable[int]) -> list[str]:
+        return [self.attributes[a] for a in sorted(attrs)]
+
+    def restrict_objects(self, objs: Sequence[int]) -> "FormalContext":
+        """Sub-context keeping only ``objs`` (attribute universe unchanged).
+
+        Used by Cable's Focus command, which re-clusters the traces of one
+        concept.
+        """
+        keep = list(objs)
+        return FormalContext(
+            [self.objects[o] for o in keep],
+            self.attributes,
+            [self.rows[o] for o in keep],
+        )
+
+    def __repr__(self) -> str:
+        fills = sum(len(r) for r in self.rows)
+        return (
+            f"FormalContext(|O|={self.num_objects}, |A|={self.num_attributes}, "
+            f"|R|={fills})"
+        )

@@ -1,0 +1,112 @@
+"""FCA interchange: the Burmeister ``.cxt`` format and lattice dot export.
+
+Concept-analysis tooling (ConExp, ToscanaJ, `concepts`, ...) exchanges
+contexts in Peter Burmeister's ``.cxt`` format::
+
+    B
+
+    <number of objects>
+    <number of attributes>
+
+    <object name>*
+    <attribute name>*
+    <X/. incidence rows>*
+
+Reading and writing it makes this reproduction's contexts inspectable
+with standard FCA software, and lets externally produced contexts flow
+into Cable.  ``lattice_to_dot`` renders a bare
+:class:`~repro.core.concepts.ConceptLattice` (the session-aware colored
+variant lives in :mod:`repro.cable.views`).
+"""
+
+from __future__ import annotations
+
+from repro.core.concepts import ConceptLattice
+from repro.core.context import FormalContext
+
+
+def context_to_cxt(context: FormalContext) -> str:
+    """Serialize a context in Burmeister format."""
+    lines = ["B", ""]
+    lines.append(str(context.num_objects))
+    lines.append(str(context.num_attributes))
+    lines.append("")
+    lines.extend(context.objects)
+    lines.extend(context.attributes)
+    for row in context.rows:
+        lines.append(
+            "".join(
+                "X" if a in row else "." for a in range(context.num_attributes)
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def context_from_cxt(text: str) -> FormalContext:
+    """Parse a Burmeister-format context.
+
+    Blank lines between the header sections are tolerated wherever the
+    common tools emit them.
+    """
+    lines = [line.rstrip("\r") for line in text.splitlines()]
+    meaningful = [line for line in lines if line.strip()]
+    if not meaningful or meaningful[0].strip() != "B":
+        raise ValueError("not a Burmeister context (missing 'B' header)")
+    try:
+        num_objects = int(meaningful[1])
+        num_attributes = int(meaningful[2])
+    except (IndexError, ValueError) as exc:
+        raise ValueError("malformed Burmeister header") from exc
+    body = meaningful[3:]
+    if len(body) < num_objects + num_attributes + num_objects:
+        raise ValueError(
+            "Burmeister body too short for the declared dimensions"
+        )
+    objects = body[:num_objects]
+    attributes = body[num_objects : num_objects + num_attributes]
+    incidence = body[
+        num_objects + num_attributes : num_objects + num_attributes + num_objects
+    ]
+    rows = []
+    for line in incidence:
+        if len(line) != num_attributes:
+            raise ValueError(
+                f"incidence row {line!r} has {len(line)} cells, "
+                f"expected {num_attributes}"
+            )
+        rows.append({a for a, cell in enumerate(line) if cell in ("X", "x")})
+    return FormalContext(objects, attributes, rows)
+
+
+def lattice_to_dot(lattice: ConceptLattice, name: str = "lattice") -> str:
+    """Graphviz rendering of a bare concept lattice.
+
+    Nodes follow the common FCA labeling convention: each concept shows
+    its *own* objects (those introduced at that concept) and the
+    attributes whose attribute-concept it is.
+    """
+    context = lattice.context
+    attr_intro: dict[int, list[str]] = {}
+    for a in range(context.num_attributes):
+        try:
+            mu = lattice.attribute_concept(a)
+        except KeyError:
+            continue
+        attr_intro.setdefault(mu, []).append(context.attributes[a])
+
+    lines = [f'digraph "{name}" {{', "  rankdir=TB;"]
+    for c in lattice:
+        own = context.object_names(lattice.own_objects(c))
+        attrs = attr_intro.get(c, [])
+        label_parts = []
+        if attrs:
+            label_parts.append(", ".join(attrs))
+        if own:
+            label_parts.append(", ".join(own))
+        label = "\\n".join(label_parts) or f"#{c}"
+        lines.append(f'  c{c} [label="{label}", shape=ellipse];')
+    for c in lattice:
+        for child in lattice.children[c]:
+            lines.append(f"  c{c} -> c{child};")
+    lines.append("}")
+    return "\n".join(lines)

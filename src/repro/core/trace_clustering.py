@@ -1,0 +1,207 @@
+"""Clustering traces with respect to a reference FA (Section 3.2).
+
+The formal context is:
+
+* **O** — the traces themselves (one object per identical-event class if
+  ``dedup`` is on, which is how the paper ran its experiments);
+* **A** — the reference FA's transitions;
+* **R** — ``(o, a) ∈ R`` iff transition ``a`` lies on some accepting
+  sequence of transitions for ``o`` (computed by
+  :meth:`repro.fa.automaton.FA.executed_transitions`).
+
+With this choice, ``sim(X)`` is the number of transitions all traces of X
+execute in common — the paper's flexible, specification-connected
+similarity measure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.concepts import ConceptLattice
+from repro.core.context import FormalContext
+from repro.core.godin import GodinLatticeBuilder, build_lattice_godin
+from repro.fa.automaton import FA
+from repro.lang.traces import DedupResult, Trace, dedup_traces
+
+
+@dataclass(frozen=True)
+class TraceClustering:
+    """The result of clustering traces against a reference FA.
+
+    ``lattice.context`` objects correspond one-to-one with
+    ``representatives``; ``class_members[i]`` are all the traces (including
+    duplicates) that representative ``i`` stands for, so labels assigned to
+    an object apply to the whole identical-event class.
+    """
+
+    reference_fa: FA
+    lattice: ConceptLattice
+    representatives: tuple[Trace, ...]
+    class_counts: tuple[int, ...]
+    class_members: tuple[tuple[Trace, ...], ...]
+    rejected: tuple[Trace, ...]
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.representatives)
+
+    def traces_of(self, objects: Iterable[int]) -> list[Trace]:
+        """Representative traces for a set of object indices."""
+        return [self.representatives[o] for o in sorted(objects)]
+
+    def transitions_of(self, attrs: Iterable[int]) -> list[str]:
+        """Human-readable transitions for a set of attribute indices."""
+        return [self.reference_fa.describe_transition(a) for a in sorted(attrs)]
+
+
+def build_trace_context(
+    traces: Sequence[Trace],
+    reference_fa: FA,
+) -> tuple[FormalContext, list[Trace]]:
+    """Build the Section 3.2 formal context for accepted traces.
+
+    Returns the context plus the list of traces the reference FA rejects
+    (which cannot be clustered under it — the caller decides whether that
+    is an error or whether those traces go to a different session).
+    """
+    accepted: list[Trace] = []
+    rows: list[frozenset[int]] = []
+    rejected: list[Trace] = []
+    for trace in traces:
+        executed = reference_fa.executed_transitions(trace)
+        if executed or reference_fa.accepts(trace):
+            accepted.append(trace)
+            rows.append(executed)
+        else:
+            rejected.append(trace)
+    names = [
+        trace.trace_id or f"trace{i}: {trace}" for i, trace in enumerate(accepted)
+    ]
+    attributes = [str(t) for t in reference_fa.transitions]
+    # Attribute *names* may repeat textually (e.g. two transitions with the
+    # same label between different states render differently, but be safe).
+    seen: dict[str, int] = {}
+    unique_attrs = []
+    for name in attributes:
+        if name in seen:
+            seen[name] += 1
+            unique_attrs.append(f"{name} #{seen[name]}")
+        else:
+            seen[name] = 0
+            unique_attrs.append(name)
+    context = FormalContext(names, unique_attrs, rows)
+    return context, rejected
+
+
+def extend_clustering(
+    clustering: TraceClustering,
+    new_traces: Sequence[Trace],
+) -> TraceClustering:
+    """Add traces to an existing clustering, incrementally.
+
+    Traces identical to an existing class join that class (object indices
+    are stable); genuinely new classes are inserted into the lattice with
+    Godin's incremental algorithm, resuming from the existing concepts —
+    the update a long-lived Cable session performs when the verifier
+    reports a fresh batch of violations.
+
+    Traces the reference FA rejects are appended to ``rejected``.
+    """
+    reference_fa = clustering.reference_fa
+    by_key = {
+        rep.key(): o for o, rep in enumerate(clustering.representatives)
+    }
+    counts = list(clustering.class_counts)
+    members = [list(m) for m in clustering.class_members]
+    representatives = list(clustering.representatives)
+    rejected = list(clustering.rejected)
+
+    fresh: list[tuple[Trace, frozenset[int]]] = []
+    for trace in new_traces:
+        key = trace.key()
+        existing = by_key.get(key)
+        if existing is not None:
+            counts[existing] += 1
+            members[existing].append(trace)
+            continue
+        executed = reference_fa.executed_transitions(trace)
+        if not executed and not reference_fa.accepts(trace):
+            rejected.append(trace)
+            continue
+        by_key[key] = len(representatives)
+        representatives.append(trace)
+        counts.append(1)
+        members.append([trace])
+        fresh.append((trace, executed))
+
+    if not fresh:
+        lattice = clustering.lattice
+    else:
+        old_context = clustering.lattice.context
+        builder = GodinLatticeBuilder.from_lattice(clustering.lattice)
+        rows = list(old_context.rows)
+        names = list(old_context.objects)
+        for trace, executed in fresh:
+            builder.add_object(len(rows), executed)
+            rows.append(executed)
+            names.append(trace.trace_id or f"t{len(rows) - 1}")
+        context = FormalContext(names, old_context.attributes, rows)
+        lattice = builder.build(context)
+
+    return TraceClustering(
+        reference_fa=reference_fa,
+        lattice=lattice,
+        representatives=tuple(representatives),
+        class_counts=tuple(counts),
+        class_members=tuple(tuple(m) for m in members),
+        rejected=tuple(rejected),
+    )
+
+
+def cluster_traces(
+    traces: Sequence[Trace],
+    reference_fa: FA,
+    dedup: bool = True,
+    build: Callable[[FormalContext], ConceptLattice] = build_lattice_godin,
+) -> TraceClustering:
+    """Cluster ``traces`` with respect to ``reference_fa``.
+
+    ``dedup=True`` (the paper's setting) clusters one representative per
+    identical-event class; ``build`` selects the lattice construction
+    (Godin's incremental algorithm by default).
+    """
+    if dedup:
+        groups: DedupResult = dedup_traces(traces)
+        pool = list(groups.representatives)
+        counts = list(groups.counts)
+        members = list(groups.members)
+    else:
+        pool = list(traces)
+        counts = [1] * len(pool)
+        members = [(t,) for t in pool]
+
+    accepted_idx: list[int] = []
+    rejected: list[Trace] = []
+    rows: list[frozenset[int]] = []
+    for i, trace in enumerate(pool):
+        executed = reference_fa.executed_transitions(trace)
+        if executed or reference_fa.accepts(trace):
+            accepted_idx.append(i)
+            rows.append(executed)
+        else:
+            rejected.extend(members[i])
+
+    names = [pool[i].trace_id or f"t{i}" for i in accepted_idx]
+    attributes = [f"a{j}: {t}" for j, t in enumerate(reference_fa.transitions)]
+    context = FormalContext(names, attributes, rows)
+    lattice = build(context)
+    return TraceClustering(
+        reference_fa=reference_fa,
+        lattice=lattice,
+        representatives=tuple(pool[i] for i in accepted_idx),
+        class_counts=tuple(counts[i] for i in accepted_idx),
+        class_members=tuple(members[i] for i in accepted_idx),
+        rejected=tuple(rejected),
+    )

@@ -1,0 +1,51 @@
+"""Well-formed lattices (Section 4.3).
+
+Because Cable labels the traces in a concept *en masse*, some desired
+labelings are unreachable on a bad lattice.  A concept ``c`` is
+well-formed for a labeling iff
+
+1. the labeling gives the same label to every trace in ``c``, or
+2. all children of ``c`` are well-formed, and every trace of ``c`` that is
+   in no child (its *own* traces) gets the same label.
+
+A lattice is well-formed iff every concept is.  When a lattice is not
+well-formed the user either changes the reference FA (Focus) or labels the
+offending concepts ``mixed`` and deals with them by hand — both of which
+Cable supports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.concepts import ConceptLattice
+
+
+def well_formed_concepts(
+    lattice: ConceptLattice, labeling: Mapping[int, str]
+) -> dict[int, bool]:
+    """Per-concept well-formedness for ``labeling`` (object index → label).
+
+    Every object in the lattice's context must be labeled.
+    """
+    missing = lattice.context.all_objects - set(labeling)
+    if missing:
+        raise ValueError(
+            f"labeling is partial; unlabeled objects: {sorted(missing)}"
+        )
+    result: dict[int, bool] = {}
+    for c in lattice.bottom_up_order():
+        extent_labels = {labeling[o] for o in lattice.extent(c)}
+        if len(extent_labels) <= 1:
+            result[c] = True
+            continue
+        own_labels = {labeling[o] for o in lattice.own_objects(c)}
+        result[c] = len(own_labels) <= 1 and all(
+            result[child] for child in lattice.children[c]
+        )
+    return result
+
+
+def is_well_formed(lattice: ConceptLattice, labeling: Mapping[int, str]) -> bool:
+    """True iff every concept of ``lattice`` is well-formed for ``labeling``."""
+    return all(well_formed_concepts(lattice, labeling).values())

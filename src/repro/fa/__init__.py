@@ -1,0 +1,56 @@
+"""Finite automata over event patterns.
+
+A temporal specification is a finite automaton whose transitions are
+labeled by event patterns (:mod:`repro.lang.events`).  This package
+provides:
+
+* :class:`~repro.fa.automaton.FA` — the automaton itself, with trace
+  acceptance and the *executed transitions* computation that defines the
+  paper's trace-similarity relation R (Section 3.2);
+* :mod:`~repro.fa.ops` — determinization, minimization, product,
+  complement and language comparison for automata with symbolic labels;
+* :mod:`~repro.fa.templates` — the Unordered, Name-projection and
+  Seed-order template automata used by Cable's Focus command (Section 4.1);
+* :mod:`~repro.fa.dot` and :mod:`~repro.fa.serialization` — Graphviz and
+  text-format output.
+"""
+
+from repro.fa.automaton import FA, Transition
+from repro.fa.dot import fa_to_dot
+from repro.fa.regex import compile_regex
+from repro.fa.ops import (
+    SymbolicDFA,
+    accepted_strings_upto,
+    determinize,
+    intersect,
+    is_empty,
+    language_equal,
+    language_subset,
+    minimize,
+    symbol_complement,
+    union,
+)
+from repro.fa.serialization import fa_from_text, fa_to_text
+from repro.fa.templates import name_projection_fa, seed_order_fa, unordered_fa
+
+__all__ = [
+    "FA",
+    "Transition",
+    "SymbolicDFA",
+    "compile_regex",
+    "fa_to_dot",
+    "accepted_strings_upto",
+    "determinize",
+    "intersect",
+    "is_empty",
+    "language_equal",
+    "language_subset",
+    "minimize",
+    "symbol_complement",
+    "union",
+    "fa_from_text",
+    "fa_to_text",
+    "name_projection_fa",
+    "seed_order_fa",
+    "unordered_fa",
+]

@@ -1,0 +1,268 @@
+"""The finite automaton used to express temporal specifications.
+
+Transitions are labeled by event patterns with variables that bind
+consistently along a path, so the Figure 1 specification —
+
+    For all calls ``X = fopen()`` or ``X = popen()``: ...
+
+— is one automaton whose labels mention the variable ``X``.  The class
+supports nondeterminism and multiple initial states.
+
+Two queries matter for the paper:
+
+* :meth:`FA.accepts` — ordinary acceptance;
+* :meth:`FA.executed_transitions` — the set of transitions lying on *some*
+  accepting path for a trace.  This is exactly the relation R of
+  Section 3.2: ``(o, a) ∈ R`` iff transition ``a`` can be executed while
+  accepting trace ``o``.  It is computed with a forward/backward
+  reachability pass over the layered configuration graph, where a
+  configuration is ``(position, state, binding)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.lang.events import Binding, EMPTY_BINDING, EventPattern, parse_pattern
+from repro.lang.traces import Trace
+
+State = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One FA transition: ``src --pattern--> dst``."""
+
+    src: State
+    pattern: EventPattern
+    dst: State
+
+    def __str__(self) -> str:
+        return f"{self.src} --{self.pattern}--> {self.dst}"
+
+
+class FA:
+    """A nondeterministic finite automaton over event patterns.
+
+    ``states`` fixes a stable order (useful for rendering and for the FCA
+    attribute universe); ``transitions`` likewise — the *index* of a
+    transition within :attr:`transitions` is its identity as a concept
+    attribute.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[State],
+        initial: Iterable[State],
+        accepting: Iterable[State],
+        transitions: Sequence[Transition],
+    ) -> None:
+        self.states: tuple[State, ...] = tuple(states)
+        state_set = set(self.states)
+        if len(state_set) != len(self.states):
+            raise ValueError("duplicate states")
+        self.initial: frozenset[State] = frozenset(initial)
+        self.accepting: frozenset[State] = frozenset(accepting)
+        for s in self.initial | self.accepting:
+            if s not in state_set:
+                raise ValueError(f"initial/accepting state {s!r} not in states")
+        self.transitions: tuple[Transition, ...] = tuple(transitions)
+        for t in self.transitions:
+            if t.src not in state_set or t.dst not in state_set:
+                raise ValueError(f"transition {t} mentions unknown state")
+        self._by_src: dict[State, list[tuple[int, Transition]]] = {s: [] for s in self.states}
+        for index, t in enumerate(self.transitions):
+            self._by_src[t.src].append((index, t))
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[State, str | EventPattern, State]],
+        initial: Iterable[State],
+        accepting: Iterable[State],
+        states: Sequence[State] | None = None,
+    ) -> "FA":
+        """Build an FA from ``(src, pattern, dst)`` triples.
+
+        Patterns given as strings are parsed with
+        :func:`repro.lang.events.parse_pattern`.  Unless ``states`` is
+        given, the state set is inferred (initial and accepting states
+        first, then in order of appearance in ``edges``).
+        """
+        transitions = []
+        seen: list[State] = []
+
+        def note(state: State) -> None:
+            if state not in seen:
+                seen.append(state)
+
+        for s in initial:
+            note(s)
+        for src, pattern, dst in edges:
+            if isinstance(pattern, str):
+                pattern = parse_pattern(pattern)
+            transitions.append(Transition(src, pattern, dst))
+            note(src)
+            note(dst)
+        for s in accepting:
+            note(s)
+        return cls(states if states is not None else seen, initial, accepting, transitions)
+
+    def with_transitions(self, transitions: Sequence[Transition]) -> "FA":
+        """Copy of this FA with a different transition list."""
+        return FA(self.states, self.initial, self.accepting, transitions)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.transitions)
+
+    def symbols(self) -> frozenset[str]:
+        """Event symbols appearing on (non-wildcard) transitions."""
+        return frozenset(
+            t.pattern.symbol for t in self.transitions if not t.pattern.is_wildcard
+        )
+
+    def variables(self) -> frozenset[str]:
+        """Variables appearing on any transition."""
+        out: set[str] = set()
+        for t in self.transitions:
+            out |= t.pattern.variables()
+        return frozenset(out)
+
+    def describe_transition(self, index: int) -> str:
+        """Human-readable rendering of transition ``index``."""
+        return str(self.transitions[index])
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+
+    def _forward_layers(self, trace: Trace) -> list[set[tuple[State, Binding]]]:
+        """Reachable configurations before each event (and after the last).
+
+        ``layers[i]`` is the set of ``(state, binding)`` pairs reachable by
+        consuming the first ``i`` events; ``len(layers) == len(trace)+1``.
+        """
+        current: set[tuple[State, Binding]] = {(s, EMPTY_BINDING) for s in self.initial}
+        layers = [current]
+        for event in trace:
+            nxt: set[tuple[State, Binding]] = set()
+            for state, binding in current:
+                for _, t in self._by_src[state]:
+                    new_binding = t.pattern.match(event, binding)
+                    if new_binding is not None:
+                        nxt.add((t.dst, new_binding))
+            layers.append(nxt)
+            current = nxt
+            if not current:
+                # Still append the remaining (empty) layers so callers can
+                # rely on the length invariant.
+                for _ in range(len(trace) - len(layers) + 1):
+                    layers.append(set())
+                break
+        return layers
+
+    def accepts(self, trace: Trace) -> bool:
+        """True iff some accepting path consumes the whole trace."""
+        final = self._forward_layers(trace)[len(trace)]
+        return any(state in self.accepting for state, _ in final)
+
+    def executed_transitions(self, trace: Trace) -> frozenset[int]:
+        """Indices of transitions on at least one accepting path of ``trace``.
+
+        Empty if the trace is rejected.  This realizes the relation R of
+        Section 3.2: forward-reachable configurations are intersected with
+        backward-reachable ones, and every surviving edge contributes its
+        FA transition.
+        """
+        n = len(trace)
+        layers = self._forward_layers(trace)
+
+        # Edges of the configuration graph, layer by layer:
+        # (i, cfg, transition index, cfg') with cfg in layers[i].
+        # Build successor lists as we go backward, keeping only edges whose
+        # endpoints are forward-reachable.
+        co_reachable: list[set[tuple[State, Binding]]] = [set() for _ in range(n + 1)]
+        co_reachable[n] = {
+            (state, binding)
+            for state, binding in layers[n]
+            if state in self.accepting
+        }
+        used: set[int] = set()
+        for i in range(n - 1, -1, -1):
+            event = trace[i]
+            target = co_reachable[i + 1]
+            if not target:
+                continue
+            for state, binding in layers[i]:
+                for index, t in self._by_src[state]:
+                    new_binding = t.pattern.match(event, binding)
+                    if new_binding is not None and (t.dst, new_binding) in target:
+                        co_reachable[i].add((state, binding))
+                        used.add(index)
+        if not co_reachable[0] & layers[0]:
+            return frozenset()
+        return frozenset(used)
+
+    def accepting_paths(
+        self, trace: Trace, limit: int = 1000
+    ) -> list[tuple[int, ...]]:
+        """Enumerate accepting paths as tuples of transition indices.
+
+        Exponential in the worst case; intended for tests and small
+        examples, hence the ``limit`` safety valve.
+        """
+        n = len(trace)
+        out: list[tuple[int, ...]] = []
+
+        def walk(i: int, state: State, binding: Binding, path: list[int]) -> None:
+            if len(out) >= limit:
+                return
+            if i == n:
+                if state in self.accepting:
+                    out.append(tuple(path))
+                return
+            for index, t in self._by_src[state]:
+                new_binding = t.pattern.match(trace[i], binding)
+                if new_binding is not None:
+                    path.append(index)
+                    walk(i + 1, t.dst, new_binding, path)
+                    path.pop()
+
+        for start in self.initial:
+            walk(0, start, EMPTY_BINDING, [])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def pretty(self) -> str:
+        """Multi-line textual rendering (states, then transitions)."""
+        lines = [
+            f"states:    {' '.join(str(s) for s in self.states)}",
+            f"initial:   {' '.join(str(s) for s in sorted(self.initial, key=str))}",
+            f"accepting: {' '.join(str(s) for s in sorted(self.accepting, key=str))}",
+        ]
+        lines.extend(f"  {t}" for t in self.transitions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"FA(states={self.num_states}, transitions={self.num_transitions}, "
+            f"initial={sorted(map(str, self.initial))}, "
+            f"accepting={sorted(map(str, self.accepting))})"
+        )

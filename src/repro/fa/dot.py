@@ -1,0 +1,37 @@
+"""Graphviz (dot) rendering of automata.
+
+The original Cable was built on Dotty; our reproduction keeps dot as the
+visual interchange format so lattices and specifications can still be
+inspected with standard Graphviz tooling.
+"""
+
+from __future__ import annotations
+
+from repro.fa.automaton import FA
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def fa_to_dot(fa: FA, name: str = "spec") -> str:
+    """Render ``fa`` as a dot digraph.
+
+    Accepting states are doublecircles; initial states get an incoming
+    arrow from an invisible point node, as is conventional.
+    """
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for i, state in enumerate(fa.states):
+        shape = "doublecircle" if state in fa.accepting else "circle"
+        lines.append(f"  n{i} [label={_quote(str(state))}, shape={shape}];")
+    index = {state: i for i, state in enumerate(fa.states)}
+    for i, state in enumerate(fa.states):
+        if state in fa.initial:
+            lines.append(f"  start{i} [shape=point, label=\"\"];")
+            lines.append(f"  start{i} -> n{i};")
+    for t in fa.transitions:
+        lines.append(
+            f"  n{index[t.src]} -> n{index[t.dst]} [label={_quote(str(t.pattern))}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""Classical automaton algorithms over symbolic alphabets.
+
+The learners, the miner and the spec-fixing workflow all manipulate
+automata whose labels are drawn from a finite set of event *templates*
+(e.g. ``fopen(X)``, ``fclose(X)``) used consistently — so for language
+comparisons we may treat each distinct label as an opaque alphabet symbol.
+This module provides the standard constructions on that view:
+
+* :func:`determinize` (subset construction) and :func:`minimize` (Moore's
+  partition refinement),
+* :func:`intersect` / :func:`union` (product construction) and
+  :func:`symbol_complement`,
+* :func:`language_equal`, :func:`language_subset`, :func:`is_empty`,
+* :func:`accepted_strings_upto` for exhaustive small-language tests.
+
+:class:`SymbolicDFA` is the internal deterministic representation; the
+conversions :func:`dfa_from_fa` / :func:`dfa_to_fa` bridge to
+:class:`repro.fa.automaton.FA` by (un)stringifying labels.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.fa.automaton import FA
+from repro.lang.events import parse_pattern
+
+
+@dataclass
+class SymbolicDFA:
+    """A total-or-partial DFA over string symbols.
+
+    States are ``0..n-1``; ``delta`` maps ``(state, symbol)`` to a state.
+    A missing entry is an implicit dead state (the DFA may be partial).
+    """
+
+    num_states: int
+    initial: int
+    accepting: frozenset[int]
+    delta: dict[tuple[int, str], int] = field(default_factory=dict)
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(sym for (_, sym) in self.delta)
+
+    def step(self, state: int | None, symbol: str) -> int | None:
+        if state is None:
+            return None
+        return self.delta.get((state, symbol))
+
+    def accepts(self, symbols: Sequence[str]) -> bool:
+        state: int | None = self.initial
+        for sym in symbols:
+            state = self.step(state, sym)
+            if state is None:
+                return False
+        return state in self.accepting
+
+    def reachable(self) -> "SymbolicDFA":
+        """Copy with unreachable states removed (renumbered)."""
+        order = [self.initial]
+        index = {self.initial: 0}
+        queue = deque(order)
+        moves = sorted(self.delta.items())
+        succ: dict[int, list[tuple[str, int]]] = {}
+        for (src, sym), dst in moves:
+            succ.setdefault(src, []).append((sym, dst))
+        while queue:
+            state = queue.popleft()
+            for _, dst in succ.get(state, []):
+                if dst not in index:
+                    index[dst] = len(order)
+                    order.append(dst)
+                    queue.append(dst)
+        delta = {
+            (index[src], sym): index[dst]
+            for (src, sym), dst in self.delta.items()
+            if src in index and dst in index
+        }
+        accepting = frozenset(index[s] for s in self.accepting if s in index)
+        return SymbolicDFA(len(order), 0, accepting, delta)
+
+
+def dfa_from_fa(fa: FA) -> SymbolicDFA:
+    """Determinize ``fa`` treating each distinct label string as a symbol."""
+    states = list(fa.states)
+    state_index = {s: i for i, s in enumerate(states)}
+    edges: dict[int, list[tuple[str, int]]] = {i: [] for i in range(len(states))}
+    for t in fa.transitions:
+        edges[state_index[t.src]].append((str(t.pattern), state_index[t.dst]))
+
+    start = frozenset(state_index[s] for s in fa.initial)
+    accepting_nfa = frozenset(state_index[s] for s in fa.accepting)
+
+    subset_index: dict[frozenset[int], int] = {start: 0}
+    order: list[frozenset[int]] = [start]
+    delta: dict[tuple[int, str], int] = {}
+    queue = deque([start])
+    while queue:
+        subset = queue.popleft()
+        src = subset_index[subset]
+        by_symbol: dict[str, set[int]] = {}
+        for nfa_state in subset:
+            for sym, dst in edges[nfa_state]:
+                by_symbol.setdefault(sym, set()).add(dst)
+        for sym, dsts in sorted(by_symbol.items()):
+            target = frozenset(dsts)
+            if target not in subset_index:
+                subset_index[target] = len(order)
+                order.append(target)
+                queue.append(target)
+            delta[(src, sym)] = subset_index[target]
+    accepting = frozenset(
+        i for i, subset in enumerate(order) if subset & accepting_nfa
+    )
+    return SymbolicDFA(len(order), 0, accepting, delta)
+
+
+def dfa_to_fa(dfa: SymbolicDFA) -> FA:
+    """Convert back to an :class:`FA`, parsing symbols into patterns."""
+    edges = [
+        (f"q{src}", parse_pattern(sym), f"q{dst}")
+        for (src, sym), dst in sorted(dfa.delta.items())
+    ]
+    states = [f"q{i}" for i in range(dfa.num_states)]
+    return FA.from_edges(
+        edges,
+        initial=[f"q{dfa.initial}"],
+        accepting=[f"q{s}" for s in sorted(dfa.accepting)],
+        states=states,
+    )
+
+
+def determinize(fa: FA) -> FA:
+    """Subset construction over label strings; returns a deterministic FA."""
+    return dfa_to_fa(dfa_from_fa(fa))
+
+
+def _moore_minimize(dfa: SymbolicDFA, alphabet: frozenset[str]) -> SymbolicDFA:
+    """Moore partition refinement over the *completed* automaton.
+
+    The DFA may be partial, so an explicit dead state (index ``n``) is
+    added before refining; real states that turn out to be
+    dead-equivalent are dropped along with their transitions.
+    """
+    dfa = dfa.reachable()
+    n = dfa.num_states
+    symbols = sorted(alphabet)
+    total = n + 1  # + the explicit dead state
+
+    def step(state: int, sym: str) -> int:
+        if state == n:
+            return n
+        return dfa.delta.get((state, sym), n)
+
+    block = [1 if s in dfa.accepting else 0 for s in range(total)]
+    while True:
+        signature: dict[tuple[int, ...], int] = {}
+        new_block = [0] * total
+        for s in range(total):
+            key = (block[s],) + tuple(block[step(s, sym)] for sym in symbols)
+            if key not in signature:
+                signature[key] = len(signature)
+            new_block[s] = signature[key]
+        if new_block == block:
+            break
+        block = new_block
+
+    dead_block = block[n]
+    if block[dfa.initial] == dead_block:
+        # The whole language is empty.
+        return SymbolicDFA(1, 0, frozenset(), {})
+    renumber: dict[int, int] = {}
+    for s in range(n):
+        b = block[s]
+        if b != dead_block and b not in renumber:
+            renumber[b] = len(renumber)
+    delta: dict[tuple[int, str], int] = {}
+    for (src, sym), dst in dfa.delta.items():
+        if block[src] == dead_block or block[dst] == dead_block:
+            continue
+        delta[(renumber[block[src]], sym)] = renumber[block[dst]]
+    accepting = frozenset(
+        renumber[block[s]] for s in dfa.accepting
+    )
+    return SymbolicDFA(
+        len(renumber), renumber[block[dfa.initial]], accepting, delta
+    )
+
+
+def minimize(fa: FA) -> FA:
+    """Minimal DFA for ``fa``'s symbolic language."""
+    dfa = dfa_from_fa(fa)
+    return dfa_to_fa(_moore_minimize(dfa, dfa.alphabet()))
+
+
+def _product(
+    a: SymbolicDFA, b: SymbolicDFA, want: "callable[[bool, bool], bool]",
+    alphabet: frozenset[str],
+) -> SymbolicDFA:
+    """Product DFA over ``alphabet`` with acceptance combined by ``want``.
+
+    Both operands are completed with a dead state (represented by ``None``)
+    so that union behaves correctly when one side gets stuck.
+    """
+    start = (a.initial, b.initial)
+    index: dict[tuple[int | None, int | None], int] = {start: 0}
+    order = [start]
+    queue = deque([start])
+    delta: dict[tuple[int, str], int] = {}
+    while queue:
+        pair = queue.popleft()
+        src = index[pair]
+        for sym in sorted(alphabet):
+            target = (a.step(pair[0], sym), b.step(pair[1], sym))
+            if target == (None, None):
+                continue
+            if target not in index:
+                index[target] = len(order)
+                order.append(target)
+                queue.append(target)
+            delta[(src, sym)] = index[target]
+    accepting = frozenset(
+        i
+        for i, (sa, sb) in enumerate(order)
+        if want(sa in a.accepting, sb in b.accepting)
+    )
+    return SymbolicDFA(len(order), 0, accepting, delta)
+
+
+def intersect(fa1: FA, fa2: FA) -> FA:
+    """FA accepting the intersection of the two symbolic languages."""
+    a, b = dfa_from_fa(fa1), dfa_from_fa(fa2)
+    alphabet = a.alphabet() | b.alphabet()
+    return dfa_to_fa(_product(a, b, lambda x, y: x and y, alphabet))
+
+
+def union(fa1: FA, fa2: FA) -> FA:
+    """FA accepting the union of the two symbolic languages."""
+    a, b = dfa_from_fa(fa1), dfa_from_fa(fa2)
+    alphabet = a.alphabet() | b.alphabet()
+    return dfa_to_fa(_product(a, b, lambda x, y: x or y, alphabet))
+
+
+def symbol_complement(fa: FA, alphabet: Iterable[str]) -> FA:
+    """FA accepting exactly the strings over ``alphabet`` that ``fa`` rejects."""
+    alphabet = frozenset(alphabet)
+    dfa = dfa_from_fa(fa)
+    extra = dfa.alphabet() - alphabet
+    if extra:
+        raise ValueError(f"fa uses symbols outside the alphabet: {sorted(extra)}")
+    # Complete with an explicit dead state, then flip acceptance.
+    dead = dfa.num_states
+    delta = dict(dfa.delta)
+    for state in range(dfa.num_states + 1):
+        for sym in alphabet:
+            delta.setdefault((state, sym), dead)
+    accepting = frozenset(
+        s for s in range(dfa.num_states + 1) if s not in dfa.accepting
+    )
+    return dfa_to_fa(SymbolicDFA(dfa.num_states + 1, dfa.initial, accepting, delta))
+
+
+def is_empty(fa: FA) -> bool:
+    """True iff the FA accepts no string at all."""
+    dfa = dfa_from_fa(fa).reachable()
+    return not dfa.accepting
+
+
+def language_subset(fa1: FA, fa2: FA) -> bool:
+    """True iff L(fa1) ⊆ L(fa2) over the union of their symbolic alphabets."""
+    alphabet = dfa_from_fa(fa1).alphabet() | dfa_from_fa(fa2).alphabet()
+    not_fa2 = symbol_complement(fa2, alphabet)
+    return is_empty(intersect(fa1, not_fa2))
+
+
+def language_equal(fa1: FA, fa2: FA) -> bool:
+    """True iff the two FAs accept the same symbolic language."""
+    return language_subset(fa1, fa2) and language_subset(fa2, fa1)
+
+
+def accepted_strings_upto(fa: FA, max_length: int) -> list[tuple[str, ...]]:
+    """All accepted symbol strings of length ≤ ``max_length`` (sorted).
+
+    Exhaustive over the FA's own alphabet; useful in tests where the
+    expected language is small.
+    """
+    dfa = dfa_from_fa(fa)
+    alphabet = sorted(dfa.alphabet())
+    out: list[tuple[str, ...]] = []
+    for length in range(max_length + 1):
+        for combo in itertools.product(alphabet, repeat=length):
+            if dfa.accepts(combo):
+                out.append(combo)
+    return out

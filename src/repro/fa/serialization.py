@@ -1,0 +1,66 @@
+"""A small text format for automata, so specs can live in files.
+
+Format (blank lines and ``#`` comments ignored)::
+
+    states: q0 q1 q2
+    initial: q0
+    accepting: q2
+    q0 -> q1 : fopen(X)
+    q1 -> q1 : fread(X)
+    q1 -> q2 : fclose(X)
+
+State names are plain tokens; labels use the pattern syntax of
+:func:`repro.lang.events.parse_pattern`.
+"""
+
+from __future__ import annotations
+
+from repro.fa.automaton import FA, Transition
+from repro.lang.events import parse_pattern
+
+
+def fa_to_text(fa: FA) -> str:
+    """Serialize ``fa`` to the text format (states kept in order)."""
+    lines = [
+        "states: " + " ".join(str(s) for s in fa.states),
+        "initial: " + " ".join(str(s) for s in fa.states if s in fa.initial),
+        "accepting: " + " ".join(str(s) for s in fa.states if s in fa.accepting),
+    ]
+    lines.extend(f"{t.src} -> {t.dst} : {t.pattern}" for t in fa.transitions)
+    return "\n".join(lines) + "\n"
+
+
+def fa_from_text(text: str) -> FA:
+    """Parse the text format back into an :class:`FA`.
+
+    State names round-trip as strings, so ``fa_from_text(fa_to_text(fa))``
+    preserves the language and structure of any FA with string states.
+    """
+    states: list[str] = []
+    initial: list[str] = []
+    accepting: list[str] = []
+    transitions: list[Transition] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("states:"):
+            states = line.split(":", 1)[1].split()
+        elif line.startswith("initial:"):
+            initial = line.split(":", 1)[1].split()
+        elif line.startswith("accepting:"):
+            accepting = line.split(":", 1)[1].split()
+        elif "->" in line and ":" in line:
+            arrow, label = line.split(":", 1)
+            src, dst = (part.strip() for part in arrow.split("->"))
+            transitions.append(Transition(src, parse_pattern(label.strip()), dst))
+        else:
+            raise ValueError(f"cannot parse FA line: {raw!r}")
+    if not states:
+        seen: list[str] = []
+        for t in transitions:
+            for s in (t.src, t.dst):
+                if s not in seen:
+                    seen.append(s)
+        states = seen
+    return FA(states, initial, accepting, transitions)

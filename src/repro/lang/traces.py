@@ -1,0 +1,172 @@
+"""Traces and trace collections.
+
+A :class:`Trace` is an immutable sequence of ground events.  Three kinds of
+traces appear in the paper and all share this representation:
+
+* *program execution traces* — full runs recorded by instrumentation (in
+  our reproduction, emitted by the synthetic workload generator);
+* *violation traces* — short traces a verification tool reports as
+  apparent specification violations (Section 2.1);
+* *scenario traces* — short traces the Strauss front end extracts around
+  seed events (Section 2.2).
+
+:class:`TraceSet` is an ordered, duplicate-preserving collection with the
+dedup operation the paper's evaluation relies on: Strauss extracts many
+*identical* scenario traces, and both Cable and the Baseline method work on
+one representative per identical-event class (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.lang.events import Event, parse_event
+
+
+@dataclass(frozen=True, slots=True)
+class Trace:
+    """An immutable sequence of ground events with an optional identifier."""
+
+    events: tuple[Event, ...]
+    trace_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self.events[index]
+
+    @property
+    def symbols(self) -> tuple[str, ...]:
+        """The event symbols, without arguments."""
+        return tuple(e.symbol for e in self.events)
+
+    def names(self) -> frozenset[str]:
+        """All object identifiers mentioned anywhere in the trace."""
+        return frozenset(a for e in self.events for a in e.args)
+
+    def project(self, name: str, keep_unrelated: bool = False) -> "Trace":
+        """Project the trace onto events mentioning ``name``.
+
+        With ``keep_unrelated`` the other events are kept too (useful when a
+        wildcard-bearing FA wants to see them); by default they are dropped,
+        which is how the verifier builds per-object traces.
+        """
+        if keep_unrelated:
+            return self
+        kept = tuple(e for e in self.events if name in e.args)
+        return Trace(kept, trace_id=f"{self.trace_id}|{name}" if self.trace_id else "")
+
+    def rename(self, mapping: dict[str, str]) -> "Trace":
+        """Rename object identifiers in every event."""
+        return Trace(tuple(e.rename(mapping) for e in self.events), self.trace_id)
+
+    def standardize_names(self, alphabet: Sequence[str] = ("X", "Y", "Z", "W", "V", "U")) -> "Trace":
+        """Canonicalize identifiers to ``X, Y, Z, ...`` by first appearance.
+
+        Two scenario traces that differ only in concrete object identifiers
+        become equal after standardization; this is the miner front end's
+        final step and the basis of identical-trace dedup.
+        """
+        mapping: dict[str, str] = {}
+        for event in self.events:
+            for arg in event.args:
+                if arg not in mapping:
+                    if len(mapping) < len(alphabet):
+                        mapping[arg] = alphabet[len(mapping)]
+                    else:
+                        mapping[arg] = f"N{len(mapping)}"
+        return self.rename(mapping)
+
+    def key(self) -> tuple[Event, ...]:
+        """Identity key: the event sequence (ignores ``trace_id``)."""
+        return self.events
+
+    def __str__(self) -> str:
+        return "; ".join(str(e) for e in self.events)
+
+
+def parse_trace(text: str, trace_id: str = "") -> Trace:
+    """Parse ``"fopen(f1); fread(f1); fclose(f1)"`` into a :class:`Trace`."""
+    text = text.strip()
+    if not text:
+        return Trace((), trace_id)
+    events = tuple(parse_event(piece) for piece in text.split(";") if piece.strip())
+    return Trace(events, trace_id)
+
+
+@dataclass
+class TraceSet:
+    """An ordered collection of traces (duplicates allowed)."""
+
+    traces: list[Trace] = field(default_factory=list)
+
+    @classmethod
+    def from_strings(cls, texts: Iterable[str]) -> "TraceSet":
+        return cls([parse_trace(t, trace_id=f"t{i}") for i, t in enumerate(texts)])
+
+    def add(self, trace: Trace) -> None:
+        self.traces.append(trace)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces)
+
+    def __getitem__(self, index: int) -> Trace:
+        return self.traces[index]
+
+    def symbols(self) -> frozenset[str]:
+        """All event symbols appearing in any trace."""
+        return frozenset(s for t in self.traces for s in t.symbols)
+
+    def dedup(self) -> "DedupResult":
+        """Group identical traces and return representatives with counts."""
+        return dedup_traces(self.traces)
+
+
+@dataclass(frozen=True)
+class DedupResult:
+    """Representatives of identical-event classes, with class sizes.
+
+    ``representatives[i]`` stands for ``counts[i]`` identical traces; the
+    members of each class are available for bookkeeping (e.g. Cable labels
+    apply to whole classes at once).
+    """
+
+    representatives: tuple[Trace, ...]
+    counts: tuple[int, ...]
+    members: tuple[tuple[Trace, ...], ...]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.representatives)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+
+def dedup_traces(traces: Iterable[Trace]) -> DedupResult:
+    """Partition ``traces`` into classes of identical event sequences."""
+    order: list[tuple[Event, ...]] = []
+    groups: dict[tuple[Event, ...], list[Trace]] = {}
+    for trace in traces:
+        key = trace.key()
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(trace)
+    reps = tuple(groups[key][0] for key in order)
+    counts = tuple(len(groups[key]) for key in order)
+    members = tuple(tuple(groups[key]) for key in order)
+    return DedupResult(reps, counts, members)

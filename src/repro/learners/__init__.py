@@ -1,0 +1,28 @@
+"""FA learners and the coring post-pass.
+
+Strauss's back end and Cable's *Show FA* view both learn a small FA that
+accepts (at least) a set of traces:
+
+* :mod:`~repro.learners.prefix_tree` — the prefix-tree acceptor every
+  learner starts from, with pass/stop frequencies;
+* :mod:`~repro.learners.sk_strings` — Raman and Patrick's sk-strings
+  learner, the algorithm the paper uses;
+* :mod:`~repro.learners.k_tails` — the classical k-tails learner, kept as
+  a baseline for the A3 ablation;
+* :mod:`~repro.learners.coring` — dropping low-frequency transitions, the
+  naive error-removal mechanism of the prior specification-mining work
+  that this paper's method supersedes (compared in ablation A5).
+"""
+
+from repro.learners.coring import core_fa
+from repro.learners.k_tails import learn_k_tails
+from repro.learners.prefix_tree import PrefixTree
+from repro.learners.sk_strings import LearnedFA, learn_sk_strings
+
+__all__ = [
+    "LearnedFA",
+    "PrefixTree",
+    "core_fa",
+    "learn_k_tails",
+    "learn_sk_strings",
+]

@@ -1,0 +1,271 @@
+"""The sk-strings FA learner (Raman and Patrick).
+
+Cable's *Show FA* view and Strauss's back end both use this learner
+(Section 4.1: "Cable uses Raman and Patrick's sk-strings learner").
+
+The algorithm is stochastic state merging:
+
+1. Build the prefix-tree acceptor with edge frequencies.
+2. Repeatedly merge states that are **sk-equivalent**: two states are
+   sk-equivalent iff the *top s fraction* (by probability mass) of their
+   *k-strings* coincide.  A k-string of a state is a path of length k out
+   of that state, or a shorter path ending with the stop decision; its
+   probability is the product of the observed branching frequencies.
+3. Merging may create nondeterminism; it is folded away by recursively
+   merging the targets of same-symbol edges (keeping frequencies summed).
+
+We drive the merging with the standard red–blue ordering: fringe (blue)
+states are compared against accepted (red) states in breadth-first order,
+merged into the first sk-equivalent red state, or promoted to red.
+
+``k`` controls how much lookahead distinguishes states; ``s`` controls how
+much of the probability mass must agree; ``variant`` selects Raman and
+Patrick's two acceptance tests — ``"and"`` (the default) merges states
+whose top k-string sets are *equal*, ``"or"`` merges states whose top
+sets merely *intersect*, which generalizes much more aggressively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.fa.automaton import FA, Transition
+from repro.lang.events import parse_pattern
+from repro.lang.traces import Trace
+from repro.learners.prefix_tree import PrefixTree
+
+#: Marker appended to k-strings that end with the stop decision.
+STOP = "$"
+
+
+@dataclass(frozen=True)
+class LearnedFA:
+    """A learned automaton plus the training frequency of each transition.
+
+    ``transition_counts[i]`` is how many training traces traversed
+    ``fa.transitions[i]``; :func:`repro.learners.coring.core_fa` uses these
+    to drop rare transitions.
+    """
+
+    fa: FA
+    transition_counts: tuple[int, ...]
+    state_visits: tuple[int, ...]
+
+
+class _Merger:
+    """Mutable merged-automaton state shared by the learners."""
+
+    def __init__(self, tree: PrefixTree) -> None:
+        n = tree.num_nodes
+        self.parent = list(range(n))
+        # Per *root* state: symbol -> {target root: count}.
+        self.edges: list[dict[str, dict[int, int]]] = []
+        for node in range(n):
+            out: dict[str, dict[int, int]] = {}
+            for sym, child in tree.children[node].items():
+                out[sym] = {child: tree.visits[child]}
+            self.edges.append(out)
+        self.stops = list(tree.stops)
+        self.visits = list(tree.visits)
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def merge(self, a: int, b: int) -> int:
+        """Merge states ``a`` and ``b`` and fold nondeterminism; returns the
+        surviving root."""
+        a, b = self.find(a), self.find(b)
+        if a == b:
+            return a
+        # Keep the lower-numbered (closer to the root / created earlier).
+        if b < a:
+            a, b = b, a
+        self.parent[b] = a
+        self.stops[a] += self.stops[b]
+        self.visits[a] += self.visits[b]
+        merged = self.edges[b]
+        self.edges[b] = {}
+        for sym, targets in merged.items():
+            bucket = self.edges[a].setdefault(sym, {})
+            for target, count in targets.items():
+                target = self.find(target)
+                bucket[target] = bucket.get(target, 0) + count
+        # Fold: a symbol now leading to several targets forces those
+        # targets to merge too (recursively).  A recursive merge can
+        # absorb the surviving root itself (when a state reaches its own
+        # ancestor), so re-resolve the root and restart the scan after
+        # every fold step.
+        while True:
+            a = self.find(a)
+            for sym in list(self.edges[a].keys()):
+                self._normalize(a, sym)
+                targets = self.edges[a].get(sym, ())
+                if len(targets) > 1:
+                    roots = sorted(targets)
+                    self.merge(roots[0], roots[1])
+                    break  # restart: the root may have moved
+            else:
+                return self.find(a)
+
+    def _normalize(self, state: int, sym: str) -> None:
+        """Re-key a state's targets by their current roots."""
+        state = self.find(state)
+        old = self.edges[state].get(sym, {})
+        fresh: dict[int, int] = {}
+        for target, count in old.items():
+            target = self.find(target)
+            fresh[target] = fresh.get(target, 0) + count
+        self.edges[state][sym] = fresh
+
+    def successors(self, state: int) -> dict[str, tuple[int, int]]:
+        """``symbol -> (target root, count)`` for a (deterministic) state."""
+        state = self.find(state)
+        out: dict[str, tuple[int, int]] = {}
+        for sym in list(self.edges[state]):
+            self._normalize(state, sym)
+            targets = self.edges[state][sym]
+            if not targets:
+                continue
+            if len(targets) != 1:
+                raise RuntimeError("merged automaton is not deterministic")
+            ((target, count),) = targets.items()
+            out[sym] = (target, count)
+        return out
+
+    def k_strings(self, state: int, k: int) -> dict[tuple[str, ...], float]:
+        """Probability of each k-string out of ``state``.
+
+        A k-string is a symbol path of length ``k``, or a shorter path
+        followed by the STOP marker; probabilities multiply observed
+        branching ratios, so the values sum to 1 for any live state.
+        """
+        out: dict[tuple[str, ...], float] = {}
+
+        def walk(node: int, depth: int, prob: float, prefix: tuple[str, ...]) -> None:
+            node = self.find(node)
+            succ = self.successors(node)
+            mass = self.stops[node] + sum(c for _, c in succ.values())
+            if mass == 0:
+                out[prefix + (STOP,)] = out.get(prefix + (STOP,), 0.0) + prob
+                return
+            if depth == k:
+                out[prefix] = out.get(prefix, 0.0) + prob
+                return
+            if self.stops[node]:
+                key = prefix + (STOP,)
+                out[key] = out.get(key, 0.0) + prob * self.stops[node] / mass
+            for sym, (target, count) in succ.items():
+                walk(target, depth + 1, prob * count / mass, prefix + (sym,))
+
+        walk(state, 0, 1.0, ())
+        return out
+
+    def top_strings(self, state: int, k: int, s: float) -> frozenset[tuple[str, ...]]:
+        """The most probable k-strings covering at least fraction ``s``."""
+        dist = sorted(
+            self.k_strings(state, k).items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        chosen: list[tuple[str, ...]] = []
+        cumulative = 0.0
+        for string, prob in dist:
+            chosen.append(string)
+            cumulative += prob
+            if cumulative >= s - 1e-12:
+                break
+        return frozenset(chosen)
+
+    def sk_equivalent(
+        self, a: int, b: int, k: int, s: float, variant: str = "and"
+    ) -> bool:
+        tops_a = self.top_strings(a, k, s)
+        tops_b = self.top_strings(b, k, s)
+        if variant == "and":
+            return tops_a == tops_b
+        if variant == "or":
+            return bool(tops_a & tops_b)
+        raise ValueError(f"unknown sk-strings variant {variant!r}")
+
+    def to_learned_fa(self) -> LearnedFA:
+        """Freeze into a :class:`LearnedFA` with BFS state numbering."""
+        root = self.find(0)
+        order = [root]
+        index = {root: 0}
+        queue = [root]
+        while queue:
+            node = queue.pop(0)
+            for sym in sorted(self.successors(node)):
+                target, _ = self.successors(node)[sym]
+                if target not in index:
+                    index[target] = len(order)
+                    order.append(target)
+                    queue.append(target)
+        transitions = []
+        counts = []
+        for node in order:
+            for sym in sorted(self.successors(node)):
+                target, count = self.successors(node)[sym]
+                transitions.append(
+                    Transition(
+                        f"q{index[node]}", parse_pattern(sym), f"q{index[target]}"
+                    )
+                )
+                counts.append(count)
+        states = [f"q{i}" for i in range(len(order))]
+        accepting = [f"q{index[n]}" for n in order if self.stops[n] > 0]
+        fa = FA(states, ["q0"], accepting, transitions)
+        visits = tuple(self.visits[n] for n in order)
+        return LearnedFA(fa, tuple(counts), visits)
+
+
+def learn_sk_strings(
+    traces: Iterable[Trace],
+    k: int = 2,
+    s: float = 1.0,
+    variant: str = "and",
+) -> LearnedFA:
+    """Learn an FA from ``traces`` with the sk-strings method.
+
+    Returns a deterministic FA that accepts every training trace; larger
+    ``k`` / larger ``s`` yield bigger, more conservative automata, and
+    ``variant="or"`` merges far more aggressively than the default
+    ``"and"``.
+    """
+    if not 0.0 < s <= 1.0:
+        raise ValueError(f"s must be in (0, 1], got {s}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if variant not in ("and", "or"):
+        raise ValueError(f"unknown sk-strings variant {variant!r}")
+    tree = PrefixTree.from_traces(traces)
+    if tree.visits[0] == 0:
+        raise ValueError("cannot learn from an empty trace set")
+    merger = _Merger(tree)
+
+    red: list[int] = [merger.find(0)]
+    while True:
+        # Blue fringe: successors of red states that are not red.
+        red = sorted({merger.find(r) for r in red})
+        blue = sorted(
+            {
+                target
+                for r in red
+                for _, (target, _) in merger.successors(r).items()
+                if target not in red
+            }
+        )
+        if not blue:
+            break
+        b = blue[0]
+        for r in red:
+            if merger.sk_equivalent(r, b, k, s, variant):
+                merger.merge(r, b)
+                break
+        else:
+            red.append(b)
+    return merger.to_learned_fa()

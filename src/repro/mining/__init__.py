@@ -1,0 +1,20 @@
+"""The Strauss specification miner (Figure 7).
+
+The front end (:mod:`~repro.mining.scenarios`) extracts short *scenario
+traces* from full program execution traces by slicing around seed events
+along shared object names; the back end (:class:`~repro.mining.strauss.Strauss`)
+learns a specification FA from the scenarios with the sk-strings learner
+(optionally cored).  Debugging a mined specification (Section 2.2) means
+labeling the scenario traces with Cable and re-running the back end on the
+traces labeled good.
+"""
+
+from repro.mining.scenarios import ScenarioExtractor, extract_scenarios
+from repro.mining.strauss import MinedSpecification, Strauss
+
+__all__ = [
+    "MinedSpecification",
+    "ScenarioExtractor",
+    "Strauss",
+    "extract_scenarios",
+]

@@ -1,0 +1,130 @@
+"""Scenario extraction: the Strauss front end.
+
+Given a full program execution trace, the front end produces one scenario
+trace per occurrence of a *seed* event: the seed plus every event related
+to it by flow of object names, in trace order, with names standardized to
+``X, Y, Z, ...`` by first appearance.
+
+Relatedness is computed as a bounded transitive closure: starting from the
+names the seed mentions, events that mention a related name are included
+and (up to ``hops`` levels) the other names those events mention become
+related too.  ``hops=0`` keeps only events that directly share a name with
+the seed — the projection the paper's per-object specifications need;
+higher values pull in chained dependences (e.g. a GC created *for* a
+window).  An optional ``max_events`` bounds scenario length.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.lang.traces import Trace
+
+
+@dataclass
+class ScenarioExtractor:
+    """Configurable scenario extraction (the Strauss front end).
+
+    ``seeds`` are the event symbols that anchor scenarios; every occurrence
+    of a seed yields one scenario.  When several seeds of the same
+    connected object group occur, their scenarios coincide after
+    standardization and are deduplicated by the caller if desired.
+    """
+
+    seeds: frozenset[str]
+    hops: int = 0
+    max_events: int | None = None
+    standardize: bool = True
+    #: Which argument of the seed event anchors relatedness.  ``None``
+    #: (the default) uses every name the seed mentions; ``0`` restricts
+    #: to the created resource itself, which is the right scope when a
+    #: creation event also names its parent (e.g. ``XCreateGC(gc, win)``).
+    seed_arg: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seeds, frozenset):
+            self.seeds = frozenset(self.seeds)
+        if self.hops < 0:
+            raise ValueError("hops must be >= 0")
+
+    def related_names(self, trace: Trace, seed_index: int) -> frozenset[str]:
+        """Names related to the seed at ``seed_index`` within ``hops`` levels."""
+        seed_args = trace[seed_index].args
+        if self.seed_arg is not None:
+            if self.seed_arg >= len(seed_args):
+                raise ValueError(
+                    f"seed event {trace[seed_index]} lacks argument "
+                    f"{self.seed_arg}"
+                )
+            related = {seed_args[self.seed_arg]}
+        else:
+            related = set(seed_args)
+        for _ in range(self.hops):
+            grown = set(related)
+            for event in trace:
+                names = set(event.args)
+                if names & related:
+                    grown |= names
+            if grown == related:
+                break
+            related = grown
+        return frozenset(related)
+
+    def scenario_at(self, trace: Trace, seed_index: int) -> Trace:
+        """The scenario anchored at the seed occurrence ``seed_index``."""
+        if trace[seed_index].symbol not in self.seeds:
+            raise ValueError(
+                f"event at {seed_index} ({trace[seed_index]}) is not a seed"
+            )
+        related = self.related_names(trace, seed_index)
+        if related:
+            events = [e for e in trace if set(e.args) & related]
+        else:
+            # A seed with no arguments anchors a scenario of just itself.
+            events = [trace[seed_index]]
+        if self.max_events is not None and len(events) > self.max_events:
+            # Keep a window centered on the seed occurrence.
+            seed_pos = next(
+                i
+                for i, e in enumerate(events)
+                if e is trace[seed_index]
+            )
+            half = self.max_events // 2
+            start = max(0, min(seed_pos - half, len(events) - self.max_events))
+            events = events[start : start + self.max_events]
+        scenario = Trace(tuple(events), trace_id=f"{trace.trace_id}@{seed_index}")
+        if self.standardize:
+            standardized = scenario.standardize_names()
+            return Trace(standardized.events, trace_id=scenario.trace_id)
+        return scenario
+
+    def extract(self, trace: Trace) -> list[Trace]:
+        """All scenarios of one program trace (one per seed occurrence)."""
+        return [
+            self.scenario_at(trace, i)
+            for i, event in enumerate(trace)
+            if event.symbol in self.seeds
+        ]
+
+    def extract_all(self, traces: Iterable[Trace]) -> list[Trace]:
+        """All scenarios of a training set of program traces."""
+        out: list[Trace] = []
+        for trace in traces:
+            out.extend(self.extract(trace))
+        return out
+
+
+def extract_scenarios(
+    traces: Iterable[Trace] | Trace,
+    seeds: Sequence[str] | frozenset[str],
+    hops: int = 0,
+    max_events: int | None = None,
+) -> list[Trace]:
+    """Convenience wrapper around :class:`ScenarioExtractor`."""
+    extractor = ScenarioExtractor(
+        seeds=frozenset(seeds), hops=hops, max_events=max_events
+    )
+    if isinstance(traces, Trace):
+        return extractor.extract(traces)
+    return extractor.extract_all(traces)

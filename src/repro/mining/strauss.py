@@ -1,0 +1,116 @@
+"""Strauss: front end + back end (Figure 7).
+
+The miner's pipeline:
+
+1. **Front end** — extract scenario traces from the training set
+   (:mod:`repro.mining.scenarios`).
+2. **Back end** — learn a specification FA that accepts the scenarios
+   (sk-strings), optionally followed by coring.
+
+Because the training runs may contain bugs, the mined FA can be buggy —
+which is precisely the debugging problem Cable solves.  After a Cable
+session, :meth:`Strauss.remine` re-runs the back end on the traces labeled
+good (Section 2.2, Step 3); assigning several kinds of ``good`` labels and
+re-mining each separately is how the expert controls over-generalization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.fa.automaton import FA
+from repro.lang.traces import Trace, dedup_traces
+from repro.learners.coring import core_fa
+from repro.learners.sk_strings import LearnedFA, learn_sk_strings
+from repro.mining.scenarios import ScenarioExtractor
+
+
+@dataclass(frozen=True)
+class MinedSpecification:
+    """The result of a mining run.
+
+    ``fa`` is the (possibly cored) specification; ``learned`` keeps the
+    pre-coring automaton and its frequencies; ``scenarios`` are the raw
+    scenario traces the FA was learned from (the objects a Cable session
+    will label).
+    """
+
+    fa: FA
+    learned: LearnedFA
+    scenarios: tuple[Trace, ...]
+
+    @property
+    def num_unique_scenarios(self) -> int:
+        return dedup_traces(self.scenarios).num_classes
+
+
+@dataclass
+class Strauss:
+    """The specification miner.
+
+    Parameters mirror the knobs the paper mentions: the sk-strings ``k``
+    and ``s``, the scenario extractor configuration, and the coring
+    threshold (``0`` disables coring, which is the right setting when
+    specifications will be debugged with Cable instead).
+    """
+
+    seeds: frozenset[str] = frozenset()
+    hops: int = 0
+    max_events: int | None = None
+    seed_arg: int | None = None
+    k: int = 2
+    s: float = 1.0
+    coring_fraction: float = 0.0
+
+    def front_end(self, traces: Iterable[Trace]) -> list[Trace]:
+        """Extract scenario traces from the training set."""
+        extractor = ScenarioExtractor(
+            seeds=frozenset(self.seeds),
+            hops=self.hops,
+            max_events=self.max_events,
+            seed_arg=self.seed_arg,
+        )
+        return extractor.extract_all(traces)
+
+    def back_end(self, scenarios: Sequence[Trace]) -> MinedSpecification:
+        """Learn a specification FA from scenario traces."""
+        if not scenarios:
+            raise ValueError("no scenario traces to learn from")
+        learned = learn_sk_strings(scenarios, k=self.k, s=self.s)
+        fa = (
+            core_fa(learned, self.coring_fraction)
+            if self.coring_fraction > 0
+            else learned.fa
+        )
+        return MinedSpecification(fa, learned, tuple(scenarios))
+
+    def mine(self, traces: Iterable[Trace]) -> MinedSpecification:
+        """Full pipeline: front end then back end."""
+        return self.back_end(self.front_end(traces))
+
+    def remine(
+        self,
+        scenarios: Sequence[Trace],
+        labels: Mapping[int, str],
+        keep: str | Iterable[str] = "good",
+    ) -> dict[str, MinedSpecification]:
+        """Re-run the back end on labeled scenarios (Step 3 for miners).
+
+        ``labels`` maps scenario indices to label strings.  ``keep`` names
+        the label(s) to re-mine; one specification is produced per kept
+        label, which is how an expert splits an over-generalizing training
+        set (e.g. ``good_fopen`` vs ``good_popen`` in Section 2.2).
+        """
+        wanted = {keep} if isinstance(keep, str) else set(keep)
+        buckets: dict[str, list[Trace]] = {label: [] for label in wanted}
+        for index, trace in enumerate(scenarios):
+            label = labels.get(index)
+            if label in wanted:
+                buckets[label].append(trace)
+        out: dict[str, MinedSpecification] = {}
+        for label, bucket in buckets.items():
+            if not bucket:
+                raise ValueError(f"no scenarios labeled {label!r}")
+            out[label] = self.back_end(bucket)
+        return out

@@ -1,0 +1,24 @@
+"""Ranking violation reports and concepts (Section 6's related work).
+
+The paper positions clustering as *complementary* to the ranking done by
+tools like xgcc and PREfix: "ranking tells the user what reports to
+inspect first, while clustering helps the user avoid inspecting redundant
+reports".  This package realizes that combination:
+
+* :mod:`~repro.rank.scores` — statistical deviance scores for trace
+  classes and concepts (rare transitions are suspicious, in the spirit of
+  xgcc's deviant-behavior ranking);
+* :mod:`~repro.rank.strategy` — the Ranked labeling strategy: visit
+  concepts most-suspicious-first, labeling en masse as usual.  The A6
+  ablation benchmark compares it with Top-down and the Expert.
+"""
+
+from repro.rank.scores import class_deviance, concept_scores, transition_support
+from repro.rank.strategy import ranked_strategy
+
+__all__ = [
+    "class_deviance",
+    "concept_scores",
+    "ranked_strategy",
+    "transition_support",
+]

@@ -1,0 +1,117 @@
+"""Shared strategy machinery: the simulator and the cost model.
+
+The cost model is Section 4.2's: we count *inspecting a concept* (1
+operation) and *labeling traces* (1 operation).  Inspection cost is
+essential — without it an "optimal" strategy could peek everywhere for
+free; labeling cost makes optimal orders prefer short labeling sequences.
+A strategy may only label a concept it has just inspected.
+
+:class:`LabelingSimulator` enforces those rules: ``visit`` inspects a
+concept and, if its unlabeled traces all deserve the same reference label,
+labels them.  Strategies differ only in their visiting orders.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.concepts import ConceptLattice
+from repro.fa.automaton import FA
+from repro.lang.traces import Trace
+
+
+class StuckError(RuntimeError):
+    """Raised when a strategy cannot complete the reference labeling.
+
+    This happens exactly when the lattice is not well-formed for the
+    labeling (Section 4.3): the remedy is Focus with a different FA, or
+    hand labeling, not a different visiting order.
+    """
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """The cost of one strategy run."""
+
+    strategy: str
+    inspections: int
+    labelings: int
+    completed: bool
+
+    @property
+    def cost(self) -> int:
+        return self.inspections + self.labelings
+
+
+@dataclass
+class LabelingSimulator:
+    """Tracks labels while a strategy runs, counting operations."""
+
+    lattice: ConceptLattice
+    reference: Mapping[int, str]
+    labels: dict[int, str] = field(default_factory=dict)
+    inspections: int = 0
+    labelings: int = 0
+
+    def __post_init__(self) -> None:
+        missing = self.lattice.context.all_objects - set(self.reference)
+        if missing:
+            raise ValueError(
+                f"reference labeling is partial; missing objects {sorted(missing)}"
+            )
+
+    def unlabeled_in(self, concept: int) -> frozenset[int]:
+        return frozenset(
+            o for o in self.lattice.extent(concept) if o not in self.labels
+        )
+
+    def fully_labeled(self, concept: int) -> bool:
+        return not self.unlabeled_in(concept)
+
+    def done(self) -> bool:
+        return len(self.labels) == self.lattice.context.num_objects
+
+    def visit(self, concept: int) -> bool:
+        """Inspect ``concept``; label its unlabeled traces if they are
+        uniform under the reference labeling.  Returns True if labeled."""
+        self.inspections += 1
+        unlabeled = self.unlabeled_in(concept)
+        if not unlabeled:
+            return False
+        wanted = {self.reference[o] for o in unlabeled}
+        if len(wanted) != 1:
+            return False
+        label = next(iter(wanted))
+        self.labelings += 1
+        for o in unlabeled:
+            self.labels[o] = label
+        return True
+
+    def outcome(self, strategy: str, completed: bool | None = None) -> StrategyOutcome:
+        return StrategyOutcome(
+            strategy=strategy,
+            inspections=self.inspections,
+            labelings=self.labelings,
+            completed=self.done() if completed is None else completed,
+        )
+
+
+def reference_labeling_from_fa(
+    traces: Mapping[int, Trace] | list[Trace],
+    ground_truth: FA,
+    good: str = "good",
+    bad: str = "bad",
+) -> dict[int, str]:
+    """The oracle labeling: good iff the (correct) specification accepts.
+
+    In the synthetic workloads the debugged specification is known, so the
+    reference labeling an expert would produce is exactly acceptance by it.
+    """
+    items = (
+        enumerate(traces) if isinstance(traces, list) else traces.items()
+    )
+    return {
+        index: (good if ground_truth.accepts(trace) else bad)
+        for index, trace in items
+    }

@@ -1,0 +1,29 @@
+"""The Baseline method (Section 5.3).
+
+No lattice at all: divide the traces into classes of identical events and
+inspect + label each class separately, so the cost is exactly twice the
+number of classes.  The paper notes this is an *underestimate* of
+debugging by hand, since it excludes the generalization checks the Expert
+cost includes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.lang.traces import Trace, dedup_traces
+from repro.strategies.base import StrategyOutcome
+
+
+def baseline_cost(traces: Iterable[Trace] | int) -> StrategyOutcome:
+    """Baseline outcome for raw traces (deduplicated here) or a class count."""
+    if isinstance(traces, int):
+        classes = traces
+    else:
+        classes = dedup_traces(traces).num_classes
+    return StrategyOutcome(
+        strategy="baseline",
+        inspections=classes,
+        labelings=classes,
+        completed=True,
+    )

@@ -1,0 +1,46 @@
+"""The Bottom-up strategy (Section 4.2).
+
+Repeatedly visits a concept that is not FullyLabeled but whose children
+are all FullyLabeled.  Such a concept's unlabeled traces are exactly its
+*own* traces (those in no child), so on a well-formed lattice every visit
+labels; if a visit fails to label, no order can succeed and the strategy
+raises :class:`~repro.strategies.base.StuckError`.
+
+Advantage: never visits a concept that is too general to label.
+Disadvantage: misses opportunities to label many traces at once — on the
+paper's loop-free specifications it degenerates to the Baseline, because
+every identical-trace class surfaces as its own concept near the bottom.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+
+from repro.core.concepts import ConceptLattice
+from repro.strategies.base import LabelingSimulator, StrategyOutcome, StuckError
+
+
+def bottom_up_strategy(
+    lattice: ConceptLattice,
+    reference: Mapping[int, str],
+    rng: random.Random | None = None,
+) -> StrategyOutcome:
+    """Run Bottom-up to completion (or :class:`StuckError`)."""
+    sim = LabelingSimulator(lattice, reference)
+    while not sim.done():
+        candidates = [
+            c
+            for c in lattice
+            if not sim.fully_labeled(c)
+            and all(sim.fully_labeled(child) for child in lattice.children[c])
+        ]
+        if not candidates:
+            raise StuckError("no bottom-up candidate concept (internal error)")
+        concept = rng.choice(candidates) if rng is not None else candidates[0]
+        if not sim.visit(concept):
+            raise StuckError(
+                f"concept {concept}'s own traces are mixed; "
+                "the lattice is not well-formed for this labeling"
+            )
+    return sim.outcome("bottom-up")

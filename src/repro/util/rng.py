@@ -1,0 +1,30 @@
+"""Deterministic random-number helpers.
+
+Every randomized component of the reproduction (trace generators, the
+Random labeling strategy, property tests) draws from a ``random.Random``
+seeded explicitly, so that benchmark tables are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | str) -> random.Random:
+    """Return a ``random.Random`` seeded deterministically from ``seed``.
+
+    String seeds are hashed stably (Python's ``hash`` of str is salted per
+    process, so we fold characters manually instead).
+    """
+    if isinstance(seed, str):
+        acc = 0
+        for ch in seed:
+            acc = (acc * 131 + ord(ch)) % (2**63)
+        seed = acc
+    return random.Random(seed)
+
+
+def spawn_rngs(seed: int | str, count: int) -> list[random.Random]:
+    """Split one seed into ``count`` independent deterministic generators."""
+    master = make_rng(seed)
+    return [random.Random(master.getrandbits(63)) for _ in range(count)]

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The paper reports its evaluation in three tables; the benchmark harness
+re-creates them as aligned ASCII tables so that the rows can be compared
+side by side with the published numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value: object) -> str:
+    """Render one table cell.
+
+    Floats are shown with two decimals, ``None`` as a dash (used for the
+    paper's "could not measure" entries), everything else via ``str``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    align_left: Sequence[int] = (0,),
+) -> str:
+    """Format ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Columns listed in ``align_left`` (by index) are left-aligned; all other
+    columns are right-aligned, which reads better for numbers.
+    """
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    left = set(align_left)
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, text in enumerate(row):
+            if i in left:
+                parts.append(text.ljust(widths[i]))
+            else:
+                parts.append(text.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)

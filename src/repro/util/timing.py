@@ -1,0 +1,30 @@
+"""A tiny stopwatch used by the Table 2 benchmark (lattice build times)."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch with context-manager support.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(10))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch exited without being entered")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None

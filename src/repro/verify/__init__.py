@@ -1,0 +1,22 @@
+"""The program verification substrate (Section 2.1).
+
+A temporal-safety checker that tests a specification FA against program
+execution traces and reports *violation traces* — the short per-object
+traces that appear in the program but are not accepted by the FA.  These
+violation traces are what a specification author debugs with Cable.
+"""
+
+from repro.verify.checker import TemporalChecker, Violation, check_traces
+from repro.verify.explain import explain_all, explain_violation
+from repro.verify.progmodel import CfgEdge, ProgramModel, StaticChecker
+
+__all__ = [
+    "CfgEdge",
+    "explain_all",
+    "explain_violation",
+    "ProgramModel",
+    "StaticChecker",
+    "TemporalChecker",
+    "Violation",
+    "check_traces",
+]

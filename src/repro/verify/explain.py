@@ -1,0 +1,66 @@
+"""Human-readable diagnoses for violation traces.
+
+A violation trace tells the user *that* the specification rejected a
+lifecycle; :func:`explain_violation` tells them *where and why*: the
+longest prefix the FA could still accept, the event that surprised it
+(with the events it expected instead), or — for traces that end too
+early — the events that could still have saved the run.  Cable users
+read exactly this kind of information off the FA when deciding labels;
+the function just automates the reading.
+"""
+
+from __future__ import annotations
+
+from repro.fa.automaton import FA
+from repro.lang.events import Binding, EMPTY_BINDING
+from repro.lang.traces import Trace
+from repro.verify.checker import Violation
+
+
+def _expected_patterns(spec: FA, configs: set) -> list[str]:
+    """The transition labels leaving any live configuration."""
+    out = set()
+    for state, _binding in configs:
+        for _, t in spec._by_src[state]:
+            out.add(str(t.pattern))
+    return sorted(out)
+
+
+def explain_violation(spec: FA, violation: Violation) -> str:
+    """One-paragraph diagnosis of why ``spec`` rejects the trace."""
+    trace = violation.trace
+    layers = spec._forward_layers(trace)
+
+    # Find where the FA died (first empty layer), if it did.
+    stuck_at = next(
+        (i for i, layer in enumerate(layers) if not layer), None
+    )
+    lines = [f"{violation}"]
+    if stuck_at is not None:
+        position = stuck_at - 1
+        prefix = "; ".join(str(e) for e in trace[:position]) or "(start)"
+        expected = _expected_patterns(spec, layers[position])
+        lines.append(
+            f"  the specification got stuck at event {position + 1} "
+            f"({trace[position]})"
+        )
+        lines.append(f"  after accepting: {prefix}")
+        if expected:
+            lines.append(f"  it expected one of: {', '.join(expected)}")
+        else:
+            lines.append("  no transition leaves the reached state(s)")
+    else:
+        # The whole trace ran but ended in a non-accepting state: the
+        # lifecycle stopped too early.
+        expected = _expected_patterns(spec, layers[len(trace)])
+        lines.append("  the trace ends before the lifecycle completes")
+        if expected:
+            lines.append(
+                f"  it could have continued with: {', '.join(expected)}"
+            )
+    return "\n".join(lines)
+
+
+def explain_all(spec: FA, violations: list[Violation]) -> str:
+    """Concatenated diagnoses, one blank-line-separated block each."""
+    return "\n\n".join(explain_violation(spec, v) for v in violations)

@@ -1,0 +1,37 @@
+"""Synthetic workloads standing in for the paper's X11 trace corpus.
+
+The paper instruments 72 X11 programs; we cannot run X11, so this package
+models each specification's API usage directly (see DESIGN.md,
+"Substitutions"):
+
+* :mod:`~repro.workloads.xlib_model` — behaviors, specification models and
+  ground-truth construction;
+* :mod:`~repro.workloads.tracegen` — program-trace synthesis (instance
+  interleaving, fresh object ids, noise events, injected bugs);
+* :mod:`~repro.workloads.specs_catalog` — the 17 specifications of
+  Table 1 (14 named in the paper, 3 reconstructed);
+* :mod:`~repro.workloads.pipeline` — the end-to-end per-spec experiment
+  used by the Table 1–3 benchmarks;
+* :mod:`~repro.workloads.stdio` — the fopen/popen example of Section 2;
+* :mod:`~repro.workloads.animals` — the Figure 9/10 concept-analysis
+  example.
+"""
+
+from repro.workloads.animals import animals_context
+from repro.workloads.pipeline import SpecRun, run_spec
+from repro.workloads.specs_catalog import SPEC_CATALOG, spec_by_name
+from repro.workloads.stdio import StdioExample
+from repro.workloads.tracegen import generate_program_traces
+from repro.workloads.xlib_model import Behavior, SpecModel
+
+__all__ = [
+    "Behavior",
+    "SPEC_CATALOG",
+    "SpecModel",
+    "SpecRun",
+    "StdioExample",
+    "animals_context",
+    "generate_program_traces",
+    "run_spec",
+    "spec_by_name",
+]

@@ -1,0 +1,36 @@
+"""The Figures 9 and 10 example: animals described by adjectives.
+
+The paper borrows this context from Michael Siff's thesis to introduce
+concept analysis.  The exact incidence table is not printed in our copy of
+the paper, so we use the standard animals/adjectives example from that
+line of work; the point of Figures 9/10 — a small context and its concept
+lattice — is preserved regardless of the particular adjectives.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import FormalContext
+
+ANIMALS = ("cats", "dogs", "dolphins", "gibbons", "humans", "whales")
+ADJECTIVES = ("four-legged", "hair-covered", "intelligent", "marine", "thumbed")
+
+_PAIRS = (
+    ("cats", "four-legged"),
+    ("cats", "hair-covered"),
+    ("dogs", "four-legged"),
+    ("dogs", "hair-covered"),
+    ("dolphins", "intelligent"),
+    ("dolphins", "marine"),
+    ("gibbons", "hair-covered"),
+    ("gibbons", "intelligent"),
+    ("gibbons", "thumbed"),
+    ("humans", "intelligent"),
+    ("humans", "thumbed"),
+    ("whales", "intelligent"),
+    ("whales", "marine"),
+)
+
+
+def animals_context() -> FormalContext:
+    """The Figure 9 formal context."""
+    return FormalContext.from_pairs(ANIMALS, ADJECTIVES, _PAIRS)

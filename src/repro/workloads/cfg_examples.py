@@ -1,0 +1,70 @@
+"""Example program models for the static-checking demos and benchmarks.
+
+Three small control-flow graphs over the stdio API:
+
+* ``viewer`` — branches to a file or a pipe, reads in a loop, closes
+  with the *matching* close (fully correct; only the buggy spec
+  complains about its pipe branch);
+* ``filter`` — a pipe-to-file copy loop using two objects at once
+  (correct; exercises multi-object projection);
+* ``leaky`` — an early-return path that forgets the fclose (a genuine
+  bug both specs catch).
+"""
+
+from __future__ import annotations
+
+from repro.verify.progmodel import ProgramModel
+
+
+def viewer_program() -> ProgramModel:
+    return (
+        ProgramModel.build("viewer")
+        .entry("n0")
+        .exit("end")
+        .edge("n0", "n1", "fopen(f)")
+        .edge("n0", "n2", "popen(p)")
+        .edge("n1", "n3", "fread(f)")
+        .edge("n3", "n3", "fread(f)")
+        .edge("n3", "n4", "fclose(f)")
+        .edge("n2", "n5", "fread(p)")
+        .edge("n5", "n5", "fread(p)")
+        .edge("n5", "n6", "pclose(p)")
+        .edge("n4", "end")
+        .edge("n6", "end")
+        .done()
+    )
+
+
+def filter_program() -> ProgramModel:
+    return (
+        ProgramModel.build("filter")
+        .entry("s")
+        .exit("end")
+        .edge("s", "a", "popen(in)")
+        .edge("a", "b", "fopen(out)")
+        .edge("b", "c", "fread(in)")
+        .edge("c", "d", "fwrite(out)")
+        .edge("d", "b")  # copy loop
+        .edge("d", "e", "pclose(in)")
+        .edge("e", "f", "fclose(out)")
+        .edge("f", "end")
+        .done()
+    )
+
+
+def leaky_program() -> ProgramModel:
+    return (
+        ProgramModel.build("leaky")
+        .entry("s")
+        .exit("end")
+        .edge("s", "a", "fopen(f)")
+        .edge("a", "ok", "fclose(f)")
+        .edge("a", "end", "log(m)")  # early return without fclose
+        .edge("ok", "end")
+        .done()
+    )
+
+
+def stdio_programs() -> list[ProgramModel]:
+    """All three example programs."""
+    return [viewer_program(), filter_program(), leaky_program()]

@@ -1,0 +1,92 @@
+"""A non-X11 protocol domain: POSIX sockets.
+
+The paper stresses that the method "applies not only to mined
+specifications ... but also to temporal specifications from any source".
+This workload exercises that generality with the BSD socket lifecycle:
+
+    socket → connect → (send | recv)* → [shutdown] → close
+
+Bug classes mirror real socket code: sockets leaked on error paths,
+sends after close, connects on connected sockets, and double shutdowns.
+The module provides the ground-truth specification (as a regex), a
+violation-trace-style lifecycle table, and a corpus generator shaped like
+:class:`repro.workloads.stdio.StdioExample` so the Section 2 workflows
+run unchanged on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fa.automaton import FA
+from repro.fa.regex import compile_regex
+from repro.lang.events import Event
+from repro.lang.traces import Trace
+from repro.util.rng import make_rng
+
+#: The correct connection lifecycle.
+SOCKET_SPEC_REGEX = (
+    "socket(X) connect(X) (send(X) | recv(X))* shutdown(X)? close(X)"
+)
+
+
+def socket_spec() -> FA:
+    """The debugged socket specification."""
+    return compile_regex(SOCKET_SPEC_REGEX)
+
+
+#: Per-socket lifecycles: (symbols, is_a_real_program_error, weight).
+_LIFECYCLES: tuple[tuple[tuple[str, ...], bool, float], ...] = (
+    (("socket", "connect", "send", "recv", "close"), False, 5.0),
+    (("socket", "connect", "send", "close"), False, 4.0),
+    (("socket", "connect", "recv", "close"), False, 3.0),
+    (("socket", "connect", "send", "recv", "shutdown", "close"), False, 2.0),
+    (("socket", "connect", "close"), False, 1.0),
+    (("socket", "connect", "send", "send", "recv", "close"), False, 2.0),
+    # Bugs.
+    (("socket", "connect", "send"), True, 1.0),  # leaked socket
+    (("socket", "send", "close"), True, 1.0),  # send before connect
+    (("socket", "connect", "close", "send"), True, 1.0),  # send after close
+    (("socket", "connect", "connect", "send", "close"), True, 1.0),
+    (("socket", "connect", "shutdown", "shutdown", "close"), True, 1.0),
+)
+
+
+@dataclass
+class SocketsExample:
+    """Synthesizes a socket-using program corpus (non-X11 domain)."""
+
+    n_programs: int = 8
+    instances_per_program: int = 5
+    seed: int | str = "sockets"
+
+    def error_oracle(self, trace: Trace) -> bool:
+        """True iff the per-socket trace is a genuine program error."""
+        return not socket_spec().accepts(trace)
+
+    def program_traces(self) -> list[Trace]:
+        """Program traces with interleaved socket lifecycles."""
+        rng = make_rng(self.seed)
+        lifecycles = [seq for seq, _, _ in _LIFECYCLES]
+        weights = [w for _, _, w in _LIFECYCLES]
+        traces = []
+        next_id = 0
+        for p in range(self.n_programs):
+            queues: list[list[Event]] = []
+            for i in range(self.instances_per_program):
+                index = p * self.instances_per_program + i
+                if index < len(lifecycles):
+                    seq = lifecycles[index]
+                else:
+                    seq = rng.choices(lifecycles, weights=weights, k=1)[0]
+                sock = f"sd{next_id}"
+                next_id += 1
+                queues.append([Event(sym, (sock,)) for sym in seq])
+            events: list[Event] = []
+            live = [q for q in queues if q]
+            while live:
+                queue = rng.choice(live)
+                events.append(queue.pop(0))
+                live = [q for q in live if q]
+            traces.append(Trace(tuple(events), trace_id=f"sockets/prog{p}"))
+        return traces

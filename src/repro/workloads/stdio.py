@@ -1,0 +1,186 @@
+"""The Section 2 worked example: the C stdio fopen/popen specification.
+
+Provides all the artifacts of Figures 1–6 and 8:
+
+* :func:`buggy_spec` — Figure 1: allows ``fclose`` on *any* file pointer,
+  regardless of whether it came from ``fopen`` or ``popen``;
+* :func:`fixed_spec` — Figure 6: ``fopen`` pairs with ``fclose`` and
+  ``popen`` with ``pclose``;
+* :func:`reference_fa` — Figure 3: a small FA that recognizes the
+  violation traces, distinguishing which open and which close occurred;
+* :func:`unordered_reference` — Figure 4: the coarser unordered FA;
+* :class:`StdioExample` — a generator of program traces whose per-object
+  lifecycles include correct pipe usage (which the buggy specification
+  wrongly rejects) and genuinely erroneous usages (leaks and wrong
+  closes), plus the good scenario traces of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fa.automaton import FA
+from repro.fa.templates import unordered_fa
+from repro.lang.events import Event
+from repro.lang.traces import Trace
+from repro.util.rng import make_rng
+
+#: Every stdio event template, as it appears on specification transitions.
+EVENT_TEMPLATES = (
+    "fopen(X)",
+    "popen(X)",
+    "fread(X)",
+    "fwrite(X)",
+    "fclose(X)",
+    "pclose(X)",
+)
+
+
+def buggy_spec() -> FA:
+    """Figure 1: the incorrect specification.
+
+    Accepts ``(fopen|popen) (fread|fwrite)* fclose`` — it wrongly demands
+    ``fclose`` even for pipes opened with ``popen``.
+    """
+    return FA.from_edges(
+        [
+            ("start", "fopen(X)", "open"),
+            ("start", "popen(X)", "open"),
+            ("open", "fread(X)", "open"),
+            ("open", "fwrite(X)", "open"),
+            ("open", "fclose(X)", "closed"),
+        ],
+        initial=["start"],
+        accepting=["closed"],
+    )
+
+
+def fixed_spec() -> FA:
+    """Figure 6: the corrected specification.
+
+    ``fopen`` must pair with ``fclose`` and ``popen`` with ``pclose``;
+    reads and writes may occur while open.
+    """
+    return FA.from_edges(
+        [
+            ("start", "fopen(X)", "file"),
+            ("file", "fread(X)", "file"),
+            ("file", "fwrite(X)", "file"),
+            ("file", "fclose(X)", "closed"),
+            ("start", "popen(X)", "pipe"),
+            ("pipe", "fread(X)", "pipe"),
+            ("pipe", "fwrite(X)", "pipe"),
+            ("pipe", "pclose(X)", "closed"),
+        ],
+        initial=["start"],
+        accepting=["closed"],
+    )
+
+
+def reference_fa() -> FA:
+    """Figure 3: a small FA recognizing the violation traces.
+
+    It accepts every per-object stdio lifecycle while distinguishing the
+    source of the file pointer and the kind (and presence) of the close —
+    exactly the distinctions the debugging session needs.
+    """
+    return FA.from_edges(
+        [
+            ("s", "fopen(X)", "f"),
+            ("s", "popen(X)", "p"),
+            ("f", "fread(X)", "f"),
+            ("f", "fwrite(X)", "f"),
+            ("p", "fread(X)", "p"),
+            ("p", "fwrite(X)", "p"),
+            ("f", "fclose(X)", "done"),
+            ("f", "pclose(X)", "done"),
+            ("p", "fclose(X)", "done"),
+            ("p", "pclose(X)", "done"),
+        ],
+        initial=["s"],
+        accepting=["f", "p", "done"],
+    )
+
+
+def unordered_reference() -> FA:
+    """Figure 4: the very small FA that ignores ordering entirely."""
+    return unordered_fa(EVENT_TEMPLATES)
+
+
+#: Figure 8's good scenario traces (as the paper lists them, modulo
+#: name standardization).
+FIGURE8_GOOD_SCENARIOS = (
+    "popen(X); fread(X); pclose(X)",
+    "popen(X); fread(X); fread(X); pclose(X)",
+    "fopen(X); fread(X); fclose(X)",
+    "fopen(X); fwrite(X); fclose(X)",
+    "fopen(X); fread(X); fwrite(X); fclose(X)",
+)
+
+#: Per-object lifecycles planted by the generator:
+#: (symbols, is_a_real_program_error).  Note that the *correct* pipe
+#: lifecycles are exactly the traces the buggy specification rejects.
+_LIFECYCLES: tuple[tuple[tuple[str, ...], bool, float], ...] = (
+    (("fopen", "fread", "fclose"), False, 5.0),
+    (("fopen", "fread", "fread", "fclose"), False, 3.0),
+    (("fopen", "fwrite", "fclose"), False, 4.0),
+    (("fopen", "fread", "fwrite", "fclose"), False, 2.0),
+    (("popen", "fread", "pclose"), False, 4.0),
+    (("popen", "fread", "fread", "pclose"), False, 2.0),
+    (("popen", "fwrite", "pclose"), False, 2.0),
+    (("popen", "pclose"), False, 1.0),
+    # Real errors: leaks and wrong closes.
+    (("fopen", "fread"), True, 1.0),
+    (("popen", "fwrite"), True, 1.0),
+    (("fopen", "fread", "pclose"), True, 1.0),
+    (("popen", "fread", "fclose"), True, 1.5),
+)
+
+
+@dataclass
+class StdioExample:
+    """Synthesizes the stdio program corpus of the Section 2 examples."""
+
+    n_programs: int = 8
+    instances_per_program: int = 6
+    seed: int | str = "stdio"
+
+    def error_oracle(self, trace: Trace) -> bool:
+        """True iff the per-object trace is a genuine program error
+        (i.e. the *fixed* specification rejects it)."""
+        return not fixed_spec().accepts(trace)
+
+    def program_traces(self) -> list[Trace]:
+        """Full program traces with interleaved object lifecycles."""
+        rng = make_rng(self.seed)
+        lifecycles = [(seq, err) for seq, err, _ in _LIFECYCLES]
+        weights = [w for _, _, w in _LIFECYCLES]
+        traces = []
+        next_id = 0
+        for p in range(self.n_programs):
+            queues: list[list[Event]] = []
+            # Plant every lifecycle at least once across the corpus by
+            # cycling, then sample the rest by weight.
+            for i in range(self.instances_per_program):
+                index = p * self.instances_per_program + i
+                if index < len(lifecycles):
+                    seq, _ = lifecycles[index]
+                else:
+                    seq, _ = rng.choices(lifecycles, weights=weights, k=1)[0]
+                obj = f"fp{next_id}"
+                next_id += 1
+                queues.append([Event(sym, (obj,)) for sym in seq])
+            events: list[Event] = []
+            live = [q for q in queues if q]
+            while live:
+                queue = rng.choice(live)
+                events.append(queue.pop(0))
+                live = [q for q in live if q]
+            traces.append(Trace(tuple(events), trace_id=f"stdio/prog{p}"))
+        return traces
+
+    def good_scenarios(self) -> list[Trace]:
+        """The Figure 8 good scenario traces."""
+        from repro.lang.traces import parse_trace
+
+        return [parse_trace(t, trace_id=f"fig8-{i}") for i, t in enumerate(FIGURE8_GOOD_SCENARIOS)]

@@ -1,0 +1,34 @@
+"""Simulated X11 client programs.
+
+The paper's corpus comes from *running instrumented programs* ("traces
+from full runs of 72 programs that use the Xlib and X Toolkit Intrinsics
+libraries").  The behavior-family generator in
+:mod:`repro.workloads.tracegen` is calibrated for the Tables; this
+package complements it with the real thing in miniature: a tiny
+simulated Xlib runtime (:mod:`~repro.workloads.xclients.runtime`), a
+suite of small client programs written against it — some of them buggy —
+(:mod:`~repro.workloads.xclients.programs`), and a corpus builder that
+executes them under instrumentation
+(:mod:`~repro.workloads.xclients.corpus`).
+
+The resulting program traces flow through the unmodified Strauss/Cable
+pipeline, demonstrating the full Figure 7 path from program executions
+to a debugged specification.
+"""
+
+from repro.workloads.xclients.corpus import (
+    build_corpus,
+    mine_gc_specification,
+    mine_timeout_specification,
+)
+from repro.workloads.xclients.programs import CLIENT_PROGRAMS, buggy_clients
+from repro.workloads.xclients.runtime import XRuntime
+
+__all__ = [
+    "CLIENT_PROGRAMS",
+    "XRuntime",
+    "buggy_clients",
+    "build_corpus",
+    "mine_gc_specification",
+    "mine_timeout_specification",
+]

@@ -1,0 +1,110 @@
+"""Executing the client suite into a trace corpus, and mining it.
+
+:func:`build_corpus` runs every client several times under the
+instrumented runtime (like the paper's "90 traces from full runs of 72
+programs", in miniature); :func:`mine_gc_specification` pushes the
+corpus through the unmodified Strauss front end for the GC protocol and
+returns everything a Cable session needs, including the ground-truth
+oracle (the correct GC lifecycle spec written as a regex).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fa.automaton import FA
+from repro.fa.regex import compile_regex
+from repro.lang.traces import Trace
+from repro.mining.strauss import MinedSpecification, Strauss
+from repro.util.rng import make_rng
+from repro.workloads.xclients.programs import CLIENT_PROGRAMS
+from repro.workloads.xclients.runtime import XRuntime
+
+#: The correct GC lifecycle: create (bare or bound to a window),
+#: configure/draw freely, free once.
+GC_SPEC_REGEX = (
+    "(XCreateGC(X) | XCreateGC(X, Y)) "
+    "(XSetForeground(X) | XDrawLine(X) | XDrawString(X))* "
+    "XFreeGC(X)"
+)
+
+#: The correct timeout lifecycle: a timeout either fires or is removed,
+#: never both (the paper's RmvTimeOut race).
+TIMEOUT_SPEC_REGEX = (
+    "XtAppAddTimeOut(X) (TimeOutCallback(X) | XtRemoveTimeOut(X))"
+)
+
+
+def gc_ground_truth() -> FA:
+    """The debugged GC specification (used as the labeling oracle)."""
+    return compile_regex(GC_SPEC_REGEX)
+
+
+def timeout_ground_truth() -> FA:
+    """The debugged timeout specification (the RmvTimeOut protocol)."""
+    return compile_regex(TIMEOUT_SPEC_REGEX)
+
+
+def build_corpus(runs_per_client: int = 5, seed: int | str = "xclients") -> list[Trace]:
+    """Run every client ``runs_per_client`` times; return the traces."""
+    rng = make_rng(seed)
+    traces: list[Trace] = []
+    for name, (client, _) in sorted(CLIENT_PROGRAMS.items()):
+        for run in range(runs_per_client):
+            runtime = XRuntime(program=f"{name}#{run}")
+            client(runtime, rng)
+            traces.append(runtime.trace())
+    return traces
+
+
+@dataclass(frozen=True)
+class GcMiningResult:
+    """Everything the GC-spec debugging session starts from."""
+
+    corpus: tuple[Trace, ...]
+    mined: MinedSpecification
+    ground_truth: FA
+
+    def oracle_label(self, scenario: Trace) -> str:
+        return "good" if self.ground_truth.accepts(scenario) else "bad"
+
+
+def mine_gc_specification(
+    runs_per_client: int = 5, seed: int | str = "xclients"
+) -> GcMiningResult:
+    """Mine the GC protocol from the executed corpus.
+
+    The corpus's buggy clients guarantee the mined FA accepts erroneous
+    scenarios (leaks, double frees, use after free) — the debugging
+    problem, reproduced from actual (simulated) program runs.
+    """
+    corpus = build_corpus(runs_per_client=runs_per_client, seed=seed)
+    # seed_arg=0 scopes each scenario to the created GC itself, even when
+    # the creation event also names the GC's window.
+    miner = Strauss(seeds=frozenset(["XCreateGC"]), seed_arg=0, k=2, s=1.0)
+    mined = miner.mine(corpus)
+    return GcMiningResult(
+        corpus=tuple(corpus),
+        mined=mined,
+        ground_truth=gc_ground_truth(),
+    )
+
+
+def mine_timeout_specification(
+    runs_per_client: int = 5, seed: int | str = "xclients"
+) -> GcMiningResult:
+    """Mine the timeout protocol from the same executed corpus.
+
+    The ``xtimer`` client's fire-then-remove race poisons the training
+    set, so the mined FA accepts the erroneous
+    ``add; callback; remove`` scenario — the paper's RmvTimeOut bug,
+    reproduced from program runs.
+    """
+    corpus = build_corpus(runs_per_client=runs_per_client, seed=seed)
+    miner = Strauss(seeds=frozenset(["XtAppAddTimeOut"]), k=2, s=1.0)
+    mined = miner.mine(corpus)
+    return GcMiningResult(
+        corpus=tuple(corpus),
+        mined=mined,
+        ground_truth=timeout_ground_truth(),
+    )

@@ -1,0 +1,158 @@
+"""Small simulated X11 client programs, some of them buggy.
+
+Each program is a function taking an :class:`~repro.workloads.xclients.runtime.XRuntime`
+and a seeded ``random.Random``; its calls leave the instrumented trace.
+The correct clients follow the lifecycles the debugged specifications
+demand; the buggy clients commit the paper's bug classes (leaks on error
+paths, double frees, use after free, fire-and-remove timeout races) —
+exactly the kind of training noise that teaches the miner a buggy
+specification.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.workloads.xclients.runtime import XRuntime
+
+Client = Callable[[XRuntime, random.Random], None]
+
+
+def xclock(x: XRuntime, rng: random.Random) -> None:
+    """Draws a clock face every tick; clean lifecycle."""
+    display = x.open_display()
+    window = x.create_window()
+    x.map_window(window)
+    gc = x.create_gc()
+    x.set_foreground(gc)
+    for _ in range(rng.randint(1, 4)):
+        x.draw_line(gc)
+        x.next_event()
+    x.free_gc(gc)
+    x.destroy_window(window)
+    x.sync(display)
+    x.close_display(display)
+
+
+def xbanner(x: XRuntime, rng: random.Random) -> None:
+    """Renders text once; clean."""
+    display = x.open_display()
+    gc = x.create_gc()
+    x.draw_string(gc)
+    if rng.random() < 0.5:
+        x.draw_string(gc)
+    x.free_gc(gc)
+    x.close_display(display)
+
+
+def xblit(x: XRuntime, rng: random.Random) -> None:
+    """Double-buffers through a pixmap; clean."""
+    display = x.open_display()
+    pixmap = x.create_pixmap()
+    for _ in range(rng.randint(1, 3)):
+        x.copy_area(pixmap)
+    x.free_pixmap(pixmap)
+    x.flush(display)
+    x.close_display(display)
+
+
+def xalarm(x: XRuntime, rng: random.Random) -> None:
+    """Schedules a timeout; either lets it fire or removes it. Clean."""
+    display = x.open_display()
+    timeout = x.add_timeout()
+    if rng.random() < 0.6:
+        x.fire_timeout(timeout)
+    else:
+        x.remove_timeout(timeout)
+    x.close_display(display)
+
+
+def xsketch_leaky(x: XRuntime, rng: random.Random) -> None:
+    """BUG: returns early on an 'input error' without freeing the GC."""
+    display = x.open_display()
+    gc = x.create_gc()
+    x.draw_line(gc)
+    if rng.random() < 0.5:  # the error path
+        x.close_display(display)
+        return  # gc leaked
+    x.draw_line(gc)
+    x.free_gc(gc)
+    x.close_display(display)
+
+
+def xpaint_doublefree(x: XRuntime, rng: random.Random) -> None:
+    """BUG: frees the GC again in its cleanup handler."""
+    display = x.open_display()
+    gc = x.create_gc()
+    x.set_foreground(gc)
+    x.draw_string(gc)
+    x.free_gc(gc)
+    if rng.random() < 0.7:  # cleanup handler runs too
+        x.free_gc(gc)
+    x.close_display(display)
+
+
+def xdraw_useafterfree(x: XRuntime, rng: random.Random) -> None:
+    """BUG: a stale pointer draws after the free."""
+    display = x.open_display()
+    gc = x.create_gc()
+    x.draw_line(gc)
+    x.free_gc(gc)
+    if rng.random() < 0.6:
+        x.draw_line(gc)  # stale
+    x.close_display(display)
+
+
+def xtimer_race(x: XRuntime, rng: random.Random) -> None:
+    """BUG: removes a timeout that already fired (the RmvTimeOut race)."""
+    display = x.open_display()
+    timeout = x.add_timeout()
+    x.fire_timeout(timeout)
+    if rng.random() < 0.5:
+        x.remove_timeout(timeout)  # too late
+    x.close_display(display)
+
+
+def xdpyleak(x: XRuntime, rng: random.Random) -> None:
+    """BUG: exits without closing the display on one path."""
+    display = x.open_display()
+    x.sync(display)
+    if rng.random() < 0.4:
+        return  # display leaked
+    x.close_display(display)
+
+
+def xwindowed(x: XRuntime, rng: random.Random) -> None:
+    """Creates its GC *for* a window — a two-name lifecycle; clean."""
+    display = x.open_display()
+    window = x.create_window()
+    x.map_window(window)
+    gc = x.create_gc(window)
+    for _ in range(rng.randint(1, 3)):
+        x.draw_line(gc)
+    x.free_gc(gc)
+    x.destroy_window(window)
+    x.close_display(display)
+
+
+#: name -> (client function, is the client buggy).
+CLIENT_PROGRAMS: dict[str, tuple[Client, bool]] = {
+    "xclock": (xclock, False),
+    "xbanner": (xbanner, False),
+    "xblit": (xblit, False),
+    "xalarm": (xalarm, False),
+    "xwindowed": (xwindowed, False),
+    "xsketch": (xsketch_leaky, True),
+    "xpaint": (xpaint_doublefree, True),
+    "xdraw": (xdraw_useafterfree, True),
+    "xtimer": (xtimer_race, True),
+    "xdpy": (xdpyleak, True),
+}
+
+
+def buggy_clients() -> frozenset[str]:
+    """Names of the clients that contain a bug."""
+    return frozenset(
+        name for name, (_, buggy) in CLIENT_PROGRAMS.items() if buggy
+    )

@@ -1,0 +1,189 @@
+"""A miniature instrumented Xlib.
+
+:class:`XRuntime` plays the role of the real Xlib plus the paper's
+instrumentation: client programs call its methods; every call is
+recorded as an event on the trace, applied to the resource id it
+concerns.  The runtime also *enforces* basic realism — drawing with a
+freed GC raises, double-frees raise — so the buggy clients must commit
+their bugs the way real programs do (on paths where nothing checks).
+
+Resources and their lifecycle methods:
+
+* displays — ``open_display`` / ``close_display`` / ``sync`` / ``flush``
+* windows — ``create_window`` / ``map_window`` / ``destroy_window``
+* GCs — ``create_gc`` / ``set_foreground`` / ``draw_line`` /
+  ``draw_string`` / ``free_gc``
+* pixmaps — ``create_pixmap`` / ``copy_area`` / ``free_pixmap``
+* timeouts — ``add_timeout`` / ``fire_timeout`` / ``remove_timeout``
+
+A ``strict`` runtime raises on use-after-free and double-free (so
+correct clients can be validated); a non-strict one records the call and
+carries on, which is how buggy clients leave their traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.events import Event
+from repro.lang.traces import Trace
+
+
+class XProtocolError(RuntimeError):
+    """Raised by a strict runtime on misuse of a resource."""
+
+
+@dataclass
+class XRuntime:
+    """One program run's worth of simulated Xlib state."""
+
+    program: str
+    strict: bool = False
+    _events: list[Event] = field(default_factory=list)
+    _next_id: int = 0
+    _live: set[str] = field(default_factory=set)
+    _freed: set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _fresh(self, kind: str) -> str:
+        self._next_id += 1
+        rid = f"{kind}{self._next_id}"
+        self._live.add(rid)
+        return rid
+
+    def _record(self, symbol: str, *resources: str) -> None:
+        self._events.append(Event(symbol, tuple(resources)))
+
+    def _use(self, resource: str) -> None:
+        if self.strict and resource in self._freed:
+            raise XProtocolError(f"{self.program}: use of freed {resource}")
+
+    def _release(self, resource: str) -> None:
+        if self.strict and resource in self._freed:
+            raise XProtocolError(f"{self.program}: double free of {resource}")
+        self._live.discard(resource)
+        self._freed.add(resource)
+
+    def trace(self) -> Trace:
+        """The recorded program execution trace."""
+        return Trace(tuple(self._events), trace_id=self.program)
+
+    def leaked(self) -> frozenset[str]:
+        """Resources still live when the program ended."""
+        return frozenset(self._live)
+
+    # ------------------------------------------------------------------ #
+    # displays
+    # ------------------------------------------------------------------ #
+
+    def open_display(self) -> str:
+        display = self._fresh("dpy")
+        self._record("XOpenDisplay", display)
+        return display
+
+    def sync(self, display: str) -> None:
+        self._use(display)
+        self._record("XSync", display)
+
+    def flush(self, display: str) -> None:
+        self._use(display)
+        self._record("XFlush", display)
+
+    def close_display(self, display: str) -> None:
+        self._record("XCloseDisplay", display)
+        self._release(display)
+
+    # ------------------------------------------------------------------ #
+    # windows
+    # ------------------------------------------------------------------ #
+
+    def create_window(self) -> str:
+        window = self._fresh("win")
+        self._record("XCreateWindow", window)
+        return window
+
+    def map_window(self, window: str) -> None:
+        self._use(window)
+        self._record("XMapWindow", window)
+
+    def destroy_window(self, window: str) -> None:
+        self._record("XDestroyWindow", window)
+        self._release(window)
+
+    # ------------------------------------------------------------------ #
+    # graphics contexts
+    # ------------------------------------------------------------------ #
+
+    def create_gc(self, window: str | None = None) -> str:
+        """Create a GC, optionally bound to a window (two-name event)."""
+        gc = self._fresh("gc")
+        if window is None:
+            self._record("XCreateGC", gc)
+        else:
+            self._use(window)
+            self._record("XCreateGC", gc, window)
+        return gc
+
+    def set_foreground(self, gc: str) -> None:
+        self._use(gc)
+        self._record("XSetForeground", gc)
+
+    def draw_line(self, gc: str) -> None:
+        self._use(gc)
+        self._record("XDrawLine", gc)
+
+    def draw_string(self, gc: str) -> None:
+        self._use(gc)
+        self._record("XDrawString", gc)
+
+    def free_gc(self, gc: str) -> None:
+        self._record("XFreeGC", gc)
+        self._release(gc)
+
+    # ------------------------------------------------------------------ #
+    # pixmaps
+    # ------------------------------------------------------------------ #
+
+    def create_pixmap(self) -> str:
+        pixmap = self._fresh("pix")
+        self._record("XCreatePixmap", pixmap)
+        return pixmap
+
+    def copy_area(self, pixmap: str) -> None:
+        self._use(pixmap)
+        self._record("XCopyArea", pixmap)
+
+    def free_pixmap(self, pixmap: str) -> None:
+        self._record("XFreePixmap", pixmap)
+        self._release(pixmap)
+
+    # ------------------------------------------------------------------ #
+    # timeouts
+    # ------------------------------------------------------------------ #
+
+    def add_timeout(self) -> str:
+        timeout = self._fresh("to")
+        self._record("XtAppAddTimeOut", timeout)
+        return timeout
+
+    def fire_timeout(self, timeout: str) -> None:
+        self._use(timeout)
+        self._record("TimeOutCallback", timeout)
+        self._release(timeout)
+
+    def remove_timeout(self, timeout: str) -> None:
+        self._record("XtRemoveTimeOut", timeout)
+        self._release(timeout)
+
+    # ------------------------------------------------------------------ #
+    # unrelated traffic
+    # ------------------------------------------------------------------ #
+
+    def next_event(self) -> None:
+        # Events are not resources; they get a one-off id and no
+        # lifecycle tracking.
+        self._next_id += 1
+        self._record("XNextEvent", f"ev{self._next_id}")

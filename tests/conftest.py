@@ -1,0 +1,62 @@
+"""Shared fixtures: the paper's running examples, sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import FormalContext
+from repro.fa.automaton import FA
+from repro.lang.traces import Trace, parse_trace
+from repro.workloads.animals import animals_context
+from repro.workloads.stdio import buggy_spec, fixed_spec, reference_fa
+
+
+@pytest.fixture
+def animals() -> FormalContext:
+    """The Figure 9 context (6 animals × 5 adjectives)."""
+    return animals_context()
+
+
+@pytest.fixture
+def stdio_buggy() -> FA:
+    """Figure 1: the incorrect fopen/popen specification."""
+    return buggy_spec()
+
+
+@pytest.fixture
+def stdio_fixed() -> FA:
+    """Figure 6: the corrected specification."""
+    return fixed_spec()
+
+
+@pytest.fixture
+def stdio_reference() -> FA:
+    """Figure 3: the reference FA for the violation traces."""
+    return reference_fa()
+
+
+#: Violation-trace-style stdio lifecycles, with their correct labels.
+STDIO_LABELED = (
+    ("popen(X); fread(X); pclose(X)", "good"),
+    ("popen(X); pclose(X)", "good"),
+    ("popen(X); fwrite(X); pclose(X)", "good"),
+    ("fopen(X); fread(X); fclose(X)", "good"),
+    ("fopen(X); fwrite(X); fclose(X)", "good"),
+    ("fopen(X); fread(X)", "bad"),
+    ("popen(X); fread(X)", "bad"),
+    ("fopen(X); fread(X); pclose(X)", "bad"),
+    ("popen(X); fread(X); fclose(X)", "bad"),
+)
+
+
+@pytest.fixture
+def stdio_traces() -> list[Trace]:
+    return [
+        parse_trace(text, trace_id=f"t{i}")
+        for i, (text, _) in enumerate(STDIO_LABELED)
+    ]
+
+
+@pytest.fixture
+def stdio_labels() -> dict[int, str]:
+    return {i: label for i, (_, label) in enumerate(STDIO_LABELED)}

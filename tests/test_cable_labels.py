@@ -1,0 +1,105 @@
+"""Label bookkeeping: one label per trace, undo, queries."""
+
+import pytest
+
+from repro.cable.labels import LabelStore
+
+
+@pytest.fixture
+def store():
+    return LabelStore(5)
+
+
+class TestAssign:
+    def test_initially_unlabeled(self, store):
+        assert store.unlabeled() == frozenset(range(5))
+        assert not store.all_labeled()
+
+    def test_assign(self, store):
+        changed = store.assign([0, 2], "good")
+        assert changed == 2
+        assert store.label_of(0) == "good"
+        assert store.label_of(1) is None
+
+    def test_reassign_replaces(self, store):
+        store.assign([0], "good")
+        store.assign([0], "bad")
+        assert store.label_of(0) == "bad"
+
+    def test_assign_same_label_reports_no_change(self, store):
+        store.assign([0], "good")
+        assert store.assign([0], "good") == 0
+
+    def test_empty_label_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.assign([0], "")
+
+    def test_clear(self, store):
+        store.assign([0, 1], "good")
+        assert store.clear([0]) == 1
+        assert store.label_of(0) is None
+        assert store.label_of(1) == "good"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LabelStore(-1)
+
+
+class TestUndo:
+    def test_undo_assign(self, store):
+        store.assign([0, 1], "good")
+        assert store.undo()
+        assert store.unlabeled() == frozenset(range(5))
+
+    def test_undo_restores_previous_label(self, store):
+        store.assign([0], "good")
+        store.assign([0], "bad")
+        store.undo()
+        assert store.label_of(0) == "good"
+
+    def test_undo_empty_history(self, store):
+        assert not store.undo()
+
+    def test_undo_clear(self, store):
+        store.assign([0], "good")
+        store.clear([0])
+        store.undo()
+        assert store.label_of(0) == "good"
+
+
+class TestQueries:
+    def test_unlabeled_in(self, store):
+        store.assign([0], "good")
+        assert store.unlabeled_in([0, 1, 2]) == frozenset({1, 2})
+
+    def test_labeled_in(self, store):
+        store.assign([0, 3], "good")
+        assert store.labeled_in([0, 1, 3]) == frozenset({0, 3})
+
+    def test_with_label(self, store):
+        store.assign([0, 1], "good")
+        store.assign([2], "bad")
+        assert store.with_label("good") == frozenset({0, 1})
+        assert store.with_label("good", [1, 2]) == frozenset({1})
+
+    def test_labels_in(self, store):
+        store.assign([0], "good")
+        store.assign([1], "bad")
+        assert store.labels_in([0, 1, 2]) == frozenset({"good", "bad"})
+        assert store.labels_in([2]) == frozenset()
+
+    def test_partition(self, store):
+        store.assign([0, 1], "good")
+        store.assign([2], "mixed")
+        assert store.partition() == {
+            "good": frozenset({0, 1}),
+            "mixed": frozenset({2}),
+        }
+
+    def test_as_dict(self, store):
+        store.assign([4], "bad")
+        assert store.as_dict() == {4: "bad"}
+
+    def test_all_labeled(self, store):
+        store.assign(range(5), "good")
+        assert store.all_labeled()

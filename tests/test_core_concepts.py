@@ -1,0 +1,149 @@
+"""Concepts, the concept lattice, and its navigation operations."""
+
+import pytest
+
+from repro.core.batch import build_lattice_batch
+from repro.core.concepts import Concept
+from repro.core.context import FormalContext
+
+
+@pytest.fixture
+def lattice(animals):
+    return build_lattice_batch(animals)
+
+
+class TestStructure:
+    def test_validate(self, lattice):
+        lattice.validate()
+
+    def test_unique_top_and_bottom(self, lattice):
+        assert lattice.extent(lattice.top) == lattice.context.all_objects
+        assert lattice.intent(lattice.bottom) == lattice.context.all_attributes
+
+    def test_parents_children_symmetric(self, lattice):
+        for c in lattice:
+            for p in lattice.parents[c]:
+                assert c in lattice.children[p]
+
+    def test_order_is_extent_inclusion(self, lattice):
+        for c in lattice:
+            for p in lattice.parents[c]:
+                assert lattice.extent(c) < lattice.extent(p)
+                assert lattice.intent(p) < lattice.intent(c)
+
+    def test_similarity_increases_downward(self, lattice):
+        # The paper's key property (Section 3.1).
+        for c in lattice:
+            for p in lattice.parents[c]:
+                assert lattice.similarity(c) >= lattice.similarity(p)
+
+    def test_concept_ordering_operators(self):
+        small = Concept(frozenset({0}), frozenset({0, 1}))
+        big = Concept(frozenset({0, 1}), frozenset({0}))
+        assert small < big and small <= big
+        assert not big < small
+
+
+class TestNavigation:
+    def test_object_concept_is_smallest_containing(self, lattice, animals):
+        for o in range(animals.num_objects):
+            gamma = lattice.object_concept(o)
+            assert o in lattice.extent(gamma)
+            for c in lattice:
+                if o in lattice.extent(c):
+                    assert len(lattice.extent(gamma)) <= len(lattice.extent(c))
+
+    def test_attribute_concept_is_largest_containing(self, lattice, animals):
+        for a in range(animals.num_attributes):
+            mu = lattice.attribute_concept(a)
+            assert a in lattice.intent(mu)
+            for c in lattice:
+                if a in lattice.intent(c):
+                    assert len(lattice.extent(mu)) >= len(lattice.extent(c))
+
+    def test_ancestors_descendants_inverse(self, lattice):
+        for c in lattice:
+            for a in lattice.ancestors(c):
+                assert c in lattice.descendants(a)
+
+    def test_top_has_no_ancestors(self, lattice):
+        assert lattice.ancestors(lattice.top) == set()
+        assert lattice.descendants(lattice.bottom) == set()
+
+    def test_bfs_top_down_starts_at_top_and_covers_all(self, lattice):
+        order = lattice.bfs_top_down()
+        assert order[0] == lattice.top
+        assert sorted(order) == sorted(lattice)
+
+    def test_bfs_parents_before_children_levels(self, lattice):
+        order = lattice.bfs_top_down()
+        position = {c: i for i, c in enumerate(order)}
+        for c in lattice:
+            for child in lattice.children[c]:
+                # BFS guarantees the first-discovered parent precedes.
+                assert any(position[p] < position[child] for p in lattice.parents[child])
+
+    def test_bottom_up_order_children_first(self, lattice):
+        order = lattice.bottom_up_order()
+        position = {c: i for i, c in enumerate(order)}
+        for c in lattice:
+            for child in lattice.children[c]:
+                assert position[child] < position[c]
+
+    def test_own_objects_partition(self, lattice):
+        # Every object is an own-object of exactly one concept: γ(o).
+        seen = {}
+        for c in lattice:
+            for o in lattice.own_objects(c):
+                assert o not in seen
+                seen[o] = c
+        assert set(seen) == set(lattice.context.all_objects)
+        for o, c in seen.items():
+            assert lattice.object_concept(o) == c
+
+
+class TestMeetJoin:
+    def test_meet_is_glb(self, lattice):
+        for c1 in lattice:
+            for c2 in lattice:
+                m = lattice.meet(c1, c2)
+                assert lattice.extent(m) <= lattice.extent(c1)
+                assert lattice.extent(m) <= lattice.extent(c2)
+
+    def test_join_is_lub(self, lattice):
+        for c1 in lattice:
+            for c2 in lattice:
+                j = lattice.join(c1, c2)
+                assert lattice.extent(j) >= lattice.extent(c1)
+                assert lattice.extent(j) >= lattice.extent(c2)
+
+    def test_meet_join_absorption(self, lattice):
+        for c1 in list(lattice)[:4]:
+            for c2 in list(lattice)[:4]:
+                assert lattice.join(c1, lattice.meet(c1, c2)) == c1
+                assert lattice.meet(c1, lattice.join(c1, c2)) == c1
+
+    def test_concept_with_extent_missing(self, lattice):
+        with pytest.raises(KeyError):
+            lattice.concept_with_extent(frozenset({0, 99}))
+
+
+class TestDegenerate:
+    def test_single_object_context(self):
+        ctx = FormalContext(["o"], ["a"], [{0}])
+        lattice = build_lattice_batch(ctx)
+        lattice.validate()
+        assert len(lattice) == 1
+        assert lattice.top == lattice.bottom
+
+    def test_empty_object_context(self):
+        ctx = FormalContext([], ["a", "b"], [])
+        lattice = build_lattice_batch(ctx)
+        assert len(lattice) == 1
+        assert lattice.intent(0) == frozenset({0, 1})
+
+    def test_no_attribute_context(self):
+        ctx = FormalContext(["o1", "o2"], [], [set(), set()])
+        lattice = build_lattice_batch(ctx)
+        assert len(lattice) == 1
+        assert lattice.extent(0) == frozenset({0, 1})

@@ -1,0 +1,152 @@
+"""The three lattice-construction algorithms, individually and against
+each other (including Hypothesis property tests)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import build_lattice_batch, closed_intents_batch
+from repro.core.context import FormalContext
+from repro.core.godin import GodinLatticeBuilder, build_lattice_godin
+from repro.core.nextclosure import build_lattice_nextclosure, closed_intents
+
+ALGORITHMS = [build_lattice_batch, build_lattice_godin, build_lattice_nextclosure]
+
+
+class TestBatch:
+    def test_animals_concept_count(self, animals):
+        # The classic animals example induces a known-size lattice.
+        lattice = build_lattice_batch(animals)
+        lattice.validate()
+        assert len(lattice) == 8
+
+    def test_closed_intents_include_rows_closures(self, animals):
+        intents = closed_intents_batch(animals)
+        for row in animals.rows:
+            assert animals.intent_closure(row) in intents
+
+    def test_all_intents_closed(self, animals):
+        for intent in closed_intents_batch(animals):
+            assert animals.intent_closure(intent) == intent
+
+
+class TestNextClosure:
+    def test_lectic_order_is_strictly_increasing(self, animals):
+        # NextClosure never repeats a closed set.
+        seen = list(closed_intents(animals))
+        assert len(seen) == len(set(seen))
+
+    def test_agrees_with_batch(self, animals):
+        assert set(closed_intents(animals)) == closed_intents_batch(animals)
+
+    def test_empty_context(self):
+        ctx = FormalContext([], [], [])
+        assert list(closed_intents(ctx)) == [frozenset()]
+
+
+class TestGodinIncremental:
+    def test_single_insert(self):
+        builder = GodinLatticeBuilder()
+        builder.add_object(0, {1, 2})
+        assert builder.num_concepts == 1
+
+    def test_duplicate_row_does_not_grow(self):
+        builder = GodinLatticeBuilder()
+        builder.add_object(0, {1})
+        builder.add_object(1, {1})
+        assert builder.num_concepts == 1
+
+    def test_new_attributes_grow_bottom(self):
+        ctx = FormalContext(["o1", "o2"], ["a", "b"], [{0}, {1}])
+        lattice = build_lattice_godin(ctx)
+        lattice.validate()
+        assert len(lattice) == 4  # top, bottom, two object concepts
+
+    def test_attribute_never_used_lands_in_bottom(self):
+        ctx = FormalContext(["o1"], ["a", "unused"], [{0}])
+        lattice = build_lattice_godin(ctx)
+        lattice.validate()
+        assert lattice.intent(lattice.bottom) == frozenset({0, 1})
+
+    def test_chain_context(self):
+        rows = [set(range(i + 1)) for i in range(5)]
+        ctx = FormalContext([f"o{i}" for i in range(5)], [f"a{i}" for i in range(5)], rows)
+        lattice = build_lattice_godin(ctx)
+        lattice.validate()
+        assert len(lattice) == 5  # a chain (bottom row is an object row)
+
+    def test_antichain_context(self):
+        rows = [{i} for i in range(4)]
+        ctx = FormalContext([f"o{i}" for i in range(4)], [f"a{i}" for i in range(4)], rows)
+        lattice = build_lattice_godin(ctx)
+        lattice.validate()
+        assert len(lattice) == 6  # top + bottom + 4 atoms
+
+    def test_boolean_cube(self):
+        # Rows = all 1-element complements of a 3-set ⇒ full 2^3 lattice.
+        rows = [{0, 1}, {0, 2}, {1, 2}]
+        ctx = FormalContext(["o1", "o2", "o3"], ["a", "b", "c"], rows)
+        lattice = build_lattice_godin(ctx)
+        lattice.validate()
+        assert len(lattice) == 8
+
+    def test_insertion_order_invariance(self, animals):
+        import itertools
+
+        baseline = {c.extent for c in build_lattice_batch(animals).concepts}
+        rows = list(enumerate(animals.rows))
+        for perm in itertools.islice(itertools.permutations(rows), 12):
+            builder = GodinLatticeBuilder()
+            for obj, row in perm:
+                builder.add_object(obj, row)
+            lattice = builder.build(animals)
+            lattice.validate()
+            assert {c.extent for c in lattice.concepts} == baseline
+
+
+@st.composite
+def contexts(draw):
+    num_objects = draw(st.integers(0, 7))
+    num_attrs = draw(st.integers(1, 6))
+    rows = [
+        draw(st.frozensets(st.integers(0, num_attrs - 1)))
+        for _ in range(num_objects)
+    ]
+    return FormalContext(
+        [f"o{i}" for i in range(num_objects)],
+        [f"a{i}" for i in range(num_attrs)],
+        rows,
+    )
+
+
+class TestPropertyAgreement:
+    @given(contexts())
+    @settings(max_examples=120, deadline=None)
+    def test_all_algorithms_agree_and_validate(self, ctx):
+        lattices = [algorithm(ctx) for algorithm in ALGORITHMS]
+        for lattice in lattices:
+            lattice.validate()
+        extents = [{c.extent for c in lat.concepts} for lat in lattices]
+        assert extents[0] == extents[1] == extents[2]
+
+    @given(contexts())
+    @settings(max_examples=60, deadline=None)
+    def test_hasse_diagrams_agree(self, ctx):
+        batch = build_lattice_batch(ctx)
+        godin = build_lattice_godin(ctx)
+
+        def edges(lattice):
+            return {
+                (lattice.extent(c), lattice.extent(p))
+                for c in lattice
+                for p in lattice.parents[c]
+            }
+
+        assert edges(batch) == edges(godin)
+
+    @given(contexts())
+    @settings(max_examples=60, deadline=None)
+    def test_concept_count_bounds(self, ctx):
+        lattice = build_lattice_godin(ctx)
+        # At most 2^min(|O|,|A|) concepts, at least 1.
+        bound = 2 ** min(ctx.num_objects, ctx.num_attributes)
+        assert 1 <= len(lattice) <= max(bound, 1) + 1

@@ -1,0 +1,90 @@
+"""Formal contexts and the σ/τ derivation operators."""
+
+import pytest
+
+from repro.core.context import FormalContext
+
+
+class TestConstruction:
+    def test_from_pairs(self, animals):
+        assert animals.num_objects == 6
+        assert animals.num_attributes == 5
+        assert animals.has(0, animals.attributes.index("four-legged"))
+
+    def test_from_bools(self):
+        ctx = FormalContext.from_bools(
+            ["o1", "o2"], ["a", "b"], [[True, False], [True, True]]
+        )
+        assert ctx.rows == (frozenset({0}), frozenset({0, 1}))
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FormalContext(["o1", "o2"], ["a"], [{0}])
+
+    def test_out_of_range_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            FormalContext(["o1"], ["a"], [{5}])
+
+    def test_columns_are_inverse_of_rows(self, animals):
+        for o, row in enumerate(animals.rows):
+            for a in row:
+                assert o in animals.columns[a]
+        for a, col in enumerate(animals.columns):
+            for o in col:
+                assert a in animals.rows[o]
+
+
+class TestDerivation:
+    def test_sigma_of_empty_is_all_attributes(self, animals):
+        assert animals.sigma([]) == animals.all_attributes
+
+    def test_tau_of_empty_is_all_objects(self, animals):
+        assert animals.tau([]) == animals.all_objects
+
+    def test_sigma_single_object_is_row(self, animals):
+        assert animals.sigma([0]) == animals.rows[0]
+
+    def test_sigma_intersects(self, animals):
+        gibbons = animals.objects.index("gibbons")
+        humans = animals.objects.index("humans")
+        shared = animals.sigma([gibbons, humans])
+        names = set(animals.attribute_names(shared))
+        assert names == {"intelligent", "thumbed"}
+
+    def test_tau_intersects(self, animals):
+        marine = animals.attributes.index("marine")
+        intelligent = animals.attributes.index("intelligent")
+        names = set(animals.object_names(animals.tau([marine, intelligent])))
+        assert names == {"dolphins", "whales"}
+
+    def test_galois_antitone(self, animals):
+        # X1 ⊆ X2 ⇒ σ(X2) ⊆ σ(X1)
+        assert animals.sigma([0, 1]) <= animals.sigma([0])
+
+    def test_galois_extensive(self, animals):
+        # Y ⊆ σ(τ(Y))
+        for a in range(animals.num_attributes):
+            assert {a} <= animals.intent_closure([a])
+
+    def test_closure_idempotent(self, animals):
+        for o in range(animals.num_objects):
+            once = animals.extent_closure([o])
+            assert animals.extent_closure(once) == once
+
+    def test_similarity_is_shared_attribute_count(self, animals):
+        assert animals.similarity([0]) == len(animals.rows[0])
+        assert animals.similarity(range(6)) == 0  # nothing shared by all
+
+
+class TestHelpers:
+    def test_restrict_objects(self, animals):
+        sub = animals.restrict_objects([1, 3])
+        assert sub.num_objects == 2
+        assert sub.rows[0] == animals.rows[1]
+        assert sub.num_attributes == animals.num_attributes
+
+    def test_names_sorted_by_index(self, animals):
+        assert animals.object_names([2, 0]) == ["cats", "dolphins"]
+
+    def test_repr(self, animals):
+        assert "|O|=6" in repr(animals)

@@ -1,0 +1,70 @@
+"""Burmeister .cxt interchange and bare-lattice dot export."""
+
+import pytest
+
+from repro.core.batch import build_lattice_batch
+from repro.core.context import FormalContext
+from repro.core.fca_io import context_from_cxt, context_to_cxt, lattice_to_dot
+
+
+class TestCxtRoundtrip:
+    def test_roundtrip_animals(self, animals):
+        again = context_from_cxt(context_to_cxt(animals))
+        assert again.objects == animals.objects
+        assert again.attributes == animals.attributes
+        assert again.rows == animals.rows
+
+    def test_format_shape(self, animals):
+        text = context_to_cxt(animals)
+        lines = text.splitlines()
+        assert lines[0] == "B"
+        assert lines[2] == str(animals.num_objects)
+        assert lines[3] == str(animals.num_attributes)
+        # Incidence rows use X and . only.
+        for row in lines[-animals.num_objects :]:
+            assert set(row) <= {"X", "."}
+
+    def test_parse_external_file(self):
+        text = (
+            "B\n\n2\n3\n\nbird\nplane\nflies\nhas-feathers\nhas-engine\n"
+            "XX.\nX.X\n"
+        )
+        ctx = context_from_cxt(text)
+        assert ctx.objects == ("bird", "plane")
+        assert ctx.has(0, 1) and not ctx.has(1, 1)
+
+    def test_lowercase_x_accepted(self):
+        ctx = context_from_cxt("B\n1\n1\no\na\nx\n")
+        assert ctx.has(0, 0)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            context_from_cxt("1\n1\no\na\nX\n")
+
+    def test_short_body_rejected(self):
+        with pytest.raises(ValueError):
+            context_from_cxt("B\n2\n2\nonly\n")
+
+    def test_bad_row_width_rejected(self):
+        with pytest.raises(ValueError):
+            context_from_cxt("B\n1\n2\no\na\nb\nX\n")
+
+    def test_empty_context(self):
+        text = context_to_cxt(FormalContext([], [], []))
+        again = context_from_cxt(text)
+        assert again.num_objects == 0 and again.num_attributes == 0
+
+
+class TestLatticeDot:
+    def test_reduced_labeling(self, animals):
+        lattice = build_lattice_batch(animals)
+        dot = lattice_to_dot(lattice)
+        assert dot.startswith("digraph")
+        # Reduced labeling: every object and attribute appears exactly once.
+        for name in animals.objects:
+            assert dot.count(name) == 1
+        for name in animals.attributes:
+            assert dot.count(name) == 1
+        assert dot.count("->") == sum(
+            len(lattice.children[c]) for c in lattice
+        )

@@ -1,0 +1,108 @@
+"""Well-formed lattices (Section 4.3), including the paper's foo example."""
+
+import pytest
+
+from repro.core.batch import build_lattice_batch
+from repro.core.context import FormalContext
+from repro.core.trace_clustering import cluster_traces
+from repro.core.wellformed import is_well_formed, well_formed_concepts
+from repro.fa.automaton import FA
+from repro.lang.traces import parse_trace
+
+
+class TestBasics:
+    def test_uniform_labeling_always_well_formed(self, animals):
+        lattice = build_lattice_batch(animals)
+        labeling = {o: "good" for o in range(animals.num_objects)}
+        assert is_well_formed(lattice, labeling)
+
+    def test_partial_labeling_rejected(self, animals):
+        lattice = build_lattice_batch(animals)
+        with pytest.raises(ValueError):
+            is_well_formed(lattice, {0: "good"})
+
+    def test_singleton_object_concepts_make_any_labeling_well_formed(self):
+        # Antichain: every object has its own concept.
+        ctx = FormalContext(
+            ["o0", "o1", "o2"], ["a", "b", "c"], [{0}, {1}, {2}]
+        )
+        lattice = build_lattice_batch(ctx)
+        labeling = {0: "good", 1: "bad", 2: "good"}
+        assert is_well_formed(lattice, labeling)
+
+    def test_indistinguishable_objects_with_different_labels(self):
+        # Two objects with identical rows share γ; different labels can
+        # never be assigned en masse.
+        ctx = FormalContext(["o0", "o1"], ["a"], [{0}, {0}])
+        lattice = build_lattice_batch(ctx)
+        assert not is_well_formed(lattice, {0: "good", 1: "bad"})
+        assert is_well_formed(lattice, {0: "good", 1: "good"})
+
+    def test_per_concept_report(self):
+        ctx = FormalContext(["o0", "o1"], ["a"], [{0}, {0}])
+        lattice = build_lattice_batch(ctx)
+        report = well_formed_concepts(lattice, {0: "good", 1: "bad"})
+        shared = lattice.object_concept(0)
+        assert report[shared] is False
+
+    def test_own_traces_mixed_breaks_well_formedness(self):
+        # o0 and o1 are both "own" traces of the top concept (their rows
+        # are incomparable singletons... make them share the top only).
+        ctx = FormalContext(
+            ["o0", "o1", "o2"],
+            ["common", "deep"],
+            [{0}, {0}, {0, 1}],
+        )
+        lattice = build_lattice_batch(ctx)
+        # o0, o1 live only in the top concept (own traces); o2 below.
+        assert not is_well_formed(lattice, {0: "good", 1: "bad", 2: "good"})
+        assert is_well_formed(lattice, {0: "good", 1: "good", 2: "bad"})
+
+
+class TestPaperFooExample:
+    """Section 4.3: even/odd numbers of calls to foo.
+
+    The buggy spec accepts any number of foo calls through a single
+    transition, so every trace executes the same transition set and the
+    lattice cannot separate even from odd.
+    """
+
+    @pytest.fixture
+    def foo_clustering(self):
+        spec = FA.from_edges([("q", "foo(X)", "q")], initial=["q"], accepting=["q"])
+        traces = [
+            parse_trace("; ".join(["foo(x)"] * n), trace_id=f"n{n}")
+            for n in range(1, 5)
+        ]
+        return cluster_traces(traces, spec)
+
+    def test_all_traces_in_one_concept(self, foo_clustering):
+        lattice = foo_clustering.lattice
+        gammas = {lattice.object_concept(o) for o in range(4)}
+        assert len(gammas) == 1
+
+    def test_even_odd_labeling_not_well_formed(self, foo_clustering):
+        labeling = {o: ("good" if (o + 1) % 2 == 0 else "bad") for o in range(4)}
+        assert not is_well_formed(foo_clustering.lattice, labeling)
+
+    def test_remedy_focus_with_better_fa(self, foo_clustering):
+        # The user's remedy: change the FA so even and odd traces execute
+        # different transitions.  A single parity loop is NOT enough (both
+        # parities execute the same transition *set*); two disjoint
+        # components, one accepting odd counts and one accepting even
+        # counts, give disjoint rows.
+        spec = FA.from_edges(
+            [
+                ("a0", "foo(X)", "a1"),
+                ("a1", "foo(X)", "a0"),
+                ("b0", "foo(X)", "b1"),
+                ("b1", "foo(X)", "b0"),
+            ],
+            initial=["a0", "b0"],
+            accepting=["a1", "b0"],
+        )
+        clustering = cluster_traces(
+            [foo_clustering.representatives[o] for o in range(4)], spec
+        )
+        labeling = {o: ("good" if (o + 1) % 2 == 0 else "bad") for o in range(4)}
+        assert is_well_formed(clustering.lattice, labeling)

@@ -1,0 +1,187 @@
+"""FA acceptance, binding consistency, and the executed-transitions
+relation R (Section 3.2)."""
+
+import pytest
+
+from repro.fa.automaton import FA, Transition
+from repro.lang.events import parse_pattern
+from repro.lang.traces import parse_trace
+
+
+@pytest.fixture
+def stdio(stdio_buggy):
+    return stdio_buggy
+
+
+class TestConstruction:
+    def test_from_edges_infers_states(self):
+        fa = FA.from_edges([("a", "x(P)", "b")], initial=["a"], accepting=["b"])
+        assert fa.states == ("a", "b")
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            FA(["a", "a"], ["a"], ["a"], [])
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ValueError):
+            FA(["a"], ["b"], [], [])
+
+    def test_unknown_transition_state_rejected(self):
+        t = Transition("a", parse_pattern("x"), "zz")
+        with pytest.raises(ValueError):
+            FA(["a"], ["a"], [], [t])
+
+    def test_counts(self, stdio):
+        assert stdio.num_states == 3
+        assert stdio.num_transitions == 5
+
+    def test_symbols(self, stdio):
+        assert stdio.symbols() == {"fopen", "popen", "fread", "fwrite", "fclose"}
+
+    def test_variables(self, stdio):
+        assert stdio.variables() == {"X"}
+
+    def test_with_transitions(self, stdio):
+        smaller = stdio.with_transitions(stdio.transitions[:2])
+        assert smaller.num_transitions == 2
+        assert smaller.states == stdio.states
+
+
+class TestAcceptance:
+    def test_accepts_fopen_lifecycle(self, stdio):
+        assert stdio.accepts(parse_trace("fopen(f1); fread(f1); fclose(f1)"))
+
+    def test_accepts_buggy_popen_fclose(self, stdio):
+        # The Figure 1 bug: fclose closes a popen'ed pipe.
+        assert stdio.accepts(parse_trace("popen(p1); fclose(p1)"))
+
+    def test_rejects_pclose(self, stdio):
+        assert not stdio.accepts(parse_trace("popen(p1); pclose(p1)"))
+
+    def test_rejects_unclosed(self, stdio):
+        assert not stdio.accepts(parse_trace("fopen(f1); fread(f1)"))
+
+    def test_rejects_empty_when_initial_not_accepting(self, stdio):
+        assert not stdio.accepts(parse_trace(""))
+
+    def test_accepts_empty_when_initial_accepting(self):
+        fa = FA(["q"], ["q"], ["q"], [])
+        assert fa.accepts(parse_trace(""))
+
+    def test_binding_consistency_across_events(self, stdio):
+        # The same X must flow through the whole lifecycle.
+        assert not stdio.accepts(parse_trace("fopen(f1); fclose(f2)"))
+
+    def test_multiple_initial_states(self):
+        fa = FA.from_edges(
+            [("a", "x(P)", "acc"), ("b", "y(P)", "acc")],
+            initial=["a", "b"],
+            accepting=["acc"],
+        )
+        assert fa.accepts(parse_trace("x(1)"))
+        assert fa.accepts(parse_trace("y(1)"))
+
+    def test_nondeterminism_any_path_accepts(self):
+        fa = FA.from_edges(
+            [("s", "a(P)", "dead"), ("s", "a(P)", "acc")],
+            initial=["s"],
+            accepting=["acc"],
+        )
+        assert fa.accepts(parse_trace("a(1)"))
+
+
+class TestExecutedTransitions:
+    def test_rejected_trace_has_empty_set(self, stdio):
+        assert stdio.executed_transitions(parse_trace("popen(p); pclose(p)")) == frozenset()
+
+    def test_deterministic_path(self, stdio):
+        trace = parse_trace("fopen(f); fread(f); fclose(f)")
+        executed = stdio.executed_transitions(trace)
+        labels = {str(stdio.transitions[i].pattern) for i in executed}
+        assert labels == {"fopen(X)", "fread(X)", "fclose(X)"}
+
+    def test_only_accepting_paths_counted(self):
+        # Transition to a dead state must not be reported.
+        fa = FA.from_edges(
+            [("s", "a(P)", "dead"), ("s", "a(P)", "acc")],
+            initial=["s"],
+            accepting=["acc"],
+        )
+        executed = fa.executed_transitions(parse_trace("a(1)"))
+        assert len(executed) == 1
+        (index,) = executed
+        assert fa.transitions[index].dst == "acc"
+
+    def test_union_over_multiple_accepting_paths(self):
+        fa = FA.from_edges(
+            [("s", "a(P)", "acc1"), ("s", "a(P)", "acc2")],
+            initial=["s"],
+            accepting=["acc1", "acc2"],
+        )
+        assert len(fa.executed_transitions(parse_trace("a(1)"))) == 2
+
+    def test_wildcard_transition_executes(self):
+        fa = FA.from_edges(
+            [("q", "*", "q"), ("q", "stop(X)", "f")],
+            initial=["q"],
+            accepting=["f"],
+        )
+        executed = fa.executed_transitions(parse_trace("anything(z); stop(s)"))
+        assert len(executed) == 2
+
+    def test_empty_trace_executes_nothing(self):
+        fa = FA(["q"], ["q"], ["q"], [])
+        assert fa.executed_transitions(parse_trace("")) == frozenset()
+
+    def test_seed_order_distinguishes_before_after(self):
+        from repro.fa.templates import seed_order_fa
+
+        fa = seed_order_fa(["a(X)", "b(X)"], "s(X)")
+        before = fa.executed_transitions(parse_trace("a(p); s(p)"))
+        after = fa.executed_transitions(parse_trace("s(p); a(p)"))
+        assert before != after
+
+    def test_loop_transition_reported_once(self, stdio):
+        trace = parse_trace("fopen(f); fread(f); fread(f); fread(f); fclose(f)")
+        executed = stdio.executed_transitions(trace)
+        assert len(executed) == 3  # fopen, fread-loop, fclose
+
+
+class TestAcceptingPaths:
+    def test_single_path(self, stdio):
+        trace = parse_trace("fopen(f); fclose(f)")
+        paths = stdio.accepting_paths(trace)
+        assert len(paths) == 1
+        assert len(paths[0]) == 2
+
+    def test_path_transitions_match_executed(self, stdio):
+        trace = parse_trace("popen(p); fwrite(p); fclose(p)")
+        paths = stdio.accepting_paths(trace)
+        union = frozenset(i for path in paths for i in path)
+        assert union == stdio.executed_transitions(trace)
+
+    def test_limit_respected(self):
+        # 2^5 paths through a diamond chain; limit cuts enumeration.
+        edges = []
+        for i in range(5):
+            edges.append((f"q{i}", "a(P)", f"q{i+1}"))
+            edges.append((f"q{i}", "a(P)", f"q{i+1}"))
+        fa = FA.from_edges(edges, initial=["q0"], accepting=["q5"])
+        trace = parse_trace("; ".join("a(x)" for _ in range(5)))
+        assert len(fa.accepting_paths(trace, limit=7)) == 7
+
+    def test_no_paths_for_rejected(self, stdio):
+        assert stdio.accepting_paths(parse_trace("fread(f)")) == []
+
+
+class TestRendering:
+    def test_pretty_mentions_all_parts(self, stdio):
+        text = stdio.pretty()
+        assert "initial" in text and "accepting" in text
+        assert "fopen(X)" in text
+
+    def test_repr(self, stdio):
+        assert "states=3" in repr(stdio)
+
+    def test_describe_transition(self, stdio):
+        assert "fopen(X)" in stdio.describe_transition(0)

@@ -1,0 +1,162 @@
+"""Classical automaton operations over symbolic alphabets."""
+
+import pytest
+
+from repro.fa.automaton import FA
+from repro.fa.ops import (
+    accepted_strings_upto,
+    determinize,
+    dfa_from_fa,
+    intersect,
+    is_empty,
+    language_equal,
+    language_subset,
+    minimize,
+    symbol_complement,
+    union,
+)
+from repro.lang.traces import parse_trace
+
+
+def make(edges, initial, accepting):
+    return FA.from_edges(edges, initial=initial, accepting=accepting)
+
+
+@pytest.fixture
+def ab_star():
+    """(a b)* — alternating pairs."""
+    return make([("p", "a", "q"), ("q", "b", "p")], ["p"], ["p"])
+
+
+@pytest.fixture
+def a_star():
+    return make([("s", "a", "s")], ["s"], ["s"])
+
+
+class TestDeterminize:
+    def test_removes_nondeterminism(self):
+        fa = make(
+            [("s", "a", "x"), ("s", "a", "y"), ("x", "b", "f"), ("y", "c", "f")],
+            ["s"],
+            ["f"],
+        )
+        det = determinize(fa)
+        moves = {}
+        for t in det.transitions:
+            key = (t.src, str(t.pattern))
+            assert key not in moves, "determinize left duplicate moves"
+            moves[key] = t.dst
+
+    def test_language_preserved(self):
+        fa = make(
+            [("s", "a", "x"), ("s", "a", "y"), ("x", "b", "f"), ("y", "c", "f")],
+            ["s"],
+            ["f"],
+        )
+        det = determinize(fa)
+        for text, expected in (("a; b", True), ("a; c", True), ("a", False)):
+            trace = parse_trace(text)
+            assert det.accepts(trace) == expected == fa.accepts(trace)
+
+
+class TestMinimize:
+    def test_merges_equivalent_states(self):
+        # Two parallel branches accepting the same suffix language.
+        fa = make(
+            [("s", "a", "x"), ("s", "b", "y"), ("x", "c", "f"), ("y", "c", "g")],
+            ["s"],
+            ["f", "g"],
+        )
+        mini = minimize(fa)
+        assert mini.num_states <= 3
+        assert language_equal(mini, fa)
+
+    def test_minimal_is_idempotent(self, ab_star):
+        once = minimize(ab_star)
+        twice = minimize(once)
+        assert once.num_states == twice.num_states
+
+    def test_accepting_preserved(self, a_star):
+        mini = minimize(a_star)
+        assert mini.accepts(parse_trace(""))
+        assert mini.accepts(parse_trace("a; a; a"))
+
+
+class TestProducts:
+    def test_intersection(self, ab_star, a_star):
+        both = intersect(ab_star, a_star)
+        # Only the empty string is in both languages.
+        assert both.accepts(parse_trace(""))
+        assert not both.accepts(parse_trace("a"))
+        assert not both.accepts(parse_trace("a; b"))
+
+    def test_union(self, ab_star, a_star):
+        either = union(ab_star, a_star)
+        assert either.accepts(parse_trace("a; a"))
+        assert either.accepts(parse_trace("a; b"))
+        assert not either.accepts(parse_trace("b"))
+
+    def test_union_when_one_side_dies(self, a_star):
+        b_star = make([("s", "b", "s")], ["s"], ["s"])
+        either = union(a_star, b_star)
+        assert either.accepts(parse_trace("b; b"))
+        assert either.accepts(parse_trace("a"))
+        assert not either.accepts(parse_trace("a; b"))
+
+
+class TestComplement:
+    def test_flips_membership(self, a_star):
+        comp = symbol_complement(a_star, {"a", "b"})
+        assert not comp.accepts(parse_trace("a; a"))
+        assert comp.accepts(parse_trace("a; b"))
+
+    def test_alphabet_must_cover(self, ab_star):
+        with pytest.raises(ValueError):
+            symbol_complement(ab_star, {"a"})
+
+    def test_double_complement(self, ab_star):
+        alphabet = {"a", "b"}
+        twice = symbol_complement(symbol_complement(ab_star, alphabet), alphabet)
+        assert language_equal(twice, ab_star)
+
+
+class TestLanguageComparisons:
+    def test_is_empty(self):
+        assert is_empty(make([("s", "a", "dead")], ["s"], []))
+        assert not is_empty(make([("s", "a", "f")], ["s"], ["f"]))
+
+    def test_subset(self, ab_star):
+        ab_once = make([("p", "a", "q"), ("q", "b", "f")], ["p"], ["f"])
+        assert language_subset(ab_once, ab_star)
+        assert not language_subset(ab_star, ab_once)
+
+    def test_equal_under_renaming(self):
+        fa1 = make([("s", "a", "f")], ["s"], ["f"])
+        fa2 = make([("zero", "a", "one")], ["zero"], ["one"])
+        assert language_equal(fa1, fa2)
+
+    def test_not_equal(self, ab_star, a_star):
+        assert not language_equal(ab_star, a_star)
+
+
+class TestEnumeration:
+    def test_accepted_strings(self, ab_star):
+        strings = accepted_strings_upto(ab_star, 4)
+        assert strings == [(), ("a", "b"), ("a", "b", "a", "b")]
+
+    def test_enumeration_matches_acceptance(self, stdio_fixed):
+        for string in accepted_strings_upto(stdio_fixed, 3):
+            trace = parse_trace("; ".join(s.replace("X", "o1") for s in string))
+            assert stdio_fixed.accepts(trace)
+
+
+class TestDfaConversion:
+    def test_reachable_prunes(self):
+        fa = make([("s", "a", "f"), ("orphan", "b", "f")], ["s"], ["f"])
+        dfa = dfa_from_fa(fa).reachable()
+        assert dfa.num_states == 2
+
+    def test_dfa_accepts_strings(self, ab_star):
+        dfa = dfa_from_fa(ab_star)
+        assert dfa.accepts(("a", "b"))
+        assert not dfa.accepts(("b",))

@@ -1,0 +1,112 @@
+"""The regex → FA compiler."""
+
+import pytest
+
+from repro.fa.ops import language_equal
+from repro.fa.regex import RegexSyntaxError, compile_regex
+from repro.fa.templates import unordered_fa
+from repro.lang.traces import parse_trace
+
+
+def accepts(regex: str, trace: str) -> bool:
+    return compile_regex(regex).accepts(parse_trace(trace))
+
+
+class TestBasics:
+    def test_single_event(self):
+        assert accepts("fopen(X)", "fopen(f)")
+        assert not accepts("fopen(X)", "")
+        assert not accepts("fopen(X)", "fopen(f); fopen(f)")
+
+    def test_sequence(self):
+        assert accepts("a(X) b(X)", "a(q); b(q)")
+        assert not accepts("a(X) b(X)", "b(q); a(q)")
+
+    def test_semicolons_as_separators(self):
+        assert accepts("a(X); b(X)", "a(q); b(q)")
+
+    def test_alternation(self):
+        regex = "open(X) (fclose(X) | pclose(X))"
+        assert accepts(regex, "open(q); fclose(q)")
+        assert accepts(regex, "open(q); pclose(q)")
+        assert not accepts(regex, "open(q)")
+
+    def test_star(self):
+        regex = "a(X) b(X)* c(X)"
+        assert accepts(regex, "a(q); c(q)")
+        assert accepts(regex, "a(q); b(q); b(q); b(q); c(q)")
+
+    def test_plus(self):
+        regex = "a(X)+"
+        assert not accepts(regex, "")
+        assert accepts(regex, "a(q)")
+        assert accepts(regex, "a(q); a(q)")
+
+    def test_optional(self):
+        regex = "a(X) b(X)? c(X)"
+        assert accepts(regex, "a(q); c(q)")
+        assert accepts(regex, "a(q); b(q); c(q)")
+        assert not accepts(regex, "a(q); b(q); b(q); c(q)")
+
+    def test_empty_language_of_empty_string(self):
+        assert accepts("a(X)*", "")
+
+    def test_nested_groups(self):
+        regex = "((a(X) b(X))+ | c(X))*"
+        assert accepts(regex, "")
+        assert accepts(regex, "c(q); a(q); b(q); c(q)")
+        assert not accepts(regex, "a(q); c(q)")
+
+    def test_wildcard_event(self):
+        regex = "*any** stop(X)"
+        assert accepts(regex, "anything(z); other(w); stop(s)")
+        assert not accepts(regex, "anything(z)")
+
+    def test_argless_event(self):
+        assert accepts("tick tick", "tick; tick")
+
+
+class TestVariablesAndBinding:
+    def test_variable_consistency(self):
+        regex = "fopen(X) fclose(X)"
+        assert accepts(regex, "fopen(f); fclose(f)")
+        assert not accepts(regex, "fopen(f); fclose(g)")
+
+    def test_underscore_any(self):
+        assert accepts("read(_, X) use(X)", "read(buf, q); use(q)")
+
+
+class TestEquivalences:
+    def test_figure6_spec_as_regex(self, stdio_fixed):
+        regex = (
+            "fopen(X) (fread(X) | fwrite(X))* fclose(X)"
+            " | popen(X) (fread(X) | fwrite(X))* pclose(X)"
+        )
+        assert language_equal(compile_regex(regex), stdio_fixed)
+
+    def test_unordered_template_as_regex(self):
+        regex = "(a(X) | b(X))*"
+        assert language_equal(compile_regex(regex), unordered_fa(["a(X)", "b(X)"]))
+
+    def test_plus_equals_x_xstar(self):
+        assert language_equal(compile_regex("a(X)+"), compile_regex("a(X) a(X)*"))
+
+    def test_opt_equals_alt_empty(self):
+        assert language_equal(
+            compile_regex("a(X)? b(X)"), compile_regex("a(X) b(X) | b(X)")
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["(a(X)", "a(X))", "*", "+ a(X)", "a(X) ⊥", "fopen(X"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises((RegexSyntaxError, ValueError)):
+            compile_regex(bad)
+
+    def test_empty_alternative_is_epsilon(self):
+        # Like POSIX ERE: an empty branch matches the empty string.
+        assert accepts("a(X) |", "")
+        assert accepts("a(X) |", "a(q)")

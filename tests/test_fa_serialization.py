@@ -1,0 +1,66 @@
+"""Text and dot serialization of automata."""
+
+import pytest
+
+from repro.fa.dot import fa_to_dot
+from repro.fa.ops import language_equal
+from repro.fa.serialization import fa_from_text, fa_to_text
+from repro.lang.traces import parse_trace
+
+SAMPLE = """
+# the fixed stdio spec, file half
+states: start file closed
+initial: start
+accepting: closed
+start -> file : fopen(X)
+file -> file : fread(X)
+file -> closed : fclose(X)
+"""
+
+
+class TestTextFormat:
+    def test_parse(self):
+        fa = fa_from_text(SAMPLE)
+        assert fa.states == ("start", "file", "closed")
+        assert fa.accepts(parse_trace("fopen(f); fread(f); fclose(f)"))
+
+    def test_roundtrip_structure(self, stdio_fixed):
+        again = fa_from_text(fa_to_text(stdio_fixed))
+        assert again.num_states == stdio_fixed.num_states
+        assert again.num_transitions == stdio_fixed.num_transitions
+        assert language_equal(again, stdio_fixed)
+
+    def test_roundtrip_wildcards(self):
+        text = "states: q\ninitial: q\naccepting: q\nq -> q : *\n"
+        fa = fa_from_text(text)
+        assert fa.accepts(parse_trace("anything(a)"))
+        assert fa_to_text(fa) == text
+
+    def test_states_inferred_when_missing(self):
+        fa = fa_from_text("initial: a\naccepting: b\na -> b : go(X)\n")
+        assert set(fa.states) == {"a", "b"}
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            fa_from_text("nonsense line\n")
+
+    def test_comments_and_blanks_ignored(self):
+        fa = fa_from_text("# hi\n\n" + SAMPLE)
+        assert fa.num_transitions == 3
+
+
+class TestDot:
+    def test_contains_all_states_and_labels(self, stdio_fixed):
+        dot = fa_to_dot(stdio_fixed)
+        assert dot.startswith("digraph")
+        assert dot.count("doublecircle") == 1  # one accepting state
+        assert "fopen(X)" in dot
+
+    def test_initial_arrow(self, stdio_fixed):
+        assert "shape=point" in fa_to_dot(stdio_fixed)
+
+    def test_quoting(self):
+        from repro.fa.automaton import FA
+
+        fa = FA(['we"ird'], ['we"ird'], [], [])
+        assert '\\"' in fa_to_dot(fa)

@@ -1,0 +1,84 @@
+"""The Focus template automata (Section 4.1)."""
+
+import pytest
+
+from repro.fa.templates import name_projection_fa, seed_order_fa, unordered_fa
+from repro.lang.traces import parse_trace
+
+EVENTS = ["open(X)", "read(X)", "close(X)"]
+
+
+class TestUnordered:
+    def test_accepts_any_order(self):
+        fa = unordered_fa(EVENTS)
+        assert fa.accepts(parse_trace("close(a); open(a); read(a)"))
+        assert fa.accepts(parse_trace(""))
+
+    def test_rejects_unknown_event(self):
+        fa = unordered_fa(EVENTS)
+        assert not fa.accepts(parse_trace("write(a)"))
+
+    def test_row_is_event_kind_set(self):
+        fa = unordered_fa(EVENTS)
+        t1 = parse_trace("open(a); read(a); read(a); close(a)")
+        t2 = parse_trace("read(a); close(a); open(a)")
+        assert fa.executed_transitions(t1) == fa.executed_transitions(t2)
+
+    def test_rows_differ_when_kinds_differ(self):
+        fa = unordered_fa(EVENTS)
+        t1 = parse_trace("open(a); close(a)")
+        t2 = parse_trace("open(a); read(a); close(a)")
+        assert fa.executed_transitions(t1) < fa.executed_transitions(t2)
+
+    def test_single_state(self):
+        assert unordered_fa(EVENTS).num_states == 1
+
+
+class TestNameProjection:
+    def test_tracks_only_one_name(self):
+        fa = name_projection_fa(["open(X)", "close(X)"], "X")
+        # Events about other objects fall into the wildcard loop.
+        trace = parse_trace("open(a); mystery(b); close(a)")
+        assert fa.accepts(trace)
+
+    def test_rows_ignore_unrelated_events(self):
+        fa = name_projection_fa(["open(X)", "close(X)"], "X")
+        t1 = parse_trace("open(a); noise(b); close(a)")
+        t2 = parse_trace("open(a); other(c); close(a)")
+        assert fa.executed_transitions(t1) == fa.executed_transitions(t2)
+
+    def test_requires_variable(self):
+        with pytest.raises(ValueError):
+            name_projection_fa(["open(X)"], "Y")
+
+
+class TestSeedOrder:
+    def test_distinguishes_pre_and_post(self):
+        fa = seed_order_fa(EVENTS, "close(X)")
+        pre = fa.executed_transitions(parse_trace("read(a); close(a)"))
+        post = fa.executed_transitions(parse_trace("close(a); read(a)"))
+        assert pre != post
+
+    def test_accepts_trace_without_seed(self):
+        fa = seed_order_fa(EVENTS, "close(X)")
+        assert fa.accepts(parse_trace("open(a); read(a)"))
+
+    def test_accepts_multiple_seeds(self):
+        fa = seed_order_fa(EVENTS, "close(X)")
+        assert fa.accepts(parse_trace("close(a); close(a)"))
+
+    def test_double_seed_executes_post_seed_loop(self):
+        fa = seed_order_fa(EVENTS, "close(X)")
+        single = fa.executed_transitions(parse_trace("close(a)"))
+        double = fa.executed_transitions(parse_trace("close(a); close(a)"))
+        assert single < double
+
+    def test_seed_not_in_events_still_works(self):
+        fa = seed_order_fa(["read(X)"], "free(X)")
+        assert fa.accepts(parse_trace("read(a); free(a); read(a)"))
+
+    def test_ignores_op_order_within_a_side(self):
+        fa = seed_order_fa(EVENTS, "close(X)")
+        t1 = parse_trace("open(a); read(a); close(a)")
+        t2 = parse_trace("read(a); open(a); close(a)")
+        assert fa.executed_transitions(t1) == fa.executed_transitions(t2)

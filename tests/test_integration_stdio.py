@@ -1,0 +1,120 @@
+"""End-to-end reproductions of the two Section 2 walkthroughs.
+
+Section 2.1 — debugging by testing: a buggy spec is checked against
+programs; the violation traces are clustered; the author labels clusters;
+the fixed specification accepts the good traces and rejects the bad ones.
+
+Section 2.2 — debugging a mined specification: Strauss learns a buggy FA
+from buggy runs; the expert labels the scenario classes with Cable and
+re-mines from the good ones.
+"""
+
+import pytest
+
+from repro.cable.session import CableSession
+from repro.core.trace_clustering import cluster_traces
+from repro.fa.ops import language_equal, language_subset
+from repro.lang.traces import parse_trace
+from repro.mining.strauss import Strauss
+from repro.verify.checker import TemporalChecker
+from repro.workloads.stdio import (
+    StdioExample,
+    buggy_spec,
+    fixed_spec,
+    reference_fa,
+)
+
+CREATION = {"fopen": 0, "popen": 0}
+
+
+class TestDebuggingByTesting:
+    """The Section 2.1 workflow, start to finish."""
+
+    @pytest.fixture(scope="class")
+    def violations(self):
+        example = StdioExample(n_programs=10, instances_per_program=6)
+        checker = TemporalChecker(buggy_spec(), CREATION)
+        return checker.check_all(example.program_traces())
+
+    def test_verifier_reports_violations(self, violations):
+        assert len(violations) >= 10
+
+    def test_correct_pipe_usage_among_violations(self, violations):
+        # The buggy spec rejects correct popen/pclose lifecycles, so they
+        # show up as (spurious) violations — the spec bug to find.
+        texts = {str(v.trace) for v in violations}
+        assert "popen(X); fread(X); pclose(X)" in texts
+
+    def test_cluster_label_fix(self, violations):
+        example = StdioExample()
+        clustering = cluster_traces([v.trace for v in violations], reference_fa())
+        assert clustering.rejected == ()
+        session = CableSession(clustering)
+
+        # The author labels every class: good iff not a program error.
+        # (The strategy tests exercise en-masse labeling; here we apply
+        # the oracle labeling directly to validate the fix step.)
+        for o, rep in enumerate(clustering.representatives):
+            label = "bad" if example.error_oracle(rep) else "good"
+            session.labels.assign([o], label)
+        assert session.done()
+
+        # Step 3: fix the specification — it must now accept the good
+        # violation traces while continuing to reject the bad ones.
+        fixed = fixed_spec()
+        for trace in session.traces_with_label("good"):
+            assert fixed.accepts(trace)
+        for trace in session.traces_with_label("bad"):
+            assert not fixed.accepts(trace)
+
+    def test_fixed_spec_still_accepts_buggy_specs_good_traces(self):
+        # The fix extends, not shrinks: everything the author kept from
+        # the old language is still accepted.
+        assert fixed_spec().accepts(parse_trace("fopen(f); fread(f); fclose(f)"))
+        assert not language_subset(buggy_spec(), fixed_spec())  # popen;fclose dropped
+        assert not language_equal(buggy_spec(), fixed_spec())
+
+
+class TestDebuggingAMinedSpec:
+    """The Section 2.2 workflow: mine, label, re-mine."""
+
+    @pytest.fixture(scope="class")
+    def mined(self):
+        example = StdioExample(n_programs=10, instances_per_program=6)
+        miner = Strauss(seeds=frozenset(["fopen", "popen"]), k=2, s=1.0)
+        return miner, miner.mine(example.program_traces())
+
+    def test_miner_learns_buggy_spec_from_buggy_runs(self, mined):
+        _, spec = mined
+        # The training runs contain wrong-close bugs, so the mined FA
+        # accepts at least one erroneous scenario.
+        assert spec.fa.accepts(parse_trace("popen(X); fread(X); fclose(X)"))
+
+    def test_label_and_remine(self, mined):
+        miner, spec = mined
+        example = StdioExample()
+        clustering = cluster_traces(list(spec.scenarios), spec.fa)
+        session = CableSession(clustering)
+        for o, rep in enumerate(clustering.representatives):
+            session.labels.assign(
+                [o], "bad" if example.error_oracle(rep) else "good"
+            )
+        labels = session.scenario_labels(list(spec.scenarios))
+        result = miner.remine(list(spec.scenarios), labels)
+        refit = result["good"].fa
+
+        assert refit.accepts(parse_trace("popen(X); fread(X); pclose(X)"))
+        assert refit.accepts(parse_trace("fopen(X); fread(X); fclose(X)"))
+        assert not refit.accepts(parse_trace("popen(X); fread(X); fclose(X)"))
+        assert not refit.accepts(parse_trace("fopen(X); fread(X)"))
+
+    def test_remined_language_close_to_ground_truth(self, mined):
+        miner, spec = mined
+        example = StdioExample()
+        labels = {
+            i: ("bad" if example.error_oracle(t) else "good")
+            for i, t in enumerate(spec.scenarios)
+        }
+        refit = miner.remine(list(spec.scenarios), labels)["good"].fa
+        # Everything the re-mined spec accepts is truly correct behavior.
+        assert language_subset(refit, fixed_spec())

@@ -1,0 +1,114 @@
+"""Traces, trace sets, standardization, and dedup."""
+
+import pytest
+
+from repro.lang.events import Event
+from repro.lang.traces import Trace, TraceSet, dedup_traces, parse_trace
+
+
+class TestTrace:
+    def test_parse_and_len(self):
+        trace = parse_trace("fopen(f1); fread(f1); fclose(f1)")
+        assert len(trace) == 3
+        assert trace[0] == Event("fopen", ("f1",))
+
+    def test_parse_empty(self):
+        assert len(parse_trace("")) == 0
+        assert len(parse_trace("  ")) == 0
+
+    def test_str_roundtrip(self):
+        text = "fopen(f1); fread(f1); fclose(f1)"
+        assert str(parse_trace(text)) == text
+
+    def test_symbols(self):
+        trace = parse_trace("a(x); b(x); a(y)")
+        assert trace.symbols == ("a", "b", "a")
+
+    def test_names(self):
+        trace = parse_trace("a(x); b(y); c(x, z)")
+        assert trace.names() == {"x", "y", "z"}
+
+    def test_project(self):
+        trace = parse_trace("a(x); b(y); c(x); d(z)")
+        assert str(trace.project("x")) == "a(x); c(x)"
+
+    def test_project_keep_unrelated(self):
+        trace = parse_trace("a(x); b(y)")
+        assert trace.project("x", keep_unrelated=True) is trace
+
+    def test_rename(self):
+        trace = parse_trace("a(x); b(x, y)")
+        assert str(trace.rename({"x": "X"})) == "a(X); b(X, y)"
+
+    def test_standardize_names_by_first_appearance(self):
+        trace = parse_trace("open(p9); write(p9, q3); close(q3)")
+        assert str(trace.standardize_names()) == "open(X); write(X, Y); close(Y)"
+
+    def test_standardize_equal_for_isomorphic_traces(self):
+        t1 = parse_trace("open(a); close(a)").standardize_names()
+        t2 = parse_trace("open(zz); close(zz)").standardize_names()
+        assert t1.key() == t2.key()
+
+    def test_standardize_overflows_to_numbered_names(self):
+        events = "; ".join(f"e(n{i})" for i in range(8))
+        standardized = parse_trace(events).standardize_names()
+        assert "N6" in str(standardized)
+
+    def test_immutability(self):
+        trace = parse_trace("a(x)")
+        with pytest.raises(AttributeError):
+            trace.events = ()
+
+    def test_hashable(self):
+        assert parse_trace("a(x)") in {parse_trace("a(x)")}
+
+    def test_iteration(self):
+        trace = parse_trace("a(x); b(x)")
+        assert [e.symbol for e in trace] == ["a", "b"]
+
+
+class TestTraceSet:
+    def test_from_strings_assigns_ids(self):
+        ts = TraceSet.from_strings(["a(x)", "b(y)"])
+        assert [t.trace_id for t in ts] == ["t0", "t1"]
+
+    def test_symbols(self):
+        ts = TraceSet.from_strings(["a(x); b(x)", "c(y)"])
+        assert ts.symbols() == {"a", "b", "c"}
+
+    def test_add_and_index(self):
+        ts = TraceSet()
+        ts.add(parse_trace("a(x)"))
+        assert len(ts) == 1
+        assert str(ts[0]) == "a(x)"
+
+
+class TestDedup:
+    def test_identical_traces_grouped(self):
+        traces = [parse_trace("a(X); b(X)") for _ in range(3)]
+        traces.append(parse_trace("a(X)"))
+        result = dedup_traces(traces)
+        assert result.num_classes == 2
+        assert result.counts == (3, 1)
+        assert result.total == 4
+
+    def test_order_of_first_appearance_preserved(self):
+        traces = [parse_trace(t) for t in ("b(X)", "a(X)", "b(X)")]
+        result = dedup_traces(traces)
+        assert [str(r) for r in result.representatives] == ["b(X)", "a(X)"]
+
+    def test_members_keep_original_traces(self):
+        t1 = parse_trace("a(X)", trace_id="one")
+        t2 = parse_trace("a(X)", trace_id="two")
+        result = dedup_traces([t1, t2])
+        assert result.members[0] == (t1, t2)
+
+    def test_trace_id_does_not_affect_identity(self):
+        t1 = parse_trace("a(X)", trace_id="p")
+        t2 = parse_trace("a(X)", trace_id="q")
+        assert dedup_traces([t1, t2]).num_classes == 1
+
+    def test_empty(self):
+        result = dedup_traces([])
+        assert result.num_classes == 0
+        assert result.total == 0

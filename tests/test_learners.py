@@ -1,0 +1,225 @@
+"""The prefix tree, the sk-strings learner, k-tails, and coring."""
+
+import pytest
+
+from repro.fa.ops import language_equal, language_subset
+from repro.lang.traces import parse_trace
+from repro.learners.coring import core_fa
+from repro.learners.k_tails import learn_k_tails
+from repro.learners.prefix_tree import PrefixTree
+from repro.learners.sk_strings import STOP, _Merger, learn_sk_strings
+
+FOPEN_TRACES = [
+    "fopen(X); fread(X); fclose(X)",
+    "fopen(X); fread(X); fread(X); fclose(X)",
+    "fopen(X); fwrite(X); fclose(X)",
+    "popen(X); fread(X); pclose(X)",
+    "popen(X); pclose(X)",
+]
+
+
+@pytest.fixture
+def traces():
+    return [parse_trace(t) for t in FOPEN_TRACES]
+
+
+class TestPrefixTree:
+    def test_counts(self, traces):
+        tree = PrefixTree.from_traces(traces)
+        assert tree.visits[0] == 5
+        assert sum(tree.stops) == 5
+
+    def test_shared_prefixes_share_nodes(self):
+        tree = PrefixTree.from_strings([("a", "b"), ("a", "c")])
+        assert tree.num_nodes == 4  # root, a, b, c
+
+    def test_edge_count(self):
+        tree = PrefixTree.from_strings([("a",), ("a", "b")])
+        assert tree.edge_count(0, "a") == 2
+        assert tree.edge_count(0, "zz") == 0
+
+    def test_to_fa_accepts_exactly_training(self, traces):
+        fa = PrefixTree.from_traces(traces).to_fa()
+        for trace in traces:
+            assert fa.accepts(trace)
+        assert not fa.accepts(parse_trace("fopen(f); pclose(f)"))
+        assert not fa.accepts(parse_trace("fopen(f)"))
+
+    def test_bfs_order_root_first(self, traces):
+        order = PrefixTree.from_traces(traces).bfs_order()
+        assert order[0] == 0
+        assert sorted(order) == list(range(len(order)))
+
+
+class TestKStrings:
+    def test_probabilities_sum_to_one(self, traces):
+        merger = _Merger(PrefixTree.from_traces(traces))
+        dist = merger.k_strings(0, 2)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_stop_marker_on_short_strings(self):
+        merger = _Merger(PrefixTree.from_strings([("a",), ("a", "b")]))
+        dist = merger.k_strings(0, 3)
+        assert ("a", STOP) in dist
+        assert ("a", "b", STOP) in dist
+
+    def test_top_strings_full_mass(self, traces):
+        merger = _Merger(PrefixTree.from_traces(traces))
+        top = merger.top_strings(0, 2, 1.0)
+        assert top == frozenset(merger.k_strings(0, 2))
+
+    def test_top_strings_partial_mass_is_smaller(self):
+        strings = [("a", "b")] * 9 + [("a", "c")]
+        merger = _Merger(PrefixTree.from_strings(strings))
+        assert len(merger.top_strings(0, 2, 0.5)) < len(
+            merger.top_strings(0, 2, 1.0)
+        )
+
+
+class TestSkStrings:
+    def test_accepts_all_training_traces(self, traces):
+        learned = learn_sk_strings(traces, k=2, s=1.0)
+        for trace in traces:
+            assert learned.fa.accepts(trace)
+
+    def test_smaller_than_pta(self, traces):
+        pta = PrefixTree.from_traces(traces)
+        learned = learn_sk_strings(traces, k=1, s=0.5)
+        assert learned.fa.num_states < pta.num_nodes
+
+    def test_generalizes_repetition_into_loop(self):
+        traces = [
+            parse_trace("a(x)" + "; b(x)" * n + "; c(x)") for n in range(1, 6)
+        ]
+        learned = learn_sk_strings(traces, k=1, s=1.0)
+        # A loop accepts more repetitions than were in the training set.
+        assert learned.fa.accepts(parse_trace("a(x)" + "; b(x)" * 9 + "; c(x)"))
+
+    def test_language_grows_monotonically_with_merging(self, traces):
+        conservative = learn_sk_strings(traces, k=3, s=1.0)
+        aggressive = learn_sk_strings(traces, k=1, s=0.4)
+        assert language_subset(conservative.fa, aggressive.fa)
+
+    def test_deterministic_result(self, traces):
+        fa = learn_sk_strings(traces, k=2, s=1.0).fa
+        moves = set()
+        for t in fa.transitions:
+            key = (t.src, str(t.pattern))
+            assert key not in moves
+            moves.add(key)
+
+    def test_transition_counts_cover_training(self, traces):
+        learned = learn_sk_strings(traces, k=2, s=1.0)
+        assert len(learned.transition_counts) == learned.fa.num_transitions
+        # Initial state's outgoing counts account for every trace.
+        out_of_q0 = sum(
+            count
+            for t, count in zip(learned.fa.transitions, learned.transition_counts)
+            if t.src == "q0"
+        )
+        assert out_of_q0 == len(traces)
+
+    def test_invalid_parameters(self, traces):
+        with pytest.raises(ValueError):
+            learn_sk_strings(traces, k=0)
+        with pytest.raises(ValueError):
+            learn_sk_strings(traces, s=0.0)
+        with pytest.raises(ValueError):
+            learn_sk_strings(traces, s=1.5)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            learn_sk_strings([])
+
+    def test_single_trace(self):
+        learned = learn_sk_strings([parse_trace("a(x); b(x)")])
+        assert learned.fa.accepts(parse_trace("a(x); b(x)"))
+        assert not learned.fa.accepts(parse_trace("a(x)"))
+
+
+class TestKTails:
+    def test_accepts_training(self, traces):
+        learned = learn_k_tails(traces, k=2)
+        for trace in traces:
+            assert learned.fa.accepts(trace)
+
+    def test_zero_tails_merges_by_acceptance_only(self, traces):
+        learned = learn_k_tails(traces, k=0)
+        assert learned.fa.num_states <= 2
+
+    def test_more_tails_more_states(self, traces):
+        small = learn_k_tails(traces, k=0).fa.num_states
+        large = learn_k_tails(traces, k=3).fa.num_states
+        assert small <= large
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            learn_k_tails([parse_trace("a(x)")], k=-1)
+
+    def test_sensitive_to_single_bad_trace(self):
+        # The reason the paper's line of work prefers frequencies: one
+        # erroneous trace changes the k-tails result as much as many
+        # correct ones.
+        good = [parse_trace("a(x); b(x)")] * 10
+        with_bug = good + [parse_trace("a(x)")]
+        fa_good = learn_k_tails(good, k=1).fa
+        fa_bug = learn_k_tails(with_bug, k=1).fa
+        assert not language_equal(fa_good, fa_bug)
+
+
+class TestCoring:
+    def test_drops_rare_transitions(self):
+        traces = [parse_trace("a(x); b(x)")] * 20 + [parse_trace("a(x); c(x)")]
+        learned = learn_sk_strings(traces, k=2, s=1.0)
+        cored = core_fa(learned, min_fraction=0.2)
+        assert cored.accepts(parse_trace("a(x); b(x)"))
+        assert not cored.accepts(parse_trace("a(x); c(x)"))
+
+    def test_zero_threshold_keeps_language(self):
+        traces = [parse_trace("a(x); b(x)"), parse_trace("a(x); c(x)")]
+        learned = learn_sk_strings(traces, k=2, s=1.0)
+        assert language_equal(core_fa(learned, 0.0), learned.fa)
+
+    def test_coring_failure_mode_frequent_bugs_survive(self):
+        # Section 6: "some buggy traces occurred so frequently that
+        # suppressing them would also suppress valid traces".
+        traces = [parse_trace("a(x); b(x)")] * 10 + [parse_trace("a(x)")] * 8
+        learned = learn_sk_strings(traces, k=2, s=1.0)
+        cored = core_fa(learned, min_fraction=0.3)
+        assert cored.accepts(parse_trace("a(x)"))  # frequent bug survives
+
+    def test_everything_cored_gives_empty_language(self):
+        from repro.fa.ops import is_empty
+
+        # Two traces that split the frequency mass below the threshold.
+        traces = [parse_trace("a(x)"), parse_trace("b(x)")]
+        learned = learn_sk_strings(traces, k=2, s=1.0)
+        assert is_empty(core_fa(learned, min_fraction=0.9))
+
+    def test_invalid_fraction(self):
+        learned = learn_sk_strings([parse_trace("a(x)")])
+        with pytest.raises(ValueError):
+            core_fa(learned, min_fraction=-0.1)
+        with pytest.raises(ValueError):
+            core_fa(learned, min_fraction=1.5)
+
+
+class TestSkStringsVariants:
+    def test_or_variant_merges_more(self, traces):
+        and_fa = learn_sk_strings(traces, k=2, s=0.5, variant="and").fa
+        or_fa = learn_sk_strings(traces, k=2, s=0.5, variant="or").fa
+        assert or_fa.num_states <= and_fa.num_states
+
+    def test_or_variant_still_accepts_training(self, traces):
+        learned = learn_sk_strings(traces, k=2, s=0.5, variant="or")
+        for trace in traces:
+            assert learned.fa.accepts(trace)
+
+    def test_or_language_superset_of_and(self, traces):
+        and_fa = learn_sk_strings(traces, k=1, s=0.5, variant="and").fa
+        or_fa = learn_sk_strings(traces, k=1, s=0.5, variant="or").fa
+        assert language_subset(and_fa, or_fa)
+
+    def test_unknown_variant_rejected(self, traces):
+        with pytest.raises(ValueError):
+            learn_sk_strings(traces, variant="xor")

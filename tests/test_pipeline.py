@@ -1,0 +1,83 @@
+"""The per-specification experiment pipeline."""
+
+import pytest
+
+from repro.core.wellformed import is_well_formed
+from repro.workloads.pipeline import cached_run, run_spec
+from repro.workloads.specs_catalog import SPEC_CATALOG, spec_by_name
+
+
+@pytest.fixture(scope="module")
+def quarks_run():
+    return run_spec("Quarks")
+
+
+class TestRunSpec:
+    def test_accepts_spec_object_or_name(self):
+        by_name = run_spec("XGetSelOwner")
+        by_model = run_spec(spec_by_name("XGetSelOwner"))
+        assert by_name.clustering.num_objects == by_model.clustering.num_objects
+
+    def test_reference_fa_accepts_all_scenarios(self, quarks_run):
+        assert quarks_run.clustering.rejected == ()
+        for scenario in quarks_run.scenarios:
+            assert quarks_run.reference_fa.accepts(scenario)
+
+    def test_every_behavior_becomes_a_class(self, quarks_run):
+        spec = quarks_run.spec
+        assert quarks_run.clustering.num_objects == len(spec.behaviors)
+
+    def test_reference_labeling_complete_and_correct(self, quarks_run):
+        labeling = quarks_run.reference_labeling
+        assert set(labeling) == set(
+            range(quarks_run.clustering.num_objects)
+        )
+        spec = quarks_run.spec
+        for o, trace in enumerate(quarks_run.clustering.representatives):
+            assert labeling[o] == spec.oracle_label(trace)
+
+    def test_raw_scenarios_outnumber_unique(self, quarks_run):
+        # Strauss extracts many identical scenario traces (Section 5.2).
+        assert quarks_run.num_scenarios > quarks_run.num_unique_scenarios
+
+    def test_counts_properties(self, quarks_run):
+        assert quarks_run.num_attributes == quarks_run.reference_fa.num_transitions
+        assert quarks_run.num_concepts == len(quarks_run.clustering.lattice)
+        assert quarks_run.lattice_seconds >= 0.0
+
+    def test_debugged_fa_accepts_good_scenarios_only(self, quarks_run):
+        fa = quarks_run.debugged_fa
+        for o, trace in enumerate(quarks_run.clustering.representatives):
+            if quarks_run.reference_labeling[o] == "good":
+                assert fa.accepts(trace)
+
+    def test_cached_run_is_cached(self):
+        first = cached_run("XGetSelOwner")
+        second = cached_run("XGetSelOwner")
+        assert first is second
+
+    def test_determinism_across_runs(self):
+        r1 = run_spec("PrsTransTbl", seed=5)
+        r2 = run_spec("PrsTransTbl", seed=5)
+        assert [str(t) for t in r1.scenarios] == [str(t) for t in r2.scenarios]
+
+
+@pytest.mark.parametrize("spec", SPEC_CATALOG, ids=lambda s: s.name)
+class TestAllSpecsPipeline:
+    """Every catalogue spec runs end-to-end and is debuggable by Cable."""
+
+    def test_well_formed_for_reference_labeling(self, spec):
+        run = cached_run(spec.name)
+        assert is_well_formed(run.clustering.lattice, run.reference_labeling)
+
+    def test_both_labels_present(self, spec):
+        run = cached_run(spec.name)
+        labels = set(run.reference_labeling.values())
+        assert labels == {"good", "bad"}
+
+    def test_rows_are_small(self, spec):
+        # Section 3.1.1: k (attributes per object) is "typically less
+        # than ten" — allow the XPutImage stage chain a little slack.
+        run = cached_run(spec.name)
+        rows = run.clustering.lattice.context.rows
+        assert max(len(r) for r in rows) <= 13

@@ -1,0 +1,149 @@
+"""Hypothesis property tests for the automaton algebra.
+
+Random symbolic NFAs are generated and the classical identities checked:
+determinization and minimization preserve the language, complement flips
+membership, the product constructions satisfy the Boolean laws, and the
+executed-transitions relation is consistent with acceptance.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fa.automaton import FA, Transition
+from repro.fa.ops import (
+    determinize,
+    intersect,
+    language_equal,
+    language_subset,
+    minimize,
+    symbol_complement,
+    union,
+)
+from repro.lang.events import Event, parse_pattern
+from repro.lang.traces import Trace
+
+ALPHABET = ("a", "b", "c")
+
+
+@st.composite
+def nfas(draw):
+    """Small random NFAs over a fixed 3-symbol alphabet."""
+    num_states = draw(st.integers(1, 4))
+    states = [f"q{i}" for i in range(num_states)]
+    num_edges = draw(st.integers(0, 8))
+    transitions = []
+    for _ in range(num_edges):
+        src = draw(st.sampled_from(states))
+        dst = draw(st.sampled_from(states))
+        sym = draw(st.sampled_from(ALPHABET))
+        transitions.append(Transition(src, parse_pattern(sym), dst))
+    initial = draw(st.sets(st.sampled_from(states), min_size=1))
+    accepting = draw(st.sets(st.sampled_from(states)))
+    return FA(states, initial, accepting, transitions)
+
+
+def strings_upto(n):
+    for length in range(n + 1):
+        yield from itertools.product(ALPHABET, repeat=length)
+
+
+def as_trace(symbols) -> Trace:
+    return Trace(tuple(Event(s) for s in symbols))
+
+
+class TestDeterminizeMinimize:
+    @given(nfas())
+    @settings(max_examples=80, deadline=None)
+    def test_determinize_preserves_language(self, fa):
+        det = determinize(fa)
+        for string in strings_upto(4):
+            assert fa.accepts(as_trace(string)) == det.accepts(as_trace(string))
+
+    @given(nfas())
+    @settings(max_examples=80, deadline=None)
+    def test_minimize_preserves_language(self, fa):
+        assert language_equal(minimize(fa), fa)
+
+    @given(nfas())
+    @settings(max_examples=50, deadline=None)
+    def test_minimize_is_minimal_fixpoint(self, fa):
+        once = minimize(fa)
+        assert minimize(once).num_states == once.num_states
+
+
+class TestBooleanAlgebra:
+    @given(nfas(), nfas())
+    @settings(max_examples=60, deadline=None)
+    def test_product_constructions(self, fa1, fa2):
+        both = intersect(fa1, fa2)
+        either = union(fa1, fa2)
+        for string in strings_upto(3):
+            trace = as_trace(string)
+            in1, in2 = fa1.accepts(trace), fa2.accepts(trace)
+            assert both.accepts(trace) == (in1 and in2)
+            assert either.accepts(trace) == (in1 or in2)
+
+    @given(nfas())
+    @settings(max_examples=60, deadline=None)
+    def test_complement_flips(self, fa):
+        comp = symbol_complement(fa, ALPHABET)
+        for string in strings_upto(3):
+            trace = as_trace(string)
+            assert comp.accepts(trace) != fa.accepts(trace)
+
+    @given(nfas(), nfas())
+    @settings(max_examples=40, deadline=None)
+    def test_de_morgan(self, fa1, fa2):
+        lhs = symbol_complement(union(fa1, fa2), ALPHABET)
+        rhs = intersect(
+            symbol_complement(fa1, ALPHABET), symbol_complement(fa2, ALPHABET)
+        )
+        assert language_equal(lhs, rhs)
+
+    @given(nfas(), nfas())
+    @settings(max_examples=60, deadline=None)
+    def test_subset_consistent_with_membership(self, fa1, fa2):
+        if language_subset(fa1, fa2):
+            for string in strings_upto(3):
+                trace = as_trace(string)
+                if fa1.accepts(trace):
+                    assert fa2.accepts(trace)
+
+
+class TestExecutedTransitions:
+    @given(nfas())
+    @settings(max_examples=80, deadline=None)
+    def test_nonempty_iff_accepting_nonempty_trace(self, fa):
+        for string in strings_upto(3):
+            trace = as_trace(string)
+            executed = fa.executed_transitions(trace)
+            if string:
+                assert bool(executed) == fa.accepts(trace)
+            else:
+                assert executed == frozenset()
+
+    @given(nfas())
+    @settings(max_examples=50, deadline=None)
+    def test_executed_equals_union_of_paths(self, fa):
+        for string in strings_upto(3):
+            trace = as_trace(string)
+            paths = fa.accepting_paths(trace, limit=500)
+            union_of_paths = frozenset(i for path in paths for i in path)
+            assert union_of_paths == fa.executed_transitions(trace)
+
+    @given(nfas())
+    @settings(max_examples=50, deadline=None)
+    def test_restriction_to_executed_still_accepts(self, fa):
+        # Keeping only the executed transitions must preserve acceptance
+        # of that particular trace.
+        for string in strings_upto(3):
+            trace = as_trace(string)
+            if not fa.accepts(trace):
+                continue
+            executed = fa.executed_transitions(trace)
+            restricted = fa.with_transitions(
+                [fa.transitions[i] for i in sorted(executed)]
+            )
+            assert restricted.accepts(trace)

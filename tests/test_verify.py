@@ -1,0 +1,139 @@
+"""The temporal-safety checker and its violation traces (Section 2.1)."""
+
+import pytest
+
+from repro.lang.traces import parse_trace
+from repro.verify.checker import TemporalChecker, check_traces
+
+CREATION = {"fopen": 0, "popen": 0}
+
+
+@pytest.fixture
+def checker(stdio_buggy):
+    return TemporalChecker(stdio_buggy, CREATION)
+
+
+@pytest.fixture
+def fixed_checker(stdio_fixed):
+    return TemporalChecker(stdio_fixed, CREATION)
+
+
+class TestTrackedObjects:
+    def test_each_creation_tracked(self, checker):
+        trace = parse_trace("fopen(a); popen(b); fread(a)")
+        assert checker.tracked_objects(trace) == [("a", 0), ("b", 1)]
+
+    def test_recycled_id_tracked_twice(self, checker):
+        trace = parse_trace("fopen(a); fclose(a); fopen(a); fclose(a)")
+        assert checker.tracked_objects(trace) == [("a", 0), ("a", 2)]
+
+    def test_missing_argument_rejected(self, checker):
+        with pytest.raises(ValueError):
+            checker.tracked_objects(parse_trace("fopen"))
+
+
+class TestProjection:
+    def test_projects_by_name_from_creation(self, checker):
+        trace = parse_trace("fopen(a); fread(b); fread(a); fclose(a)")
+        projected = checker.projection(trace, "a", 0)
+        assert str(projected) == "fopen(X); fread(X); fclose(X)"
+
+    def test_projection_stops_at_recreation(self, checker):
+        trace = parse_trace("fopen(a); fclose(a); fopen(a); fread(a)")
+        first = checker.projection(trace, "a", 0)
+        assert str(first) == "fopen(X); fclose(X)"
+        second = checker.projection(trace, "a", 2)
+        assert str(second) == "fopen(X); fread(X)"
+
+
+class TestViolations:
+    def test_correct_program_no_violations_under_fixed_spec(self, fixed_checker):
+        trace = parse_trace("fopen(a); fread(a); fclose(a); popen(b); pclose(b)")
+        assert fixed_checker.check(trace) == []
+
+    def test_buggy_spec_reports_correct_pipe_usage(self, checker):
+        # The heart of Section 2.1: the *specification* is wrong, so the
+        # verifier flags correct popen/pclose lifecycles.
+        trace = parse_trace("popen(p); fread(p); pclose(p)")
+        (violation,) = checker.check(trace)
+        assert str(violation.trace) == "popen(X); fread(X); pclose(X)"
+        assert violation.object_name == "p"
+
+    def test_real_leak_reported_by_both_specs(self, checker, fixed_checker):
+        trace = parse_trace("fopen(a); fread(a)")
+        assert len(checker.check(trace)) == 1
+        assert len(fixed_checker.check(trace)) == 1
+
+    def test_wrong_close_reported_by_fixed_spec(self, fixed_checker):
+        trace = parse_trace("fopen(a); fread(a); pclose(a)")
+        (violation,) = fixed_checker.check(trace)
+        assert violation.prefix_ok == 2  # fopen, fread were fine
+
+    def test_prefix_ok_full_length_for_premature_end(self, fixed_checker):
+        trace = parse_trace("fopen(a); fread(a)")
+        (violation,) = fixed_checker.check(trace)
+        assert violation.prefix_ok == len(violation.trace)
+
+    def test_multiple_objects_multiple_violations(self, fixed_checker):
+        trace = parse_trace("fopen(a); popen(b); fclose(b); fread(a)")
+        violations = fixed_checker.check(trace)
+        assert {v.object_name for v in violations} == {"a", "b"}
+
+    def test_check_all_and_wrapper(self, stdio_fixed):
+        traces = [
+            parse_trace("fopen(a); fclose(a)", trace_id="ok"),
+            parse_trace("popen(b); fclose(b)", trace_id="bug"),
+        ]
+        violations = check_traces(stdio_fixed, traces, CREATION)
+        assert len(violations) == 1
+        assert violations[0].program_trace_id == "bug"
+
+    def test_violation_str(self, fixed_checker):
+        trace = parse_trace("fopen(a)", trace_id="prog")
+        (violation,) = fixed_checker.check(trace)
+        assert "prog" in str(violation) and "a" in str(violation)
+
+    def test_violation_traces_standardized(self, fixed_checker):
+        trace = parse_trace("fopen(weird77); fread(weird77)")
+        (violation,) = fixed_checker.check(trace)
+        assert violation.trace.names() == {"X"}
+
+
+class TestExplain:
+    def test_wrong_event_diagnosis(self, stdio_fixed, fixed_checker):
+        from repro.verify.explain import explain_violation
+
+        trace = parse_trace("fopen(a); fread(a); pclose(a)")
+        (violation,) = fixed_checker.check(trace)
+        text = explain_violation(stdio_fixed, violation)
+        assert "got stuck at event 3" in text
+        assert "pclose(X)" in text
+        assert "fclose(X)" in text  # among the expected continuations
+
+    def test_premature_end_diagnosis(self, stdio_fixed, fixed_checker):
+        from repro.verify.explain import explain_violation
+
+        trace = parse_trace("fopen(a); fread(a)")
+        (violation,) = fixed_checker.check(trace)
+        text = explain_violation(stdio_fixed, violation)
+        assert "ends before the lifecycle completes" in text
+        assert "fclose(X)" in text
+
+    def test_stuck_at_first_event(self, stdio_fixed, fixed_checker):
+        from repro.verify.explain import explain_violation
+
+        trace = parse_trace("popen(a); fclose(a)")
+        (violation,) = fixed_checker.check(trace)
+        text = explain_violation(stdio_fixed, violation)
+        assert "after accepting: popen(X)" in text
+
+    def test_explain_all_joins(self, stdio_fixed, fixed_checker):
+        from repro.verify.explain import explain_all
+
+        traces = [
+            parse_trace("fopen(a); fread(a)"),
+            parse_trace("popen(b); fclose(b)"),
+        ]
+        violations = fixed_checker.check_all(traces)
+        text = explain_all(stdio_fixed, violations)
+        assert text.count("violation[") == 2

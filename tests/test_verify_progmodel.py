@@ -1,0 +1,192 @@
+"""Program models and the bounded static checker."""
+
+import pytest
+
+from repro.verify.progmodel import ProgramModel, StaticChecker
+from repro.workloads.stdio import buggy_spec, fixed_spec
+
+CREATION = {"fopen": 0, "popen": 0}
+
+
+@pytest.fixture
+def viewer():
+    """Branches to file or pipe handling, reads in a loop, closes right."""
+    return (
+        ProgramModel.build("viewer")
+        .entry("n0")
+        .exit("end")
+        .edge("n0", "n1", "fopen(f)")
+        .edge("n0", "n2", "popen(p)")
+        .edge("n1", "n3", "fread(f)")
+        .edge("n3", "n3", "fread(f)")
+        .edge("n3", "n4", "fclose(f)")
+        .edge("n2", "n5", "fread(p)")
+        .edge("n5", "n5", "fread(p)")
+        .edge("n5", "n6", "pclose(p)")
+        .edge("n4", "end")
+        .edge("n6", "end")
+        .done()
+    )
+
+
+class TestBuilder:
+    def test_missing_entry(self):
+        with pytest.raises(ValueError):
+            ProgramModel.build().exit("x").done()
+
+    def test_missing_exit(self):
+        with pytest.raises(ValueError):
+            ProgramModel.build().entry("x").done()
+
+    def test_nodes_collected(self, viewer):
+        assert {"n0", "end", "n3"} <= viewer.nodes
+
+
+class TestPaths:
+    def test_straight_line(self):
+        prog = (
+            ProgramModel.build("p")
+            .entry("a")
+            .exit("c")
+            .edge("a", "b", "x(1)")
+            .edge("b", "c", "y(1)")
+            .done()
+        )
+        (path,) = list(prog.paths())
+        assert str(path) == "x(1); y(1)"
+
+    def test_branching(self, viewer):
+        paths = {str(p) for p in viewer.paths(max_visits=1)}
+        assert paths == {
+            "fopen(f); fread(f); fclose(f)",
+            "popen(p); fread(p); pclose(p)",
+        }
+
+    def test_loop_unrolling(self, viewer):
+        assert len(list(viewer.paths(max_visits=1))) == 2
+        assert len(list(viewer.paths(max_visits=2))) == 4
+        assert len(list(viewer.paths(max_visits=3))) == 6
+
+    def test_event_length_bound(self, viewer):
+        for path in viewer.paths(max_events=3, max_visits=5):
+            assert len(path) <= 3
+
+    def test_path_cap(self, viewer):
+        assert len(list(viewer.paths(max_visits=5, max_paths=3))) == 3
+
+    def test_eventless_edges(self):
+        prog = (
+            ProgramModel.build("p")
+            .entry("a")
+            .exit("c")
+            .edge("a", "b")
+            .edge("b", "c", "x(1)")
+            .done()
+        )
+        (path,) = list(prog.paths())
+        assert str(path) == "x(1)"
+
+    def test_exit_mid_path(self):
+        # A node that is both exit and has successors yields both the
+        # short path and the continuations.
+        prog = (
+            ProgramModel.build("p")
+            .entry("a")
+            .exit("b", "c")
+            .edge("a", "b", "x(1)")
+            .edge("b", "c", "y(1)")
+            .done()
+        )
+        assert {str(p) for p in prog.paths()} == {"x(1)", "x(1); y(1)"}
+
+
+class TestStaticChecker:
+    def test_correct_program_clean_under_fixed_spec(self, viewer):
+        checker = StaticChecker(fixed_spec(), CREATION)
+        assert checker.check(viewer) == []
+
+    def test_buggy_spec_flags_pipe_paths(self, viewer):
+        checker = StaticChecker(buggy_spec(), CREATION)
+        violations = checker.check(viewer)
+        assert violations
+        assert all("popen" in v.trace.symbols for v in violations)
+
+    def test_violations_deduplicated_across_paths(self, viewer):
+        # Extra loop iterations around *other* objects produce identical
+        # projections; only distinct violation traces are reported.
+        checker = StaticChecker(buggy_spec(), CREATION, max_visits=3)
+        texts = [str(v.trace) for v in checker.check(viewer)]
+        assert len(texts) == len(set(texts))
+
+    def test_real_bug_found_statically(self):
+        # A leak on one branch: the fixed spec flags exactly that branch.
+        prog = (
+            ProgramModel.build("leaky")
+            .entry("a")
+            .exit("end")
+            .edge("a", "b", "fopen(f)")
+            .edge("b", "ok", "fclose(f)")
+            .edge("b", "end", "log(m)")  # forgot fclose on this branch
+            .edge("ok", "end")
+            .done()
+        )
+        checker = StaticChecker(fixed_spec(), CREATION)
+        (violation,) = checker.check(prog)
+        assert str(violation.trace) == "fopen(X)"
+        assert violation.program_trace_id == "leaky"
+
+    def test_check_all(self, viewer):
+        checker = StaticChecker(buggy_spec(), CREATION)
+        assert len(checker.check_all([viewer, viewer])) == 2 * len(
+            checker.check(viewer)
+        )
+
+    def test_static_violations_feed_cable(self, viewer):
+        # End-to-end: static violations cluster like dynamic ones.
+        from repro.core.trace_clustering import cluster_traces
+        from repro.workloads.stdio import reference_fa
+
+        checker = StaticChecker(buggy_spec(), CREATION, max_visits=3)
+        violations = checker.check(viewer)
+        clustering = cluster_traces([v.trace for v in violations], reference_fa())
+        assert clustering.rejected == ()
+        assert clustering.num_objects >= 2
+
+
+class TestPathProperties:
+    """Randomized CFGs: every enumerated path honors its bounds."""
+
+    def _random_model(self, seed: int):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 6)
+        nodes = [f"n{i}" for i in range(n)]
+        builder = ProgramModel.build(f"rand{seed}").entry("n0").exit(nodes[-1])
+        for _ in range(rng.randint(n - 1, 2 * n)):
+            src = rng.choice(nodes[:-1])
+            dst = rng.choice(nodes)
+            event = None
+            if rng.random() < 0.7:
+                event = f"e{rng.randint(0, 3)}(x{rng.randint(0, 2)})"
+            builder.edge(src, dst, event)
+        # Guarantee at least one entry->exit chain exists.
+        for i in range(n - 1):
+            builder.edge(nodes[i], nodes[i + 1], f"step{i}(x0)")
+        return builder.done()
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_bounds_respected(self, seed):
+        model = self._random_model(seed)
+        paths = list(model.paths(max_events=5, max_visits=2, max_paths=200))
+        assert paths, "the guaranteed chain must yield at least one path"
+        assert len(paths) <= 200
+        for path in paths:
+            assert len(path) <= 5
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_more_visits_never_fewer_paths(self, seed):
+        model = self._random_model(seed)
+        few = len(list(model.paths(max_visits=1, max_paths=500)))
+        more = len(list(model.paths(max_visits=2, max_paths=500)))
+        assert more >= few

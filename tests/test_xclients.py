@@ -1,0 +1,228 @@
+"""The simulated X11 client runtime, programs, and corpus."""
+
+import random
+
+import pytest
+
+from repro.cable.session import CableSession
+from repro.core.trace_clustering import cluster_traces
+from repro.lang.traces import dedup_traces, parse_trace
+from repro.workloads.xclients.corpus import (
+    build_corpus,
+    gc_ground_truth,
+    mine_gc_specification,
+)
+from repro.workloads.xclients.programs import CLIENT_PROGRAMS, buggy_clients
+from repro.workloads.xclients.runtime import XProtocolError, XRuntime
+
+
+class TestRuntime:
+    def test_records_events_per_resource(self):
+        x = XRuntime(program="p")
+        gc = x.create_gc()
+        x.draw_line(gc)
+        x.free_gc(gc)
+        trace = x.trace()
+        assert trace.symbols == ("XCreateGC", "XDrawLine", "XFreeGC")
+        assert trace.names() == {gc}
+        assert trace.trace_id == "p"
+
+    def test_fresh_ids_per_resource_kind(self):
+        x = XRuntime(program="p")
+        assert x.create_gc() != x.create_gc()
+        assert x.create_pixmap().startswith("pix")
+
+    def test_leak_detection(self):
+        x = XRuntime(program="p")
+        gc = x.create_gc()
+        display = x.open_display()
+        x.close_display(display)
+        assert x.leaked() == {gc}
+
+    def test_strict_mode_catches_use_after_free(self):
+        x = XRuntime(program="p", strict=True)
+        gc = x.create_gc()
+        x.free_gc(gc)
+        with pytest.raises(XProtocolError):
+            x.draw_line(gc)
+
+    def test_strict_mode_catches_double_free(self):
+        x = XRuntime(program="p", strict=True)
+        gc = x.create_gc()
+        x.free_gc(gc)
+        with pytest.raises(XProtocolError):
+            x.free_gc(gc)
+
+    def test_non_strict_records_misuse(self):
+        x = XRuntime(program="p", strict=False)
+        gc = x.create_gc()
+        x.free_gc(gc)
+        x.free_gc(gc)
+        assert x.trace().symbols.count("XFreeGC") == 2
+
+    def test_timeout_fire_releases(self):
+        x = XRuntime(program="p", strict=True)
+        timeout = x.add_timeout()
+        x.fire_timeout(timeout)
+        with pytest.raises(XProtocolError):
+            x.remove_timeout(timeout)  # the RmvTimeOut race, caught
+
+
+class TestPrograms:
+    @pytest.mark.parametrize(
+        "name", [n for n, (_, buggy) in CLIENT_PROGRAMS.items() if not buggy]
+    )
+    def test_clean_clients_pass_strict_runtime(self, name):
+        client, _ = CLIENT_PROGRAMS[name]
+        for seed in range(8):
+            x = XRuntime(program=name, strict=True)
+            client(x, random.Random(seed))
+            assert x.leaked() == frozenset(), name
+
+    @pytest.mark.parametrize("name", sorted(buggy_clients()))
+    def test_buggy_clients_misbehave_on_some_seed(self, name):
+        client, _ = CLIENT_PROGRAMS[name]
+        misbehaved = False
+        for seed in range(16):
+            x = XRuntime(program=name, strict=True)
+            try:
+                client(x, random.Random(seed))
+            except XProtocolError:
+                misbehaved = True
+                break
+            if x.leaked():
+                misbehaved = True
+                break
+        assert misbehaved, f"{name} never misbehaved in 16 runs"
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        c1 = build_corpus(runs_per_client=2, seed="s")
+        c2 = build_corpus(runs_per_client=2, seed="s")
+        assert [str(t) for t in c1] == [str(t) for t in c2]
+
+    def test_size(self):
+        corpus = build_corpus(runs_per_client=3)
+        assert len(corpus) == 3 * len(CLIENT_PROGRAMS)
+
+    def test_mined_gc_spec_is_buggy(self):
+        result = mine_gc_specification(runs_per_client=5)
+        scenarios = dedup_traces(result.mined.scenarios).representatives
+        labels = {result.oracle_label(s) for s in scenarios}
+        assert labels == {"good", "bad"}  # the miner learned from bugs
+
+    def test_ground_truth_spec(self):
+        spec = gc_ground_truth()
+        assert spec.accepts(
+            parse_trace("XCreateGC(X); XSetForeground(X); XDrawLine(X); XFreeGC(X)")
+        )
+        assert not spec.accepts(parse_trace("XCreateGC(X)"))
+        assert not spec.accepts(
+            parse_trace("XCreateGC(X); XFreeGC(X); XFreeGC(X)")
+        )
+
+    def test_debug_and_remine_recovers_correct_spec(self):
+        result = mine_gc_specification(runs_per_client=5)
+        clustering = cluster_traces(list(result.mined.scenarios), result.mined.fa)
+        session = CableSession(clustering)
+        for o, rep in enumerate(clustering.representatives):
+            session.labels.assign([o], result.oracle_label(rep))
+        miner = __import__(
+            "repro.mining.strauss", fromlist=["Strauss"]
+        ).Strauss(seeds=frozenset(["XCreateGC"]), k=2, s=1.0)
+        labels = session.scenario_labels(list(result.mined.scenarios))
+        refit = miner.remine(list(result.mined.scenarios), labels)["good"].fa
+        from repro.fa.ops import language_subset
+
+        assert language_subset(refit, result.ground_truth)
+        assert not refit.accepts(parse_trace("XCreateGC(X); XDrawLine(X)"))
+
+
+class TestMultiNameScenarios:
+    """Section 4.1's name-projection case: the inferred FA mentions
+    several names (a GC created *for* a window)."""
+
+    def test_windowed_gc_scenarios_mention_two_names(self):
+        result = mine_gc_specification(runs_per_client=5)
+        reps = dedup_traces(result.mined.scenarios).representatives
+        multi = [t for t in reps if t.names() == {"X", "Y"}]
+        assert multi, "no two-name scenario extracted"
+        for trace in multi:
+            assert trace.symbols[0] == "XCreateGC"
+
+    def test_seed_arg_scopes_to_created_resource(self):
+        # With seed_arg=0 the scenario excludes the window's own events.
+        result = mine_gc_specification(runs_per_client=5)
+        for trace in result.mined.scenarios:
+            assert "XCreateWindow" not in trace.symbols
+            assert "XDestroyWindow" not in trace.symbols
+
+    def test_name_projection_template_conflates_window_variants(self):
+        from repro.core.trace_clustering import cluster_traces
+        from repro.fa.templates import name_projection_fa
+
+        result = mine_gc_specification(runs_per_client=5)
+        reps = list(dedup_traces(result.mined.scenarios).representatives)
+        patterns = [
+            "XCreateGC(X)",
+            "XCreateGC(X, _)",
+            "XSetForeground(X)",
+            "XDrawLine(X)",
+            "XDrawString(X)",
+            "XFreeGC(X)",
+        ]
+        projection = name_projection_fa(patterns, "X")
+        clustering = cluster_traces(reps, projection)
+        assert clustering.rejected == ()
+        # Under the X-projection, the windowed and bare create events
+        # both involve X, and the lattice clusters by GC behavior only.
+        lattice = clustering.lattice
+        windowed = next(
+            o
+            for o, t in enumerate(clustering.representatives)
+            if t.names() == {"X", "Y"} and t.symbols.count("XDrawLine") == 1
+        )
+        bare = next(
+            o
+            for o, t in enumerate(clustering.representatives)
+            if t.names() == {"X"}
+            and t.symbols == ("XCreateGC", "XDrawLine", "XFreeGC")
+        )
+        shared = lattice.context.rows[windowed] & lattice.context.rows[bare]
+        # They share the draw and free transitions (same GC behavior).
+        names = clustering.transitions_of(shared)
+        assert any("XFreeGC" in n for n in names)
+        assert any("XDrawLine" in n for n in names)
+
+
+class TestTimeoutMining:
+    """The RmvTimeOut race, mined from the executed corpus."""
+
+    def test_mined_timeout_spec_accepts_the_race(self):
+        from repro.workloads.xclients.corpus import mine_timeout_specification
+
+        result = mine_timeout_specification(runs_per_client=6)
+        race = parse_trace(
+            "XtAppAddTimeOut(X); TimeOutCallback(X); XtRemoveTimeOut(X)"
+        )
+        assert result.mined.fa.accepts(race)  # the bug taught the miner
+        assert result.oracle_label(race) == "bad"
+
+    def test_debugged_timeout_spec_rejects_the_race(self):
+        from repro.mining.strauss import Strauss
+        from repro.workloads.xclients.corpus import mine_timeout_specification
+
+        result = mine_timeout_specification(runs_per_client=6)
+        labels = {
+            i: result.oracle_label(t)
+            for i, t in enumerate(result.mined.scenarios)
+        }
+        miner = Strauss(seeds=frozenset(["XtAppAddTimeOut"]), k=2, s=1.0)
+        refit = miner.remine(list(result.mined.scenarios), labels)["good"].fa
+        race = parse_trace(
+            "XtAppAddTimeOut(X); TimeOutCallback(X); XtRemoveTimeOut(X)"
+        )
+        assert not refit.accepts(race)
+        assert refit.accepts(parse_trace("XtAppAddTimeOut(X); TimeOutCallback(X)"))
+        assert refit.accepts(parse_trace("XtAppAddTimeOut(X); XtRemoveTimeOut(X)"))

@@ -1,0 +1,27 @@
+"""Calibration helper: print per-spec strategy costs and claim flags."""
+import sys
+from repro.workloads import run_spec, SPEC_CATALOG
+from repro.strategies import evaluate_strategies
+from repro.core.wellformed import is_well_formed
+from repro.workloads.specs_catalog import FOUR_LARGEST
+
+names = sys.argv[1:] or [s.name for s in SPEC_CATALOG]
+ratios = []
+for name in names:
+    run = run_spec(name)
+    wf = is_well_formed(run.clustering.lattice, run.reference_labeling)
+    t = evaluate_strategies(run.clustering, run.reference_labeling, name=name,
+                            random_trials=128, shuffle_trials=8, optimal_max_states=50_000)
+    rnd = f"{t.random_mean:.1f}" if t.random_mean is not None else "-"
+    ratios.append(t.expert / t.baseline)
+    flags = []
+    if name not in FOUR_LARGEST and name not in ("XGetSelOwner", "XPutImage"):
+        if t.top_down is not None and t.top_down >= t.baseline: flags.append("TD>=BASE!")
+        if t.random_mean is not None and t.random_mean >= t.baseline: flags.append("RND>=BASE!")
+    if name in ("XGetSelOwner", "XPutImage"):
+        if t.top_down is not None and t.top_down < t.baseline: flags.append("TDlose!")
+    if not wf: flags.append("NOT-WF!")
+    print(f"{name:18s} cls={run.clustering.num_objects:4d} con={run.num_concepts:4d} "
+          f"exp={t.expert:4d} base={t.baseline:4d} td={t.top_down} bu={t.bottom_up} rnd={rnd} opt={t.optimal} {' '.join(flags)}")
+if len(names) > 3:
+    print("mean expert/baseline:", sum(ratios) / len(ratios))
