@@ -13,10 +13,8 @@ stochastic learner's s knob moves smoothly between the conservative
 k-tails jumps.
 """
 
-import pytest
-
 from benchmarks.conftest import report
-from repro.lang.traces import Trace, parse_trace
+from repro.lang.traces import parse_trace
 from repro.learners.k_tails import learn_k_tails
 from repro.learners.sk_strings import learn_sk_strings
 from repro.util.tables import format_table

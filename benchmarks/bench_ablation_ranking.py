@@ -18,8 +18,6 @@ through mixed upper concepts first; total completion costs stay
 comparable because the en-masse labeling work is the same either way.
 """
 
-import pytest
-
 from benchmarks.conftest import report
 from repro.rank.scores import concept_scores
 from repro.strategies.base import LabelingSimulator, StuckError

@@ -13,8 +13,6 @@ and reports lattice size, well-formedness for the oracle labeling, and
 the Expert labeling cost under each.
 """
 
-import pytest
-
 from benchmarks.conftest import report
 from repro.core.trace_clustering import cluster_traces
 from repro.core.wellformed import is_well_formed

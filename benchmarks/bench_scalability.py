@@ -10,7 +10,6 @@ and reports sizes and build times for Godin's algorithm.
 
 import time
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.core.context import FormalContext

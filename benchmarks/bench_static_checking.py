@@ -8,8 +8,6 @@ violation traces, and measures the end-to-end cost — the static
 counterpart of the Figures 1–6 pipeline.
 """
 
-import pytest
-
 from benchmarks.conftest import report
 from repro.core.trace_clustering import cluster_traces
 from repro.util.tables import format_table

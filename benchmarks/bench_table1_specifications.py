@@ -56,6 +56,20 @@ def test_table1(benchmark, runs):
                 behavior.symbols,
             )
 
+    # Quarantine stays empty across the catalogue: every reference FA
+    # accepts all of its spec's scenario traces.
+    quarantined = {
+        name: run.num_quarantined
+        for name, run in runs.items()
+        if run.num_quarantined
+    }
+    report(
+        "table1_quarantine_counts",
+        "quarantined scenario traces per spec: "
+        + (str(quarantined) if quarantined else "none"),
+    )
+    assert not quarantined
+
 
 def test_bench_debugged_fa_largest(benchmark):
     """Time re-mining the debugged specification for the largest spec."""

@@ -19,7 +19,6 @@ In-text claims verified here:
 
 import os
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.strategies.expert import expert_strategy

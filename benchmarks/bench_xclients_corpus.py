@@ -9,8 +9,6 @@ the ground-truth GC lifecycle.  The re-mined specification must be sound
 and must reject all three bug classes the buggy clients planted.
 """
 
-import pytest
-
 from benchmarks.conftest import report
 from repro.cable.session import CableSession
 from repro.core.trace_clustering import cluster_traces

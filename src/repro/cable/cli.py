@@ -43,6 +43,7 @@ from collections.abc import Iterable
 
 from repro.cable.session import CableSession, Selection, SelectionError
 from repro.cable.views import lattice_to_dot, render_lattice
+from repro.robustness.errors import InputError, ReproError
 from repro.core.trace_clustering import cluster_traces
 from repro.fa.serialization import fa_from_text
 from repro.fa.templates import name_projection_fa, seed_order_fa, unordered_fa
@@ -84,7 +85,16 @@ class CableCLI:
         cmd, *args = parts
         try:
             return self._dispatch(cmd, args)
-        except (SelectionError, ValueError, KeyError, IndexError) as exc:
+        except (
+            ReproError,
+            SelectionError,
+            ValueError,
+            KeyError,
+            IndexError,
+            OSError,
+        ) as exc:
+            # Bad inputs (including corrupt files and over-budget builds)
+            # are reported, never fatal: the session stays alive.
             self.emit(f"error: {exc}")
             return True
 
@@ -184,7 +194,7 @@ class CableCLI:
 
             fa = compile_regex(" ".join(args[1:]))
         else:
-            raise ValueError(f"unknown focus template {kind!r}")
+            raise InputError("unknown focus template", template=kind)
         focused = self.session.focus(concept, fa)
         if focused.unclustered:
             self.emit(
@@ -286,12 +296,18 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(__doc__, file=sys.stderr)
         return 0 if argv else 2
-    if argv[0] == "--session":
-        from repro.cable.persist import load_session
+    try:
+        if argv[0] == "--session":
+            from repro.cable.persist import load_session_with_recovery
 
-        session = load_session(argv[1])
-    else:
-        session = build_session(argv[0], argv[1] if len(argv) > 1 else None)
+            session, recovery_warnings = load_session_with_recovery(argv[1])
+            for warning in recovery_warnings:
+                print(f"warning: {warning}", file=sys.stderr)
+        else:
+            session = build_session(argv[0], argv[1] if len(argv) > 1 else None)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     cli = CableCLI(session)
     cli.emit(
         f"cable: {session.clustering.num_objects} trace classes, "

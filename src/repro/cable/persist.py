@@ -1,10 +1,24 @@
-"""Saving and restoring Cable sessions.
+"""Saving and restoring Cable sessions, crash-safely.
 
 A debugging session over hundreds of trace classes spans sittings; this
 module serializes everything a session needs — the reference FA, the
 traces (class members, so counts survive), the labels, and the operation
 counters — as a single JSON document.  Loading re-clusters
 deterministically, so the lattice does not need to be stored.
+
+Persistence is fault-tolerant:
+
+* saves are **atomic** (write temp + fsync + rename via
+  :mod:`repro.robustness.atomicio`), with the previous file rotated to
+  a ``.bak`` chain, so killing the process mid-save never loses the
+  last successfully saved state;
+* the document embeds a SHA-256 **checksum**, so truncation and
+  bit-flips are detected on load rather than producing a silently
+  wrong session;
+* the loader **falls back** to the newest valid backup when the main
+  file is corrupt, reporting what it did, and raises
+  :class:`~repro.robustness.errors.SessionCorrupt` (with the per-file
+  failure reasons) only when nothing valid remains.
 """
 
 from __future__ import annotations
@@ -16,13 +30,28 @@ from repro.cable.session import CableSession
 from repro.core.trace_clustering import cluster_traces
 from repro.fa.serialization import fa_from_text, fa_to_text
 from repro.lang.traces import parse_trace
+from repro.robustness.atomicio import (
+    atomic_write_text,
+    backup_paths,
+    checksum_text,
+)
+from repro.robustness.errors import ReproError, SessionCorrupt
 
 #: Format marker for forward compatibility.
 FORMAT = "cable-session/1"
 
+#: Backup generations kept by :func:`save_session`.
+DEFAULT_BACKUPS = 2
+
+
+def _payload_text(data: dict) -> str:
+    """The canonical text the checksum covers (everything but itself)."""
+    payload = {k: v for k, v in data.items() if k != "checksum"}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
 
 def session_to_dict(session: CableSession) -> dict:
-    """The JSON-serializable form of a session."""
+    """The JSON-serializable form of a session (checksum included)."""
     clustering = session.clustering
     classes = []
     for o in range(clustering.num_objects):
@@ -33,7 +62,7 @@ def session_to_dict(session: CableSession) -> dict:
                 "label": session.labels.label_of(o),
             }
         )
-    return {
+    data = {
         "format": FORMAT,
         "reference_fa": fa_to_text(clustering.reference_fa),
         "classes": classes,
@@ -43,12 +72,73 @@ def session_to_dict(session: CableSession) -> dict:
             "labelings": session.ops.labelings,
         },
     }
+    data["checksum"] = checksum_text(_payload_text(data))
+    return data
 
 
-def session_from_dict(data: dict) -> CableSession:
-    """Rebuild a session from :func:`session_to_dict` output."""
-    if data.get("format") != FORMAT:
-        raise ValueError(f"not a cable session document: {data.get('format')!r}")
+def _validate(data: dict, path: str | None = None) -> None:
+    """Structural validation; raises :class:`SessionCorrupt` with the
+    precise inconsistency."""
+    if not isinstance(data, dict) or data.get("format") != FORMAT:
+        raise SessionCorrupt(
+            "not a cable session document",
+            path=path,
+            reason=f"format={data.get('format')!r}"
+            if isinstance(data, dict)
+            else "not a JSON object",
+        )
+    stored = data.get("checksum")
+    if stored is not None:
+        actual = checksum_text(_payload_text(data))
+        if stored != actual:
+            raise SessionCorrupt(
+                "session checksum mismatch (truncated or corrupted file)",
+                path=path,
+                reason=f"stored {stored[:12]}…, computed {actual[:12]}…",
+            )
+    classes = data.get("classes")
+    if not isinstance(classes, list):
+        raise SessionCorrupt("session has no classes list", path=path)
+    seen_ids: dict[str, int] = {}
+    for i, entry in enumerate(classes):
+        members = entry.get("members")
+        ids = entry.get("ids")
+        if not isinstance(members, list) or not isinstance(ids, list):
+            raise SessionCorrupt(
+                "class entry lacks members/ids lists",
+                path=path,
+                class_index=i,
+            )
+        if len(members) != len(ids):
+            raise SessionCorrupt(
+                f"class {i} has {len(members)} member(s) but "
+                f"{len(ids)} id(s)",
+                path=path,
+                class_index=i,
+                num_members=len(members),
+                num_ids=len(ids),
+            )
+        for trace_id in ids:
+            if trace_id in seen_ids:
+                raise SessionCorrupt(
+                    f"duplicate trace id {trace_id!r} in classes "
+                    f"{seen_ids[trace_id]} and {i}",
+                    path=path,
+                    trace_id=trace_id,
+                    class_index=i,
+                )
+            if trace_id:
+                seen_ids[trace_id] = i
+
+
+def session_from_dict(data: dict, path: str | None = None) -> CableSession:
+    """Rebuild a session from :func:`session_to_dict` output.
+
+    The document is validated first — length-mismatched or duplicated
+    trace ids raise :class:`SessionCorrupt` instead of being silently
+    zipped away.
+    """
+    _validate(data, path=path)
     reference = fa_from_text(data["reference_fa"])
     traces = []
     labels_by_key: dict[tuple, str] = {}
@@ -68,11 +158,80 @@ def session_from_dict(data: dict) -> CableSession:
     return session
 
 
-def save_session(session: CableSession, path: str | Path) -> None:
-    """Write ``session`` to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(session_to_dict(session), indent=2))
+def save_session(
+    session: CableSession,
+    path: str | Path,
+    backups: int = DEFAULT_BACKUPS,
+) -> None:
+    """Atomically write ``session`` to ``path`` as checksummed JSON.
+
+    The previous file (if any) survives as ``<path>.bak`` (up to
+    ``backups`` generations), so a crash at any instant leaves a
+    loadable state behind.
+    """
+    text = json.dumps(session_to_dict(session), indent=2)
+    atomic_write_text(path, text, backups=backups)
+
+
+def _try_load(path: Path) -> CableSession:
+    try:
+        raw = path.read_text()
+    except OSError as exc:
+        raise SessionCorrupt(
+            "cannot read session file", path=str(path), reason=str(exc)
+        ) from exc
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SessionCorrupt(
+            "session file is not valid JSON (truncated write?)",
+            path=str(path),
+            reason=str(exc),
+        ) from exc
+    return session_from_dict(data, path=str(path))
+
+
+def load_session_with_recovery(
+    path: str | Path, backups: int = DEFAULT_BACKUPS
+) -> tuple[CableSession, list[str]]:
+    """Load ``path``, falling back to the newest valid backup.
+
+    Returns ``(session, warnings)`` — ``warnings`` is empty when the
+    main file loaded cleanly, and otherwise says which file failed why
+    and which backup was used.  Raises :class:`SessionCorrupt` when the
+    main file and every backup are unreadable.
+    """
+    path = Path(path)
+    warnings: list[str] = []
+    failures: list[str] = []
+    candidates = [path] + [p for p in backup_paths(path, backups) if p.exists()]
+    for candidate in candidates:
+        try:
+            session = _try_load(candidate)
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            message = exc.message if isinstance(exc, ReproError) else str(exc)
+            failures.append(f"{candidate}: {message}")
+            warnings.append(f"cannot load {candidate}: {message}")
+            continue
+        if candidate != path:
+            warnings.append(
+                f"recovered session from backup {candidate} "
+                "(the main file was corrupt)"
+            )
+        return session, warnings
+    raise SessionCorrupt(
+        "session file and all backups are corrupt",
+        path=str(path),
+        attempts=failures,
+    )
 
 
 def load_session(path: str | Path) -> CableSession:
-    """Read a session previously written by :func:`save_session`."""
-    return session_from_dict(json.loads(Path(path).read_text()))
+    """Read a session previously written by :func:`save_session`.
+
+    Falls back to the newest valid ``.bak`` when the main file is
+    corrupt; use :func:`load_session_with_recovery` to observe the
+    recovery warnings.
+    """
+    session, _warnings = load_session_with_recovery(path)
+    return session

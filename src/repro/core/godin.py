@@ -22,6 +22,15 @@ The builder also maintains the lattice-wide invariant that a concept with
 intent = (all attributes seen so far) always exists — the canonical bottom
 — growing or splitting it when an object introduces fresh attributes.
 
+Construction can be **budgeted** (:class:`~repro.robustness.budget.Budget`):
+the builder checks wall time and object count before every insertion and
+the concept count after it, refreshing a periodic
+:class:`LatticeCheckpoint` as it goes.  An over-budget build raises
+:class:`~repro.robustness.errors.BudgetExceeded` carrying a consistent,
+resumable partial lattice — pass it back to :func:`build_lattice_godin`
+as ``resume_from`` (with a bigger budget) to finish the build with no
+work repeated.
+
 Correctness is enforced by the test suite, which compares extents,
 intents, and covers against :mod:`repro.core.batch` on randomized
 contexts.
@@ -29,25 +38,56 @@ contexts.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
 
 from repro.core.concepts import Concept, ConceptLattice
 from repro.core.context import FormalContext
+from repro.robustness.budget import Budget, BudgetMeter
+from repro.robustness.errors import BudgetExceeded
+
+
+@dataclass(frozen=True)
+class LatticeCheckpoint:
+    """A consistent snapshot of a partial Godin build.
+
+    ``num_objects`` is how many objects have been fully inserted; for a
+    sequential :func:`build_lattice_godin` pass it is also the index of
+    the next context row to insert, which is all resumption needs.
+    """
+
+    extents: tuple[frozenset[int], ...]
+    intents: tuple[frozenset[int], ...]
+    parents: tuple[frozenset[int], ...]
+    children: tuple[frozenset[int], ...]
+    all_attrs: frozenset[int]
+    num_objects: int
+
+    @property
+    def num_concepts(self) -> int:
+        return len(self.intents)
 
 
 class GodinLatticeBuilder:
     """Incrementally builds a concept lattice, one object at a time."""
 
-    def __init__(self) -> None:
+    def __init__(self, budget: Budget | None = None,
+                 clock: Callable[[], float] | None = None) -> None:
         self._extents: list[set[int]] = []
         self._intents: list[frozenset[int]] = []
         self._parents: list[set[int]] = []
         self._children: list[set[int]] = []
         self._all_attrs: frozenset[int] = frozenset()
         self._num_objects = 0
+        self._budget = budget if budget and not budget.unlimited else None
+        self._clock = clock
+        self._meter: BudgetMeter | None = None
+        self._last_checkpoint: LatticeCheckpoint | None = None
 
     @classmethod
-    def from_lattice(cls, lattice: ConceptLattice) -> "GodinLatticeBuilder":
+    def from_lattice(
+        cls, lattice: ConceptLattice, budget: Budget | None = None
+    ) -> "GodinLatticeBuilder":
         """Resume incremental construction from an existing lattice.
 
         This is the incremental algorithm's raison d'être: when new
@@ -56,7 +96,7 @@ class GodinLatticeBuilder:
         rebuilt.  The attribute universe must not grow (it is fixed by
         the reference FA).
         """
-        builder = cls()
+        builder = cls(budget=budget)
         for concept in lattice.concepts:
             builder._extents.append(set(concept.extent))
             builder._intents.append(concept.intent)
@@ -65,6 +105,70 @@ class GodinLatticeBuilder:
         builder._all_attrs = lattice.context.all_attributes
         builder._num_objects = lattice.context.num_objects
         return builder
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint: LatticeCheckpoint,
+        budget: Budget | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> "GodinLatticeBuilder":
+        """Resume from a :class:`LatticeCheckpoint` (e.g. one carried by a
+        ``BudgetExceeded``).  The wall clock restarts at the first insert."""
+        builder = cls(budget=budget, clock=clock)
+        builder._extents = [set(e) for e in checkpoint.extents]
+        builder._intents = list(checkpoint.intents)
+        builder._parents = [set(p) for p in checkpoint.parents]
+        builder._children = [set(c) for c in checkpoint.children]
+        builder._all_attrs = checkpoint.all_attrs
+        builder._num_objects = checkpoint.num_objects
+        return builder
+
+    def snapshot(self) -> LatticeCheckpoint:
+        """A consistent, immutable copy of the current partial lattice."""
+        return LatticeCheckpoint(
+            extents=tuple(frozenset(e) for e in self._extents),
+            intents=tuple(self._intents),
+            parents=tuple(frozenset(p) for p in self._parents),
+            children=tuple(frozenset(c) for c in self._children),
+            all_attrs=self._all_attrs,
+            num_objects=self._num_objects,
+        )
+
+    @property
+    def last_checkpoint(self) -> LatticeCheckpoint | None:
+        """The most recent periodic snapshot (budgeted builds only)."""
+        return self._last_checkpoint
+
+    # ------------------------------------------------------------------ #
+    # budget enforcement
+    # ------------------------------------------------------------------ #
+
+    def _check_budget(self, num_objects: int) -> None:
+        if self._budget is None:
+            return
+        if self._meter is None:
+            self._meter = self._budget.meter(clock=self._clock)
+        violation = self._meter.violation(num_objects, len(self._intents))
+        if violation is None:
+            return
+        dimension, limit, value = violation
+        raise BudgetExceeded(
+            f"lattice build exceeded budget on {dimension}",
+            checkpoint=self.snapshot(),
+            dimension=dimension,
+            limit=limit,
+            value=value,
+            objects_done=self._num_objects,
+            num_concepts=len(self._intents),
+        )
+
+    def _refresh_checkpoint(self) -> None:
+        if (
+            self._budget is not None
+            and self._num_objects % self._budget.checkpoint_every == 0
+        ):
+            self._last_checkpoint = self.snapshot()
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -100,7 +204,19 @@ class GodinLatticeBuilder:
     # ------------------------------------------------------------------ #
 
     def add_object(self, obj: int, row: Iterable[int]) -> None:
-        """Insert object ``obj`` whose attribute set is ``row``."""
+        """Insert object ``obj`` whose attribute set is ``row``.
+
+        Under a budget, the wall clock and object count are checked
+        before the insertion and the concept count after it, so a
+        :class:`~repro.robustness.errors.BudgetExceeded` always carries
+        a consistent partial lattice.
+        """
+        self._check_budget(self._num_objects + 1)
+        self._insert(obj, row)
+        self._check_budget(self._num_objects)
+        self._refresh_checkpoint()
+
+    def _insert(self, obj: int, row: Iterable[int]) -> None:
         row = frozenset(row)
         self._num_objects += 1
         if not self._intents:
@@ -192,10 +308,23 @@ class GodinLatticeBuilder:
         )
 
 
-def build_lattice_godin(context: FormalContext) -> ConceptLattice:
-    """Build the concept lattice of ``context`` with Godin's Algorithm 1."""
-    builder = GodinLatticeBuilder()
-    for obj in range(context.num_objects):
+def build_lattice_godin(
+    context: FormalContext,
+    budget: Budget | None = None,
+    resume_from: LatticeCheckpoint | None = None,
+) -> ConceptLattice:
+    """Build the concept lattice of ``context`` with Godin's Algorithm 1.
+
+    With a ``budget``, an over-limit build raises
+    :class:`~repro.robustness.errors.BudgetExceeded` whose ``checkpoint``
+    can be passed back as ``resume_from`` (objects already inserted are
+    skipped, so a resumed build reaches the identical lattice).
+    """
+    if resume_from is not None:
+        builder = GodinLatticeBuilder.from_checkpoint(resume_from, budget=budget)
+    else:
+        builder = GodinLatticeBuilder(budget=budget)
+    for obj in range(builder._num_objects, context.num_objects):
         builder.add_object(obj, context.rows[obj])
     if context.num_objects == 0:
         # Degenerate context: the lattice is the single concept (∅, A).

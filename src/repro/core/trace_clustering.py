@@ -24,6 +24,8 @@ from repro.core.context import FormalContext
 from repro.core.godin import GodinLatticeBuilder, build_lattice_godin
 from repro.fa.automaton import FA
 from repro.lang.traces import DedupResult, Trace, dedup_traces
+from repro.robustness.budget import Budget
+from repro.robustness.errors import ClusteringError
 
 
 @dataclass(frozen=True)
@@ -165,12 +167,23 @@ def cluster_traces(
     reference_fa: FA,
     dedup: bool = True,
     build: Callable[[FormalContext], ConceptLattice] = build_lattice_godin,
+    strict: bool = False,
+    budget: Budget | None = None,
 ) -> TraceClustering:
     """Cluster ``traces`` with respect to ``reference_fa``.
 
     ``dedup=True`` (the paper's setting) clusters one representative per
     identical-event class; ``build`` selects the lattice construction
     (Godin's incremental algorithm by default).
+
+    Traces the reference FA rejects are quarantined in ``rejected`` and
+    clustering proceeds on the accepted subset (graceful degradation);
+    ``strict=True`` restores fail-fast behaviour by raising
+    :class:`~repro.robustness.errors.ClusteringError` instead.  A
+    ``budget`` bounds the lattice construction (honoured by the default
+    Godin builder; an over-budget build raises
+    :class:`~repro.robustness.errors.BudgetExceeded` with a resumable
+    checkpoint).
     """
     if dedup:
         groups: DedupResult = dedup_traces(traces)
@@ -193,10 +206,20 @@ def cluster_traces(
         else:
             rejected.extend(members[i])
 
+    if strict and rejected:
+        raise ClusteringError(
+            "reference FA rejected scenario trace(s) in strict mode",
+            num_rejected=len(rejected),
+            trace_ids=[t.trace_id or str(t) for t in rejected[:10]],
+        )
+
     names = [pool[i].trace_id or f"t{i}" for i in accepted_idx]
     attributes = [f"a{j}: {t}" for j, t in enumerate(reference_fa.transitions)]
     context = FormalContext(names, attributes, rows)
-    lattice = build(context)
+    if budget is not None and build is build_lattice_godin:
+        lattice = build_lattice_godin(context, budget=budget)
+    else:
+        lattice = build(context)
     return TraceClustering(
         reference_fa=reference_fa,
         lattice=lattice,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.fa.automaton import FA, Transition
 from repro.lang.events import parse_pattern
+from repro.robustness.errors import InputError
 
 
 def fa_to_text(fa: FA) -> str:
@@ -40,7 +41,7 @@ def fa_from_text(text: str) -> FA:
     initial: list[str] = []
     accepting: list[str] = []
     transitions: list[Transition] = []
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
@@ -52,10 +53,27 @@ def fa_from_text(text: str) -> FA:
             accepting = line.split(":", 1)[1].split()
         elif "->" in line and ":" in line:
             arrow, label = line.split(":", 1)
-            src, dst = (part.strip() for part in arrow.split("->"))
-            transitions.append(Transition(src, parse_pattern(label.strip()), dst))
+            parts = [part.strip() for part in arrow.split("->")]
+            if len(parts) != 2 or not all(parts):
+                raise InputError(
+                    "cannot parse FA transition",
+                    line_number=lineno,
+                    line=raw,
+                )
+            src, dst = parts
+            try:
+                pattern = parse_pattern(label.strip())
+            except ValueError as exc:
+                raise InputError(
+                    f"cannot parse FA transition label: {exc}",
+                    line_number=lineno,
+                    line=raw,
+                ) from exc
+            transitions.append(Transition(src, pattern, dst))
         else:
-            raise ValueError(f"cannot parse FA line: {raw!r}")
+            raise InputError(
+                f"cannot parse FA line: {raw!r}", line_number=lineno, line=raw
+            )
     if not states:
         seen: list[str] = []
         for t in transitions:

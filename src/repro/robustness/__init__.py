@@ -1,0 +1,40 @@
+"""Fault tolerance for the debugging pipeline.
+
+Everything the pipeline needs to fail *safely*: the structured error
+taxonomy (:mod:`~repro.robustness.errors`), resource budgets for
+lattice construction (:mod:`~repro.robustness.budget`), quarantine
+reports for rejected traces (:mod:`~repro.robustness.quarantine`), and
+crash-safe file writes (:mod:`~repro.robustness.atomicio`).
+"""
+
+from repro.robustness.atomicio import (
+    atomic_write_text,
+    backup_paths,
+    checksum_text,
+    rotate_backups,
+)
+from repro.robustness.budget import Budget, BudgetMeter
+from repro.robustness.errors import (
+    BudgetExceeded,
+    ClusteringError,
+    InputError,
+    ReproError,
+    SessionCorrupt,
+)
+from repro.robustness.quarantine import QuarantinedTrace, RejectedReport
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "ClusteringError",
+    "InputError",
+    "QuarantinedTrace",
+    "RejectedReport",
+    "ReproError",
+    "SessionCorrupt",
+    "atomic_write_text",
+    "backup_paths",
+    "checksum_text",
+    "rotate_backups",
+]

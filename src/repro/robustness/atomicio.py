@@ -1,0 +1,88 @@
+"""Crash-safe file writes: temp + fsync + rename, with rotating backups.
+
+A Cable session spans sittings, so the file that persists it must
+survive the process dying at any instant of a save.  The discipline:
+
+1. the new content is written to a temporary file *in the same
+   directory* (so the final rename cannot cross filesystems), flushed,
+   and fsynced;
+2. the current file, if any, is rotated to ``<path>.bak`` (older
+   backups shift to ``<path>.bak2``, ``<path>.bak3``, ...);
+3. the temp file is atomically renamed over ``path`` and the directory
+   entry is fsynced.
+
+A crash before step 3 leaves the previous file (or its backup) intact;
+a crash during rotation leaves the previous content reachable as a
+backup.  :func:`backup_paths` enumerates the fallback chain newest
+first for loaders that verify-and-recover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+
+def checksum_text(text: str) -> str:
+    """Hex SHA-256 of ``text`` (UTF-8) — the embedded content checksum."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def backup_paths(path: str | Path, backups: int = 2) -> list[Path]:
+    """The backup chain for ``path``, newest first (whether or not they
+    exist)."""
+    path = Path(path)
+    out = [path.with_name(path.name + ".bak")]
+    for i in range(2, backups + 1):
+        out.append(path.with_name(f"{path.name}.bak{i}"))
+    return out
+
+
+def _fsync_directory(directory: Path) -> None:
+    # Durability of the rename itself; best-effort where the platform
+    # does not support opening directories.
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def rotate_backups(path: str | Path, backups: int = 2) -> None:
+    """Shift ``path`` into the head of its backup chain (if it exists)."""
+    path = Path(path)
+    if backups < 1 or not path.exists():
+        return
+    chain = [path] + backup_paths(path, backups)
+    for i in range(len(chain) - 1, 0, -1):
+        src, dst = chain[i - 1], chain[i]
+        if src.exists():
+            os.replace(src, dst)
+
+
+def atomic_write_text(path: str | Path, text: str, backups: int = 2) -> None:
+    """Durably replace ``path``'s content with ``text``.
+
+    The previous content (when any) survives as ``<path>.bak``; up to
+    ``backups`` generations are kept.  ``backups=0`` skips rotation.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    rotate_backups(path, backups)
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)

@@ -1,0 +1,92 @@
+"""Resource budgets for long-running constructions.
+
+The ROADMAP's north star is serving large trace corpora; a lattice build
+over an adversarial corpus must not hang the worker that runs it.  A
+:class:`Budget` bounds the three dimensions a Godin build can blow up
+in — wall-clock time, concepts created, objects inserted — and a
+:class:`BudgetMeter` (one per build) does the actual watching.  When a
+limit trips, the builder raises
+:class:`~repro.robustness.errors.BudgetExceeded` carrying a resumable
+checkpoint instead of hanging or dying bare.
+
+The clock is injectable so tests exercise the wall-time dimension
+deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Limits for one lattice construction; ``None`` means unlimited.
+
+    ``checkpoint_every`` is how often (in inserted objects) the builder
+    refreshes its periodic snapshot, which is what a mid-insertion
+    failure falls back to.
+    """
+
+    wall_seconds: float | None = None
+    max_concepts: int | None = None
+    max_objects: int | None = None
+    checkpoint_every: int = 32
+
+    def __post_init__(self) -> None:
+        if self.wall_seconds is not None and self.wall_seconds < 0:
+            raise ValueError("wall_seconds must be non-negative")
+        if self.max_concepts is not None and self.max_concepts < 1:
+            raise ValueError("max_concepts must be positive")
+        if self.max_objects is not None and self.max_objects < 0:
+            raise ValueError("max_objects must be non-negative")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.wall_seconds is None
+            and self.max_concepts is None
+            and self.max_objects is None
+        )
+
+    def meter(self, clock: Callable[[], float] | None = None) -> "BudgetMeter":
+        """Start measuring against this budget (the clock starts now)."""
+        return BudgetMeter(self, clock=clock)
+
+
+class BudgetMeter:
+    """One build's consumption against a :class:`Budget`.
+
+    ``violation(...)`` returns ``None`` while within budget, or a
+    ``(dimension, limit, value)`` triple describing the first exceeded
+    dimension — the caller turns that into a ``BudgetExceeded`` with
+    whatever checkpoint it has.
+    """
+
+    def __init__(
+        self, budget: Budget, clock: Callable[[], float] | None = None
+    ) -> None:
+        self.budget = budget
+        self._clock = clock or time.perf_counter
+        self._started_at = self._clock()
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._started_at
+
+    def violation(
+        self, num_objects: int, num_concepts: int
+    ) -> tuple[str, float, float] | None:
+        b = self.budget
+        if b.wall_seconds is not None:
+            elapsed = self.elapsed
+            if elapsed > b.wall_seconds:
+                return ("wall_seconds", b.wall_seconds, elapsed)
+        if b.max_objects is not None and num_objects > b.max_objects:
+            return ("max_objects", b.max_objects, num_objects)
+        if b.max_concepts is not None and num_concepts > b.max_concepts:
+            return ("max_concepts", b.max_concepts, num_concepts)
+        return None

@@ -1,0 +1,91 @@
+"""The structured exception taxonomy for the debugging pipeline.
+
+The paper's premise is that specifications — and the traces used to
+debug them — are buggy, so the pipeline must treat malformed or
+violating inputs as *diagnostic artifacts*, not fatal surprises.  Every
+error the pipeline raises deliberately derives from :class:`ReproError`
+and carries machine-readable ``context`` (spec name, trace id, offending
+line, ...) so callers — the Cable CLI, benchmarks, a future service
+layer — can log, retry, or degrade without parsing message strings.
+
+Taxonomy::
+
+    ReproError
+    ├── InputError          (also ValueError)   malformed files/FA text/traces
+    ├── ClusteringError     (also RuntimeError) clustering failed in strict mode
+    ├── BudgetExceeded                          resource budget hit mid-build
+    └── SessionCorrupt      (also ValueError)   a persisted session is damaged
+
+``InputError`` and ``SessionCorrupt`` double as :class:`ValueError`, and
+``ClusteringError`` as :class:`RuntimeError`, so pre-taxonomy callers
+(and tests) that catch the builtin types keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(Exception):
+    """Base class for all deliberate pipeline errors.
+
+    ``context`` holds machine-readable key/value details; the rendered
+    message appends them so logs stay greppable without losing structure.
+    """
+
+    def __init__(self, message: str, **context: Any) -> None:
+        self.message = message
+        self.context = {k: v for k, v in context.items() if v is not None}
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if not self.context:
+            return self.message
+        details = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
+        return f"{self.message} [{details}]"
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-serializable form (for logs and service responses)."""
+        return {
+            "error": type(self).__name__,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+
+class InputError(ReproError, ValueError):
+    """An input artifact (FA text, trace file, command) is malformed.
+
+    Typical context keys: ``path``, ``line_number``, ``line``.
+    """
+
+
+class ClusteringError(ReproError, RuntimeError):
+    """Strict-mode clustering failed (e.g. the reference FA rejected traces).
+
+    Typical context keys: ``spec``, ``num_rejected``, ``trace_ids``.
+    """
+
+
+class BudgetExceeded(ReproError):
+    """A resource budget was exhausted mid-computation.
+
+    ``checkpoint`` (when set) is a resumable partial result — for the
+    Godin build, a :class:`~repro.core.godin.LatticeCheckpoint` that
+    :func:`~repro.core.godin.build_lattice_godin` can resume from.
+    Typical context keys: ``dimension``, ``limit``, ``value``.
+    """
+
+    def __init__(
+        self, message: str, *, checkpoint: Any = None, **context: Any
+    ) -> None:
+        self.checkpoint = checkpoint
+        super().__init__(message, **context)
+
+
+class SessionCorrupt(ReproError, ValueError):
+    """A persisted Cable session document is damaged or inconsistent.
+
+    Typical context keys: ``path``, ``reason``, ``class_index``,
+    ``trace_id``.
+    """

@@ -1,0 +1,149 @@
+"""Quarantine for traces the reference FA rejects.
+
+Related trace-diagnostics work (Boufaied et al., Dokhanchi et al.)
+treats violating inputs as first-class diagnostic artifacts; so do we.
+When clustering runs in non-strict mode, traces the reference FA
+rejects are not an error — they are *evidence*: either the trace is a
+genuinely alien lifecycle, or the reference FA distinguishes the wrong
+things and the user should re-cluster under a different template
+(Section 4.1's Focus remedy).  A :class:`RejectedReport` captures each
+quarantined trace with the verifier's structured diagnosis (shortest
+failing prefix, expected continuations) and a suggested template
+repair, and the pipeline carries the report alongside the results from
+the accepted subset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.fa.automaton import FA
+from repro.lang.events import WILDCARD_SYMBOL
+from repro.lang.traces import Trace
+from repro.verify.explain import Diagnosis, diagnose_rejection
+
+
+@dataclass(frozen=True)
+class QuarantinedTrace:
+    """One rejected trace with its diagnosis and repair suggestion."""
+
+    trace: Trace
+    diagnosis: Diagnosis
+    suggestion: str
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
+
+    @property
+    def failing_prefix(self) -> Trace:
+        """The shortest prefix of the trace that the FA already rejects."""
+        return self.diagnosis.failing_prefix
+
+    def render(self) -> str:
+        d = self.diagnosis
+        label = self.trace_id or str(self.trace)
+        lines = [f"quarantined[{label}] {self.trace}"]
+        prefix = "; ".join(str(e) for e in d.failing_prefix) or "(empty)"
+        lines.append(f"  failing prefix: {prefix}")
+        if d.stuck and d.surprise is not None:
+            lines.append(
+                f"  stuck at event {d.prefix_ok + 1} ({d.surprise})"
+                + (f"; expected one of: {', '.join(d.expected)}" if d.expected else "")
+            )
+        else:
+            lines.append("  the trace ends before the lifecycle completes")
+        lines.append(f"  suggestion: {self.suggestion}")
+        return "\n".join(lines)
+
+
+def _suggest_repair(reference_fa: FA, diagnosis: Diagnosis) -> str:
+    """A template-repair hint (Section 4.1's Focus templates always
+    accept, so they are the universal fallback)."""
+    symbols = sorted({e.symbol for e in diagnosis.trace})
+    surprise = diagnosis.surprise
+    if surprise is not None:
+        known = {t.pattern.symbol for t in reference_fa.transitions}
+        if surprise.symbol not in known and WILDCARD_SYMBOL not in known:
+            return (
+                f"the reference FA has no transition for {surprise.symbol!r}; "
+                f"re-cluster under the Unordered template over {symbols}"
+            )
+        return (
+            f"add a transition accepting {surprise} after the failing "
+            f"prefix, or re-cluster under the Unordered template over {symbols}"
+        )
+    return (
+        "make the state reached by this trace accepting if the lifecycle "
+        f"is legal, or re-cluster under the Unordered template over {symbols}"
+    )
+
+
+@dataclass(frozen=True)
+class RejectedReport:
+    """All traces one clustering pass quarantined, with diagnoses."""
+
+    spec_name: str = ""
+    entries: tuple[QuarantinedTrace, ...] = ()
+
+    @classmethod
+    def from_traces(
+        cls,
+        rejected: Sequence[Trace],
+        reference_fa: FA,
+        spec_name: str = "",
+    ) -> "RejectedReport":
+        """Diagnose every rejected trace against ``reference_fa``."""
+        entries = []
+        for trace in rejected:
+            diagnosis = diagnose_rejection(reference_fa, trace)
+            entries.append(
+                QuarantinedTrace(
+                    trace=trace,
+                    diagnosis=diagnosis,
+                    suggestion=_suggest_repair(reference_fa, diagnosis),
+                )
+            )
+        return cls(spec_name=spec_name, entries=tuple(entries))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __iter__(self) -> Iterator[QuarantinedTrace]:
+        return iter(self.entries)
+
+    @property
+    def trace_ids(self) -> tuple[str, ...]:
+        return tuple(e.trace_id for e in self.entries)
+
+    def render(self) -> str:
+        if not self.entries:
+            return "no traces quarantined"
+        header = (
+            f"{len(self.entries)} trace(s) quarantined"
+            + (f" for spec {self.spec_name!r}" if self.spec_name else "")
+        )
+        return "\n\n".join([header] + [e.render() for e in self.entries])
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (for logs and benchmark reports)."""
+        return {
+            "spec": self.spec_name,
+            "num_quarantined": len(self.entries),
+            "entries": [
+                {
+                    "trace_id": e.trace_id,
+                    "trace": str(e.trace),
+                    "failing_prefix": str(e.failing_prefix),
+                    "stuck": e.diagnosis.stuck,
+                    "prefix_ok": e.diagnosis.prefix_ok,
+                    "expected": list(e.diagnosis.expected),
+                    "suggestion": e.suggestion,
+                }
+                for e in self.entries
+            ],
+        }

@@ -7,12 +7,20 @@ longest prefix the FA could still accept, the event that surprised it
 early — the events that could still have saved the run.  Cable users
 read exactly this kind of information off the FA when deciding labels;
 the function just automates the reading.
+
+The structured form, :class:`Diagnosis` via :func:`diagnose_rejection`,
+is what the robustness layer's quarantine machinery consumes: it
+carries the shortest failing prefix and the expected continuations as
+data, so a :class:`~repro.robustness.quarantine.RejectedReport` can be
+rendered or serialized without re-running the FA.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.fa.automaton import FA
-from repro.lang.events import Binding, EMPTY_BINDING
+from repro.lang.events import Event
 from repro.lang.traces import Trace
 from repro.verify.checker import Violation
 
@@ -26,37 +34,82 @@ def _expected_patterns(spec: FA, configs: set) -> list[str]:
     return sorted(out)
 
 
+@dataclass(frozen=True)
+class Diagnosis:
+    """Where and why a specification FA rejects one trace.
+
+    ``prefix_ok`` is the number of events consumed before the FA got
+    stuck; when ``stuck`` the first surprising event is
+    ``trace[prefix_ok]``, otherwise the trace ran out in a
+    non-accepting state.  ``expected`` are the transition labels the FA
+    could have taken at that point.
+    """
+
+    trace: Trace
+    prefix_ok: int
+    stuck: bool
+    expected: tuple[str, ...]
+
+    @property
+    def surprise(self) -> Event | None:
+        """The first event the FA could not consume (``None`` when the
+        trace simply ended too early)."""
+        if self.stuck and self.prefix_ok < len(self.trace):
+            return self.trace[self.prefix_ok]
+        return None
+
+    @property
+    def failing_prefix(self) -> Trace:
+        """The shortest rejected prefix: up to and including the
+        surprising event, or the whole trace when it ended too early."""
+        if self.stuck:
+            return Trace(
+                tuple(self.trace[: self.prefix_ok + 1]),
+                trace_id=self.trace.trace_id,
+            )
+        return self.trace
+
+
+def diagnose_rejection(spec: FA, trace: Trace) -> Diagnosis:
+    """Structured diagnosis of why ``spec`` rejects ``trace``."""
+    layers = spec._forward_layers(trace)
+    stuck_at = next((i for i, layer in enumerate(layers) if not layer), None)
+    if stuck_at is not None:
+        position = stuck_at - 1
+        expected = _expected_patterns(spec, layers[position])
+        return Diagnosis(
+            trace=trace, prefix_ok=position, stuck=True, expected=tuple(expected)
+        )
+    expected = _expected_patterns(spec, layers[len(trace)])
+    return Diagnosis(
+        trace=trace, prefix_ok=len(trace), stuck=False, expected=tuple(expected)
+    )
+
+
 def explain_violation(spec: FA, violation: Violation) -> str:
     """One-paragraph diagnosis of why ``spec`` rejects the trace."""
     trace = violation.trace
-    layers = spec._forward_layers(trace)
-
-    # Find where the FA died (first empty layer), if it did.
-    stuck_at = next(
-        (i for i, layer in enumerate(layers) if not layer), None
-    )
+    diagnosis = diagnose_rejection(spec, trace)
     lines = [f"{violation}"]
-    if stuck_at is not None:
-        position = stuck_at - 1
+    if diagnosis.stuck:
+        position = diagnosis.prefix_ok
         prefix = "; ".join(str(e) for e in trace[:position]) or "(start)"
-        expected = _expected_patterns(spec, layers[position])
         lines.append(
             f"  the specification got stuck at event {position + 1} "
             f"({trace[position]})"
         )
         lines.append(f"  after accepting: {prefix}")
-        if expected:
-            lines.append(f"  it expected one of: {', '.join(expected)}")
+        if diagnosis.expected:
+            lines.append(f"  it expected one of: {', '.join(diagnosis.expected)}")
         else:
             lines.append("  no transition leaves the reached state(s)")
     else:
         # The whole trace ran but ended in a non-accepting state: the
         # lifecycle stopped too early.
-        expected = _expected_patterns(spec, layers[len(trace)])
         lines.append("  the trace ends before the lifecycle completes")
-        if expected:
+        if diagnosis.expected:
             lines.append(
-                f"  it could have continued with: {', '.join(expected)}"
+                f"  it could have continued with: {', '.join(diagnosis.expected)}"
             )
     return "\n".join(lines)
 

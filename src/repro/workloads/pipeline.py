@@ -13,17 +13,27 @@ the evaluation needs:
 
 The result object carries every intermediate artifact so the benchmarks
 for Tables 1, 2 and 3 are just different projections of the same run.
+
+Scenario traces the reference FA rejects are **quarantined**, not fatal:
+the run continues on the accepted subset and the
+:class:`~repro.robustness.quarantine.RejectedReport` (failing prefixes,
+template-repair suggestions) rides along on the result.  ``strict=True``
+opts back into fail-fast, raising a
+:class:`~repro.robustness.errors.ClusteringError`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.core.trace_clustering import TraceClustering, cluster_traces
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace, dedup_traces
 from repro.mining.strauss import Strauss
+from repro.robustness.budget import Budget
+from repro.robustness.errors import ClusteringError
+from repro.robustness.quarantine import RejectedReport
 from repro.util.timing import Stopwatch
 from repro.workloads.specs_catalog import spec_by_name
 from repro.workloads.tracegen import generate_program_traces
@@ -42,6 +52,7 @@ class SpecRun:
     reference_labeling: dict[int, str]
     debugged_fa: FA
     lattice_seconds: float
+    rejected_report: RejectedReport = field(default_factory=RejectedReport)
 
     @property
     def num_scenarios(self) -> int:
@@ -59,9 +70,28 @@ class SpecRun:
     def num_attributes(self) -> int:
         return self.reference_fa.num_transitions
 
+    @property
+    def num_quarantined(self) -> int:
+        """Scenario traces the reference FA rejected (see
+        ``rejected_report`` for diagnoses)."""
+        return len(self.rejected_report)
 
-def run_spec(spec: SpecModel | str, seed: int | str = 0) -> SpecRun:
-    """Run the full pipeline for ``spec`` (a model or a catalogue name)."""
+
+def run_spec(
+    spec: SpecModel | str,
+    seed: int | str = 0,
+    strict: bool = False,
+    budget: Budget | None = None,
+) -> SpecRun:
+    """Run the full pipeline for ``spec`` (a model or a catalogue name).
+
+    In the default non-strict mode, scenario traces the reference FA
+    rejects are quarantined into ``rejected_report`` (with the shortest
+    failing prefix and a suggested template repair each) and the run
+    continues on the accepted subset.  ``strict=True`` raises
+    :class:`~repro.robustness.errors.ClusteringError` instead; ``budget``
+    bounds the lattice construction.
+    """
     if isinstance(spec, str):
         spec = spec_by_name(spec)
     programs = generate_program_traces(spec, seed=seed)
@@ -71,12 +101,22 @@ def run_spec(spec: SpecModel | str, seed: int | str = 0) -> SpecRun:
 
     stopwatch = Stopwatch()
     with stopwatch:
-        clustering = cluster_traces(scenarios, reference)
+        clustering = cluster_traces(scenarios, reference, budget=budget)
     if clustering.rejected:
-        raise RuntimeError(
-            f"{spec.name}: reference FA rejected "
-            f"{len(clustering.rejected)} scenario trace(s)"
+        if strict:
+            raise ClusteringError(
+                "reference FA rejected scenario trace(s) in strict mode",
+                spec=spec.name,
+                num_rejected=len(clustering.rejected),
+                trace_ids=[
+                    t.trace_id or str(t) for t in clustering.rejected[:10]
+                ],
+            )
+        rejected_report = RejectedReport.from_traces(
+            clustering.rejected, reference, spec_name=spec.name
         )
+    else:
+        rejected_report = RejectedReport(spec_name=spec.name)
 
     labeling = {
         o: spec.oracle_label(trace)
@@ -91,6 +131,7 @@ def run_spec(spec: SpecModel | str, seed: int | str = 0) -> SpecRun:
         reference_labeling=labeling,
         debugged_fa=spec.debugged_fa(),
         lattice_seconds=stopwatch.elapsed,
+        rejected_report=rejected_report,
     )
 
 

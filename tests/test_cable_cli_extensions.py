@@ -4,11 +4,9 @@ import io
 
 import pytest
 
-from repro.cable.cli import CableCLI, build_session, main
+from repro.cable.cli import CableCLI, main
 from repro.cable.session import CableSession
 from repro.core.trace_clustering import cluster_traces
-
-from tests.conftest import STDIO_LABELED
 
 
 @pytest.fixture

@@ -1,7 +1,6 @@
 """The three lattice-construction algorithms, individually and against
 each other (including Hypothesis property tests)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.batch import build_lattice_batch, closed_intents_batch

@@ -1,7 +1,5 @@
 """Clustering traces against a reference FA (Section 3.2)."""
 
-import pytest
-
 from repro.core.trace_clustering import build_trace_context, cluster_traces
 from repro.fa.templates import unordered_fa
 from repro.lang.traces import parse_trace

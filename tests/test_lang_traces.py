@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lang.events import Event
-from repro.lang.traces import Trace, TraceSet, dedup_traces, parse_trace
+from repro.lang.traces import TraceSet, dedup_traces, parse_trace
 
 
 class TestTrace:

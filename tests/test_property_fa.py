@@ -8,7 +8,6 @@ executed-transitions relation is consistent with acceptance.
 
 import itertools
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fa.automaton import FA, Transition

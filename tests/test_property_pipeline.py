@@ -1,6 +1,5 @@
 """Hypothesis property tests across the clustering/learning pipeline."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.trace_clustering import cluster_traces, extend_clustering

@@ -1,0 +1,319 @@
+"""The robustness subsystem: taxonomy, budgets, quarantine, degradation."""
+
+import random
+
+import pytest
+
+from repro.core.context import FormalContext
+from repro.core.godin import GodinLatticeBuilder, build_lattice_godin
+from repro.core.trace_clustering import cluster_traces
+from repro.fa.serialization import fa_from_text
+from repro.fa.templates import unordered_fa
+from repro.lang.traces import parse_trace
+from repro.robustness import (
+    Budget,
+    BudgetExceeded,
+    ClusteringError,
+    InputError,
+    RejectedReport,
+    ReproError,
+    SessionCorrupt,
+)
+from repro.workloads.pipeline import run_spec
+from repro.workloads.xlib_model import Behavior, SpecModel
+
+
+class TestTaxonomy:
+    def test_builtin_compatibility(self):
+        # Pre-taxonomy callers catching the builtin types keep working.
+        assert issubclass(InputError, ValueError)
+        assert issubclass(SessionCorrupt, ValueError)
+        assert issubclass(ClusteringError, RuntimeError)
+        assert issubclass(BudgetExceeded, ReproError)
+
+    def test_context_is_machine_readable(self):
+        exc = InputError("bad line", line_number=3, line="x -> ")
+        assert exc.context == {"line_number": 3, "line": "x -> "}
+        assert "line_number=3" in str(exc)
+        data = exc.to_dict()
+        assert data["error"] == "InputError"
+        assert data["context"]["line_number"] == 3
+
+    def test_none_context_values_dropped(self):
+        exc = SessionCorrupt("bad", path=None, reason="x")
+        assert exc.context == {"reason": "x"}
+
+    def test_serialization_errors_carry_line(self):
+        with pytest.raises(InputError) as info:
+            fa_from_text("states: q0\ninitial: q0\nwhat is this")
+        assert info.value.context["line_number"] == 3
+
+
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(wall_seconds=-1)
+        with pytest.raises(ValueError):
+            Budget(max_concepts=0)
+        with pytest.raises(ValueError):
+            Budget(checkpoint_every=0)
+
+    def test_unlimited(self):
+        assert Budget().unlimited
+        assert not Budget(max_objects=5).unlimited
+
+    def test_meter_wall_clock_injectable(self):
+        t = [0.0]
+
+        def clock():
+            return t[0]
+
+        meter = Budget(wall_seconds=1.0).meter(clock=clock)
+        assert meter.violation(0, 0) is None
+        t[0] = 2.0
+        dimension, limit, value = meter.violation(0, 0)
+        assert dimension == "wall_seconds"
+        assert limit == 1.0
+        assert value == 2.0
+
+    def test_meter_counts(self):
+        meter = Budget(max_objects=3, max_concepts=10).meter()
+        assert meter.violation(3, 10) is None
+        assert meter.violation(4, 10)[0] == "max_objects"
+        assert meter.violation(3, 11)[0] == "max_concepts"
+
+
+def _random_context(num_objects=40, num_attrs=8, seed=3) -> FormalContext:
+    rng = random.Random(seed)
+    rows = [
+        frozenset(rng.sample(range(num_attrs), rng.randint(1, num_attrs - 3)))
+        for _ in range(num_objects)
+    ]
+    return FormalContext(
+        [f"o{i}" for i in range(num_objects)],
+        [f"a{j}" for j in range(num_attrs)],
+        rows,
+    )
+
+
+def _lattices_identical(a, b) -> bool:
+    return (
+        a.concepts == b.concepts
+        and a.parents == b.parents
+        and a.children == b.children
+    )
+
+
+class TestBudgetedGodin:
+    def test_max_objects_exceeded_carries_checkpoint(self):
+        context = _random_context()
+        with pytest.raises(BudgetExceeded) as info:
+            build_lattice_godin(context, budget=Budget(max_objects=13))
+        exc = info.value
+        assert exc.context["dimension"] == "max_objects"
+        assert exc.checkpoint is not None
+        assert exc.checkpoint.num_objects == 13
+
+    def test_resume_reaches_identical_lattice(self):
+        context = _random_context()
+        full = build_lattice_godin(context)
+        with pytest.raises(BudgetExceeded) as info:
+            build_lattice_godin(context, budget=Budget(max_objects=13))
+        resumed = build_lattice_godin(
+            context, resume_from=info.value.checkpoint
+        )
+        assert _lattices_identical(resumed, full)
+
+    def test_resume_across_multiple_budget_stops(self):
+        context = _random_context()
+        full = build_lattice_godin(context)
+        checkpoint = None
+        for limit in (10, 25):
+            with pytest.raises(BudgetExceeded) as info:
+                build_lattice_godin(
+                    context,
+                    budget=Budget(max_objects=limit),
+                    resume_from=checkpoint,
+                )
+            checkpoint = info.value.checkpoint
+            assert checkpoint.num_objects == limit
+        resumed = build_lattice_godin(context, resume_from=checkpoint)
+        assert _lattices_identical(resumed, full)
+
+    def test_wall_seconds_with_fake_clock(self):
+        context = _random_context()
+        t = [0.0]
+
+        def clock():
+            t[0] += 0.06
+            return t[0]
+
+        builder = GodinLatticeBuilder(
+            budget=Budget(wall_seconds=0.5), clock=clock
+        )
+        with pytest.raises(BudgetExceeded) as info:
+            for obj in range(context.num_objects):
+                builder.add_object(obj, context.rows[obj])
+        assert info.value.context["dimension"] == "wall_seconds"
+        # The checkpoint is consistent and resumable to the full lattice.
+        resumed = build_lattice_godin(
+            context, resume_from=info.value.checkpoint
+        )
+        assert _lattices_identical(resumed, build_lattice_godin(context))
+
+    def test_max_concepts_dimension(self):
+        context = _random_context()
+        with pytest.raises(BudgetExceeded) as info:
+            build_lattice_godin(context, budget=Budget(max_concepts=20))
+        assert info.value.context["dimension"] == "max_concepts"
+
+    def test_periodic_checkpoint_refresh(self):
+        context = _random_context()
+        builder = GodinLatticeBuilder(
+            budget=Budget(max_objects=1000, checkpoint_every=5)
+        )
+        for obj in range(12):
+            builder.add_object(obj, context.rows[obj])
+        assert builder.last_checkpoint is not None
+        assert builder.last_checkpoint.num_objects == 10
+
+    def test_unbudgeted_build_pays_nothing(self):
+        builder = GodinLatticeBuilder()
+        assert builder.last_checkpoint is None
+        context = _random_context()
+        lattice = build_lattice_godin(context)
+        assert len(lattice) > 0
+
+
+class TestGracefulClustering:
+    @pytest.fixture
+    def traces(self, stdio_traces):
+        return stdio_traces + [parse_trace("mystery(X)", trace_id="weird")]
+
+    def test_nonstrict_quarantines(self, traces, stdio_reference):
+        clustering = cluster_traces(traces, stdio_reference)
+        assert len(clustering.rejected) == 1
+        assert clustering.rejected[0].trace_id == "weird"
+
+    def test_strict_raises_clustering_error(self, traces, stdio_reference):
+        with pytest.raises(ClusteringError) as info:
+            cluster_traces(traces, stdio_reference, strict=True)
+        assert info.value.context["num_rejected"] == 1
+        assert "weird" in info.value.context["trace_ids"]
+
+    def test_budget_threads_through(self, stdio_traces, stdio_reference):
+        with pytest.raises(BudgetExceeded):
+            cluster_traces(
+                stdio_traces, stdio_reference, budget=Budget(max_objects=2)
+            )
+
+    def test_rejected_report_diagnoses(self, traces, stdio_reference):
+        clustering = cluster_traces(traces, stdio_reference)
+        report = RejectedReport.from_traces(
+            clustering.rejected, stdio_reference, spec_name="stdio"
+        )
+        assert len(report) == 1
+        entry = report.entries[0]
+        assert entry.trace_id == "weird"
+        # mystery(X) surprises the FA at the first event.
+        assert entry.diagnosis.prefix_ok == 0
+        assert [e.symbol for e in entry.failing_prefix] == ["mystery"]
+        assert "Unordered template" in entry.suggestion
+        assert "quarantined[weird]" in report.render()
+        assert report.to_dict()["num_quarantined"] == 1
+
+    def test_empty_report(self):
+        report = RejectedReport(spec_name="clean")
+        assert not report
+        assert report.render() == "no traces quarantined"
+
+
+def _dirty_spec() -> SpecModel:
+    """A spec whose reference FA rejects the 'alien' lifecycle class
+    (roughly 10% of planted instances)."""
+    return SpecModel(
+        name="DirtyCorpus",
+        description="corpus with alien traces the reference FA rejects",
+        behaviors=(
+            Behavior(("open", "use", "close"), good=True, weight=8.0),
+            Behavior(("open", "close"), good=True, weight=4.0),
+            Behavior(("open", "use"), good=False, weight=2.0),
+            Behavior(("open", "alien", "close"), good=False, weight=1.0),
+        ),
+        reference_kind="custom",
+        custom_reference=lambda: unordered_fa(
+            ["open(X)", "use(X)", "close(X)"]
+        ),
+        n_programs=6,
+        n_instances=20,
+    )
+
+
+def _clean_spec() -> SpecModel:
+    return SpecModel(
+        name="CleanCorpus",
+        description="the same corpus without the alien class",
+        behaviors=(
+            Behavior(("open", "use", "close"), good=True, weight=8.0),
+            Behavior(("open", "close"), good=True, weight=4.0),
+            Behavior(("open", "use"), good=False, weight=2.0),
+        ),
+        reference_kind="custom",
+        custom_reference=lambda: unordered_fa(
+            ["open(X)", "use(X)", "close(X)"]
+        ),
+        n_programs=6,
+        n_instances=20,
+    )
+
+
+class TestPipelineDegradation:
+    def test_dirty_corpus_completes_with_quarantine(self):
+        run = run_spec(_dirty_spec())
+        assert run.num_quarantined > 0
+        # The quarantined traces all belong to the alien class, and each
+        # entry carries a failing prefix that pinpoints the alien event.
+        for entry in run.rejected_report:
+            assert "alien" in entry.trace.symbols
+            assert entry.failing_prefix.symbols[-1] == "alien"
+            assert entry.suggestion
+        # The accepted subset clusters into the three clean classes.
+        assert run.clustering.num_objects == 3
+
+    def test_dirty_run_matches_clean_subset_run(self):
+        dirty = run_spec(_dirty_spec())
+        # Re-clustering only the accepted scenarios reproduces the run's
+        # clustering exactly: the quarantine changed nothing else.
+        rejected_keys = {t.key() for t in dirty.clustering.rejected}
+        accepted = [
+            t for t in dirty.scenarios if t.key() not in rejected_keys
+        ]
+        reclustered = cluster_traces(accepted, dirty.reference_fa)
+        assert reclustered.rejected == ()
+        assert [r.key() for r in reclustered.representatives] == [
+            r.key() for r in dirty.clustering.representatives
+        ]
+        assert _lattices_identical(
+            reclustered.lattice, dirty.clustering.lattice
+        )
+        # And the debugged FA equals the one a fully clean corpus yields.
+        from repro.fa.serialization import fa_to_text
+
+        clean = run_spec(_clean_spec())
+        assert fa_to_text(dirty.debugged_fa) == fa_to_text(clean.debugged_fa)
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ClusteringError) as info:
+            run_spec(_dirty_spec(), strict=True)
+        assert info.value.context["spec"] == "DirtyCorpus"
+        assert info.value.context["num_rejected"] > 0
+
+    def test_clean_spec_report_is_empty(self):
+        run = run_spec("Quarks")
+        assert run.num_quarantined == 0
+        assert not run.rejected_report
+        assert run.rejected_report.spec_name == "Quarks"
+
+    def test_budget_threads_through_run_spec(self):
+        with pytest.raises(BudgetExceeded):
+            run_spec(_dirty_spec(), budget=Budget(max_objects=1))

@@ -17,7 +17,7 @@ from repro.workloads.stdio import (
     unordered_reference,
 )
 from repro.workloads.tracegen import generate_program_traces, plan_instances
-from repro.workloads.xlib_model import Behavior, SpecModel, make_behaviors
+from repro.workloads.xlib_model import Behavior, SpecModel
 from repro.lang.traces import parse_trace
 
 
