@@ -1,0 +1,98 @@
+"""Spec lint vs the full pipeline: what the static gate buys.
+
+Per catalog specification: the diagnostics the linter finds, the time to
+lint statically (FA passes + corpus passes on the Table 1 artifacts),
+and the time a full ``run_spec`` costs (trace synthesis, mining,
+clustering, lattice).  The point of the static gate is the ratio — lint
+answers "is this spec structurally sane?" orders of magnitude cheaper
+than running the pipeline to find out.
+
+Also emits the catalog's lint findings into ``benchmarks/results/`` so
+the accepted state of the catalog is a checked artifact, not just a CI
+exit status.
+"""
+
+import time
+
+from benchmarks.conftest import report
+from repro.analysis import lint_reference, merge_reports
+from repro.util.tables import format_table
+from repro.workloads.pipeline import run_spec
+from repro.workloads.specs_catalog import SPEC_CATALOG
+
+
+def test_spec_lint_vs_pipeline(benchmark):
+    """Wall-time comparison: static lint vs the dynamic pipeline.
+
+    The lint timing covers the lint passes on prepared artifacts (the
+    debugged FA and the behavior corpus, both of which exist before
+    either path runs); the pipeline timing covers ``run_spec`` — trace
+    synthesis, mining, clustering and the lattice build.
+    """
+
+    def measure():
+        rows = []
+        reports = []
+        for spec in SPEC_CATALOG:
+            fa = spec.debugged_fa()
+            corpus = [behavior.trace() for behavior in spec.behaviors]
+
+            start = time.perf_counter()
+            lint_report = lint_reference(fa, corpus, target=f"spec:{spec.name}")
+            lint_seconds = time.perf_counter() - start
+            reports.append(lint_report)
+
+            start = time.perf_counter()
+            run_spec(spec)
+            pipeline_seconds = time.perf_counter() - start
+
+            counts = lint_report.counts()
+            speedup = (
+                pipeline_seconds / lint_seconds if lint_seconds > 0 else 0.0
+            )
+            rows.append(
+                [
+                    spec.name,
+                    counts["error"],
+                    counts["warning"],
+                    counts["info"],
+                    f"{lint_seconds * 1000:.2f}",
+                    f"{pipeline_seconds * 1000:.1f}",
+                    f"{speedup:.0f}x",
+                ]
+            )
+        return rows, reports
+
+    rows, reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = format_table(
+        [
+            "specification",
+            "errors",
+            "warnings",
+            "infos",
+            "lint ms",
+            "pipeline ms",
+            "speedup",
+        ],
+        rows,
+        title="spec lint vs full pipeline (per catalog specification)",
+    )
+    report("spec_lint_vs_pipeline", table)
+
+    merged = merge_reports("catalog", reports)
+    findings = "\n\n".join(r.render_text() for r in reports)
+    summary = merged.counts()
+    report(
+        "spec_lint_catalog",
+        "spec-lint findings for the shipped catalog\n"
+        "(errors gate CI against tools/spec_lint_baseline.json)\n\n"
+        f"{findings}\n\n"
+        f"totals: {summary['error']} error(s), {summary['warning']} "
+        f"warning(s), {summary['info']} info(s) "
+        f"across {len(reports)} specification(s)",
+    )
+
+    # The shipped catalog must stay error-free (the CI gate's baseline
+    # is empty); a regression here should fail the benchmark too.
+    assert summary["error"] == 0

@@ -1,0 +1,79 @@
+"""Static analysis ("spec lint") over FAs, contexts and concept lattices.
+
+The paper's premise is that temporal specifications are routinely buggy;
+this package catches whole classes of those bugs *statically* — before
+trace clustering and lattice construction spend real time on them:
+
+* :mod:`~repro.analysis.diagnostics` — structured :class:`Diagnostic`
+  records with stable codes, severities and fingerprints;
+* :mod:`~repro.analysis.fa_passes` — reachability, vacuity,
+  nondeterminism and pattern-variable passes over automata (FA001–FA008);
+* :mod:`~repro.analysis.corpus` — trace-corpus/alphabet compatibility
+  with near-miss suggestions (TR001–TR002);
+* :mod:`~repro.analysis.invariants` — concept-lattice invariant checking
+  (LAT001–LAT005), also installable as a construction-time debug
+  assertion;
+* :mod:`~repro.analysis.baseline` — suppression baselines so CI fails
+  only on regressions;
+* :mod:`~repro.analysis.lint` — orchestration (``lint_fa``,
+  ``lint_reference``, ``lint_spec_model``, ``lint_catalog``);
+* :mod:`~repro.analysis.mutations` — seeded spec mutations that the test
+  suite uses to prove each diagnostic fires;
+* :mod:`~repro.analysis.cli` — the ``cable lint`` subcommand.
+
+Every diagnostic code is documented with a minimal triggering example in
+``docs/static-analysis.md``.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.corpus import near_misses, run_corpus_passes
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    merge_reports,
+    sort_diagnostics,
+)
+from repro.analysis.fa_passes import run_fa_passes
+from repro.analysis.invariants import (
+    LatticeInvariantViolation,
+    assert_lattice_invariants,
+    check_lattice,
+    disable_debug_checks,
+    enable_debug_checks,
+    lattice_debug_checks,
+    lint_lattice,
+)
+from repro.analysis.lint import (
+    lint_catalog,
+    lint_corpus,
+    lint_fa,
+    lint_reference,
+    lint_spec_model,
+    raise_on_errors,
+)
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "LatticeInvariantViolation",
+    "LintReport",
+    "Location",
+    "assert_lattice_invariants",
+    "check_lattice",
+    "disable_debug_checks",
+    "enable_debug_checks",
+    "lattice_debug_checks",
+    "lint_catalog",
+    "lint_corpus",
+    "lint_fa",
+    "lint_lattice",
+    "lint_reference",
+    "lint_spec_model",
+    "merge_reports",
+    "near_misses",
+    "raise_on_errors",
+    "run_corpus_passes",
+    "run_fa_passes",
+    "sort_diagnostics",
+]

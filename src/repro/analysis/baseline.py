@@ -1,0 +1,130 @@
+"""Baseline (suppression) files for the spec-lint CI gate.
+
+A baseline records the *accepted* findings of a spec catalog so CI can
+fail only on regressions: pre-existing diagnostics are suppressed by
+their stable fingerprint (``CODE@location``, per target), new ones fail
+the build.  The file is plain JSON, checked in next to the catalog it
+describes, and regenerated with ``cable lint --update-baseline``.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "suppressions": {
+        "spec:XtFree": ["FA006@state:0", ...],
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, LintReport
+from repro.robustness.errors import InputError
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Suppressed fingerprints, keyed by lint target."""
+
+    suppressions: Mapping[str, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_reports(
+        cls, reports: Iterable[LintReport], severities: Iterable[str] = ("error",)
+    ) -> "Baseline":
+        """Baseline that accepts the given reports' current findings.
+
+        Only the listed severities are recorded (errors by default —
+        warnings and infos never gate CI, so baselining them would only
+        grow the file).
+        """
+        wanted = frozenset(severities)
+        suppressions: dict[str, frozenset[str]] = {}
+        for report in reports:
+            fingerprints = frozenset(
+                d.fingerprint for d in report.diagnostics if d.severity in wanted
+            )
+            if fingerprints:
+                suppressions[report.target] = fingerprints
+        return cls(suppressions)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; malformed documents raise ``InputError``."""
+        try:
+            document = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise InputError(
+                "baseline file is not valid JSON", path=str(path), reason=str(exc)
+            ) from exc
+        if not isinstance(document, dict) or "suppressions" not in document:
+            raise InputError(
+                "baseline file has no 'suppressions' table", path=str(path)
+            )
+        version = document.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise InputError(
+                "unsupported baseline version",
+                path=str(path),
+                version=version,
+                supported=BASELINE_VERSION,
+            )
+        raw = document["suppressions"]
+        if not isinstance(raw, dict) or not all(
+            isinstance(k, str) and isinstance(v, list) for k, v in raw.items()
+        ):
+            raise InputError(
+                "baseline 'suppressions' must map targets to fingerprint "
+                "lists",
+                path=str(path),
+            )
+        return cls(
+            {target: frozenset(map(str, fps)) for target, fps in raw.items()}
+        )
+
+    def to_json(self) -> str:
+        document = {
+            "version": BASELINE_VERSION,
+            "suppressions": {
+                target: sorted(fps)
+                for target, fps in sorted(self.suppressions.items())
+            },
+        }
+        return json.dumps(document, indent=2) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def is_suppressed(self, target: str, diagnostic: Diagnostic) -> bool:
+        return diagnostic.fingerprint in self.suppressions.get(target, frozenset())
+
+    def new_errors(self, report: LintReport) -> list[Diagnostic]:
+        """Error-severity diagnostics not covered by this baseline."""
+        return [
+            d
+            for d in report.errors
+            if not self.is_suppressed(report.target, d)
+        ]
+
+
+__all__ = ["BASELINE_VERSION", "Baseline"]

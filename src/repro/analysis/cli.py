@@ -1,0 +1,180 @@
+"""The ``cable lint`` subcommand.
+
+Lints catalog specifications and/or FA files without running any part of
+the dynamic pipeline, and gates on a baseline file so CI fails only on
+*new* errors::
+
+    cable lint XtFree                      # one catalog spec
+    cable lint --catalog                   # all seventeen
+    cable lint path/to/spec.fa             # an FA file (serialization format)
+    cable lint spec.fa --traces traces.txt # + corpus compatibility passes
+    cable lint --catalog --format json     # machine-readable output
+    cable lint --catalog --baseline tools/spec_lint_baseline.json
+    cable lint --catalog --baseline B --update-baseline   # accept current
+
+Exit status: 0 when no (non-baselined) errors were found, 1 when new
+errors exist, 2 on usage or input problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import IO
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.diagnostics import SEVERITIES, LintReport
+from repro.analysis.lint import lint_fa, lint_reference, lint_spec_model
+from repro.fa.serialization import fa_from_text
+from repro.lang.traces import parse_trace
+from repro.robustness.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cable lint",
+        description="statically lint temporal specifications",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="TARGET",
+        help="catalog spec name (e.g. XtFree) or path to an FA file",
+    )
+    parser.add_argument(
+        "--catalog",
+        action="store_true",
+        help="lint every specification in the catalog",
+    )
+    parser.add_argument(
+        "--traces",
+        metavar="FILE",
+        help="trace file (one per line) for corpus passes on FA-file targets",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppression baseline; only non-baselined errors fail",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline to accept the current errors and exit 0",
+    )
+    return parser
+
+
+def _load_corpus(path: str) -> list:
+    text = Path(path).read_text()
+    return [
+        parse_trace(line.strip(), trace_id=f"t{i}")
+        for i, line in enumerate(text.splitlines())
+        if line.strip()
+    ]
+
+
+def _lint_targets(args: argparse.Namespace) -> list[LintReport]:
+    from repro.workloads.specs_catalog import SPEC_CATALOG, spec_by_name
+
+    catalog_names = {spec.name for spec in SPEC_CATALOG}
+    reports: list[LintReport] = []
+    names = list(args.targets)
+    if args.catalog:
+        names.extend(spec.name for spec in SPEC_CATALOG)
+    if not names:
+        raise ReproError("nothing to lint: pass TARGETs or --catalog")
+    seen: set[str] = set()
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        if name in catalog_names:
+            reports.append(lint_spec_model(spec_by_name(name)))
+        elif Path(name).exists():
+            fa = fa_from_text(Path(name).read_text())
+            if args.traces:
+                corpus = _load_corpus(args.traces)
+                reports.append(lint_reference(fa, corpus, target=name))
+            else:
+                reports.append(lint_fa(fa, target=name))
+        else:
+            raise ReproError(
+                "target is neither a catalog spec nor an existing file",
+                target=name,
+            )
+    return reports
+
+
+def lint_main(
+    argv: list[str],
+    out: IO[str] | None = None,
+    err: IO[str] | None = None,
+) -> int:
+    """Entry point for ``cable lint``; returns the process exit status."""
+    out = out or sys.stdout
+    err = err or sys.stderr
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse handles -h and usage errors
+        return int(exc.code or 0)
+    try:
+        reports = _lint_targets(args)
+        baseline = (
+            Baseline.load(args.baseline)
+            if args.baseline and Path(args.baseline).exists()
+            else Baseline.empty()
+        )
+        if args.update_baseline:
+            if not args.baseline:
+                raise ReproError("--update-baseline requires --baseline FILE")
+            Baseline.from_reports(reports).save(args.baseline)
+            print(f"baseline written to {args.baseline}", file=out)
+            return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+
+    new_errors = {r.target: baseline.new_errors(r) for r in reports}
+    num_new = sum(len(v) for v in new_errors.values())
+    totals = {s: 0 for s in SEVERITIES}
+    for report in reports:
+        for severity, count in report.counts().items():
+            totals[severity] += count
+
+    if args.format == "json":
+        document = {
+            "version": 1,
+            "reports": [r.to_dict() for r in reports],
+            "summary": {
+                **totals,
+                "new_errors": num_new,
+                "baselined_errors": totals["error"] - num_new,
+                "targets": len(reports),
+            },
+        }
+        print(json.dumps(document, indent=2), file=out)
+    else:
+        for report in reports:
+            print(report.render_text(), file=out)
+        suppressed = totals["error"] - num_new
+        summary = (
+            f"spec lint: {totals['error']} error(s) ({num_new} new), "
+            f"{totals['warning']} warning(s), {totals['info']} info(s) "
+            f"across {len(reports)} target(s)"
+        )
+        if suppressed:
+            summary += f"; {suppressed} error(s) baselined"
+        print(summary, file=out)
+    return 1 if num_new else 0
+
+
+__all__ = ["lint_main"]

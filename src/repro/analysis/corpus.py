@@ -1,0 +1,87 @@
+"""Trace-corpus / reference-FA compatibility passes.
+
+The reference FA and the trace corpus meet in Step 1a of the pipeline:
+clustering only works if the FA's transitions can actually fire on the
+corpus's events.  A single misspelled symbol silently sends every
+affected trace to quarantine *after* the corpus has been generated and
+mined — these passes catch the mismatch statically, with near-miss
+suggestions (``XOpenDisplay`` vs ``XOpenDispaly``) computed by stdlib
+``difflib``.
+
+Codes:
+
+====== ======== ==========================================================
+TR001  warning  corpus event symbol matched by no FA transition
+TR002  info     FA transition symbol that never occurs in the corpus
+====== ======== ==========================================================
+
+TR001 is suppressed entirely when the FA carries a wildcard (``*``)
+transition, which absorbs any symbol by design (the Name-projection
+template and XtFree's expert FA do this deliberately).
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Location
+from repro.fa.automaton import FA
+from repro.lang.traces import Trace
+
+
+def near_misses(
+    symbol: str, candidates: Iterable[str], limit: int = 3
+) -> list[str]:
+    """Closest candidate symbols, best first (possibly empty)."""
+    return difflib.get_close_matches(symbol, sorted(candidates), n=limit)
+
+
+def _suggest(symbol: str, candidates: Iterable[str]) -> str:
+    close = near_misses(symbol, candidates)
+    if not close:
+        return ""
+    return "did you mean " + " or ".join(repr(c) for c in close) + "?"
+
+
+def run_corpus_passes(fa: FA, traces: Sequence[Trace]) -> list[Diagnostic]:
+    """Check the FA's alphabet against the corpus's event symbols."""
+    fa_symbols = fa.symbols()
+    corpus_symbols = {event.symbol for trace in traces for event in trace}
+    has_wildcard = any(t.pattern.is_wildcard for t in fa.transitions)
+    out: list[Diagnostic] = []
+    if not has_wildcard:
+        for symbol in sorted(corpus_symbols - fa_symbols):
+            count = sum(
+                1 for trace in traces if any(e.symbol == symbol for e in trace)
+            )
+            out.append(
+                Diagnostic(
+                    code="TR001",
+                    severity="warning",
+                    location=Location.symbol(symbol),
+                    message=(
+                        f"corpus symbol {symbol!r} (in {count} trace(s)) "
+                        "is matched by no transition of the reference FA; "
+                        "those events can only cause rejection"
+                    ),
+                    suggestion=_suggest(symbol, fa_symbols),
+                )
+            )
+    for symbol in sorted(fa_symbols - corpus_symbols):
+        out.append(
+            Diagnostic(
+                code="TR002",
+                severity="info",
+                location=Location.symbol(symbol),
+                message=(
+                    f"FA symbol {symbol!r} never occurs in the trace "
+                    "corpus; its transitions cannot fire on this corpus"
+                ),
+                suggestion=_suggest(symbol, corpus_symbols),
+            )
+        )
+    return out
+
+
+__all__ = ["near_misses", "run_corpus_passes"]

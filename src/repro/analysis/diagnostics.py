@@ -1,0 +1,209 @@
+"""Structured diagnostics for the spec-lint subsystem.
+
+Every lint pass emits :class:`Diagnostic` records rather than prose: a
+stable code (``FA003``), a severity, a structured :class:`Location`
+(state index, transition index, symbol, concept, ...), a human message
+and — when the fix is mechanical — a suggestion.  Stability of the
+``code @ location`` fingerprint is what makes the baseline/suppression
+workflow (:mod:`repro.analysis.baseline`) and the CI gate possible: a
+diagnostic that moves to a different transition is a *new* finding.
+
+:class:`LintReport` bundles the diagnostics for one lint target and
+provides the text and JSON renderings shared by the CLI, the pipeline's
+pre-flight lint and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+#: Recognized severities, most severe first.
+SEVERITIES: tuple[str, ...] = ("error", "warning", "info")
+
+#: Rank of each severity (lower is more severe), for sorting.
+_SEVERITY_RANK: dict[str, int] = {s: i for i, s in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """Where a diagnostic points: a kind plus an optional reference.
+
+    ``kind`` is one of ``fa``, ``state``, ``transition``, ``symbol``,
+    ``variable``, ``concept`` or ``corpus``; ``ref`` is the index or name
+    within that kind (the transition index, the symbol, ...), rendered as
+    ``kind:ref``.  Transition and state references are *indices* into
+    ``FA.transitions`` / ``FA.states`` — the same identity the formal
+    context uses for its attributes (Section 3.2).
+    """
+
+    kind: str
+    ref: str = ""
+
+    @classmethod
+    def state(cls, index: int) -> "Location":
+        return cls("state", str(index))
+
+    @classmethod
+    def transition(cls, index: int) -> "Location":
+        return cls("transition", str(index))
+
+    @classmethod
+    def symbol(cls, name: str) -> "Location":
+        return cls("symbol", name)
+
+    @classmethod
+    def variable(cls, name: str) -> "Location":
+        return cls("variable", name)
+
+    @classmethod
+    def concept(cls, index: int) -> "Location":
+        return cls("concept", str(index))
+
+    @classmethod
+    def whole_fa(cls) -> "Location":
+        return cls("fa")
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.ref}" if self.ref else self.kind
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``code`` is stable across releases (documented in
+    ``docs/static-analysis.md``); ``fingerprint`` is the suppression key
+    used by baselines.
+    """
+
+    code: str
+    severity: str
+    location: Location
+    message: str
+    suggestion: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def fingerprint(self) -> str:
+        """The stable suppression key: ``CODE@location``."""
+        return f"{self.code}@{self.location}"
+
+    def render(self) -> str:
+        """One- or two-line human rendering."""
+        line = f"{self.severity} {self.code} @ {self.location}: {self.message}"
+        if self.suggestion:
+            line += f"\n    suggestion: {self.suggestion}"
+        return line
+
+    def to_dict(self) -> dict[str, object]:
+        """The JSON-serializable form."""
+        out: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "location": {"kind": self.location.kind, "ref": self.location.ref},
+            "message": self.message,
+        }
+        if self.suggestion:
+            out["suggestion"] = self.suggestion
+        return out
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Severity-major, then code, then location — the rendering order."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            _SEVERITY_RANK[d.severity],
+            d.code,
+            d.location.kind,
+            # Numeric refs sort numerically so transition:10 follows 2.
+            (0, int(d.location.ref)) if d.location.ref.isdigit() else (1, 0),
+            d.location.ref,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics for one lint target (an FA, a spec, a lattice)."""
+
+    target: str
+    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def by_severity(self, severity: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity("error")
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity("warning")
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def codes(self) -> frozenset[str]:
+        """The distinct diagnostic codes present."""
+        return frozenset(d.code for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        """``{severity: count}`` over :data:`SEVERITIES` (zeros included)."""
+        out = {s: 0 for s in SEVERITIES}
+        for d in self.diagnostics:
+            out[d.severity] += 1
+        return out
+
+    def merged_with(self, other: "LintReport") -> "LintReport":
+        """Union of two reports under this report's target name."""
+        return LintReport(self.target, self.diagnostics + other.diagnostics)
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def render_text(self) -> str:
+        """The human rendering: a header, the findings, a summary line."""
+        lines = [f"{self.target}:"]
+        if not self.diagnostics:
+            lines.append("  clean (no findings)")
+            return "\n".join(lines)
+        for diag in sort_diagnostics(self.diagnostics):
+            for piece in diag.render().splitlines():
+                lines.append(f"  {piece}")
+        counts = self.counts()
+        lines.append(
+            "  "
+            + ", ".join(f"{counts[s]} {s}(s)" for s in SEVERITIES if counts[s])
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        counts = self.counts()
+        return {
+            "target": self.target,
+            "diagnostics": [
+                d.to_dict() for d in sort_diagnostics(self.diagnostics)
+            ],
+            "summary": counts,
+        }
+
+
+def merge_reports(target: str, reports: Sequence[LintReport]) -> LintReport:
+    """Flatten several reports into one under ``target``."""
+    diagnostics: tuple[Diagnostic, ...] = ()
+    for report in reports:
+        diagnostics += report.diagnostics
+    return LintReport(target, diagnostics)

@@ -1,0 +1,488 @@
+"""Static analysis passes over specification automata.
+
+Each pass is a pure function ``FA -> list[Diagnostic]``.  The passes are
+deliberately graph-level: transition labels are treated as opaque symbols
+(exactly the view :mod:`repro.fa.ops` takes for language constructions),
+with pattern *structure* examined only by the variable passes.  This keeps
+every pass linear-ish and means lint runs in milliseconds even on the
+catalog's largest specifications — the point of linting *before* paying
+for trace clustering and a lattice build.
+
+Codes (documented with triggering examples in ``docs/static-analysis.md``):
+
+====== ======== ==========================================================
+FA001  error    unreachable state (no path from an initial state)
+FA002  error    dead state (no path to an accepting state)
+FA003  error    dead transition (on no accepting path; as a Section 3.2
+                attribute its FCA column is always empty)
+FA004  error    vacuous specification: the language is empty
+FA005  warning  vacuous specification: the language is Σ* over the FA's
+                own alphabet (accepts everything it can mention)
+FA006  info     nondeterminism hotspot: a state with overlapping outgoing
+                transition patterns
+FA007  warning  pattern variable that can never constrain a match (binds
+                at most once on every path)
+FA008  info     pattern variable re-bound independently in disjoint
+                regions of the FA
+====== ======== ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Hashable, Iterable
+
+from repro.analysis.diagnostics import Diagnostic, Location
+from repro.fa.automaton import FA, Transition
+from repro.fa.ops import is_empty, language_subset
+from repro.fa.templates import unordered_fa
+from repro.lang.events import EventPattern, Lit, Var
+
+State = Hashable
+
+#: Signature of a single lint pass.
+FAPass = Callable[[FA], list[Diagnostic]]
+
+
+# --------------------------------------------------------------------- #
+# shared graph helpers
+# --------------------------------------------------------------------- #
+
+
+def _closure(seeds: Iterable[State], edges: dict[State, set[State]]) -> set[State]:
+    """States reachable from ``seeds`` along ``edges`` (seeds included)."""
+    seen = set(seeds)
+    queue = deque(seen)
+    while queue:
+        state = queue.popleft()
+        for nxt in edges.get(state, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return seen
+
+
+def reachable_states(fa: FA) -> set[State]:
+    """States on some path from an initial state (label-agnostic)."""
+    succ: dict[State, set[State]] = {}
+    for t in fa.transitions:
+        succ.setdefault(t.src, set()).add(t.dst)
+    return _closure(fa.initial, succ)
+
+
+def co_reachable_states(fa: FA) -> set[State]:
+    """States from which some accepting state is reachable."""
+    pred: dict[State, set[State]] = {}
+    for t in fa.transitions:
+        pred.setdefault(t.dst, set()).add(t.src)
+    return _closure(fa.accepting, pred)
+
+
+def live_transitions(fa: FA) -> set[int]:
+    """Transition indices lying on at least one initial→accepting path.
+
+    The complement is exactly the set of FCA attributes whose column is
+    empty in *every* Section 3.2 context built over this reference FA —
+    the static characterization of a useless attribute.
+    """
+    forward = reachable_states(fa)
+    backward = co_reachable_states(fa)
+    return {
+        i
+        for i, t in enumerate(fa.transitions)
+        if t.src in forward and t.dst in backward
+    }
+
+
+def _state_index(fa: FA) -> dict[State, int]:
+    return {s: i for i, s in enumerate(fa.states)}
+
+
+# --------------------------------------------------------------------- #
+# reachability passes
+# --------------------------------------------------------------------- #
+
+
+def pass_unreachable_states(fa: FA) -> list[Diagnostic]:
+    """FA001: states no path from an initial state ever enters."""
+    forward = reachable_states(fa)
+    index = _state_index(fa)
+    out = []
+    for state in fa.states:
+        if state not in forward:
+            out.append(
+                Diagnostic(
+                    code="FA001",
+                    severity="error",
+                    location=Location.state(index[state]),
+                    message=(
+                        f"state {state!r} is unreachable from the initial "
+                        f"state(s) {sorted(map(str, fa.initial))}"
+                    ),
+                    suggestion=(
+                        "remove the state or add a transition that reaches it"
+                    ),
+                )
+            )
+    return out
+
+
+def pass_dead_states(fa: FA) -> list[Diagnostic]:
+    """FA002: reachable states from which no accepting state is reachable."""
+    forward = reachable_states(fa)
+    backward = co_reachable_states(fa)
+    index = _state_index(fa)
+    out = []
+    for state in fa.states:
+        if state in forward and state not in backward:
+            out.append(
+                Diagnostic(
+                    code="FA002",
+                    severity="error",
+                    location=Location.state(index[state]),
+                    message=(
+                        f"state {state!r} cannot reach any accepting state; "
+                        "every trace entering it is doomed to rejection"
+                    ),
+                    suggestion=(
+                        "mark an appropriate downstream state accepting or "
+                        "remove the state"
+                    ),
+                )
+            )
+    return out
+
+
+def pass_dead_transitions(fa: FA) -> list[Diagnostic]:
+    """FA003: transitions on no accepting path.
+
+    Such a transition can never be *executed* in the paper's Section 3.2
+    sense — ``(o, a) ∈ R`` holds for no trace ``o`` — so as a concept
+    attribute its column is empty and it contributes nothing to
+    clustering; as part of the specification it is unenforceable.
+    """
+    live = live_transitions(fa)
+    out = []
+    for i, t in enumerate(fa.transitions):
+        if i not in live:
+            out.append(
+                Diagnostic(
+                    code="FA003",
+                    severity="error",
+                    location=Location.transition(i),
+                    message=(
+                        f"transition {i} ({t}) lies on no accepting path; "
+                        "it can never be executed by an accepted trace"
+                    ),
+                    suggestion=(
+                        "remove the transition or repair the path so its "
+                        "target can reach an accepting state"
+                    ),
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# vacuity passes (fa.ops product constructions)
+# --------------------------------------------------------------------- #
+
+
+def pass_empty_language(fa: FA) -> list[Diagnostic]:
+    """FA004: the specification accepts no trace at all."""
+    if not is_empty(fa):
+        return []
+    if not fa.accepting:
+        message = (
+            "the specification has no accepting state, so its language is "
+            "empty: every trace is a violation"
+        )
+    else:
+        message = (
+            "no accepting state is reachable, so the language is empty: "
+            "every trace is a violation"
+        )
+    return [
+        Diagnostic(
+            code="FA004",
+            severity="error",
+            location=Location.whole_fa(),
+            message=message,
+            suggestion="add or reconnect accepting states",
+        )
+    ]
+
+
+def pass_universal_language(fa: FA) -> list[Diagnostic]:
+    """FA005: the language is Σ* over the FA's own label alphabet.
+
+    A specification that accepts every string it can express rejects
+    nothing — vacuously satisfied by any trace over its alphabet.  This
+    is expected of Focus *templates* (they distinguish traces by executed
+    transitions, not by acceptance) but is a bug in a specification meant
+    to separate good from bad runs, hence warning severity.
+    """
+    labels = sorted({str(t.pattern) for t in fa.transitions})
+    if not labels:
+        return []
+    universal = unordered_fa(labels)
+    if not language_subset(universal, fa):
+        return []
+    return [
+        Diagnostic(
+            code="FA005",
+            severity="warning",
+            location=Location.whole_fa(),
+            message=(
+                "the specification accepts every string over its own "
+                f"alphabet ({len(labels)} label(s)): it rejects nothing"
+            ),
+            suggestion=(
+                "if this FA is a clustering template that is intended; "
+                "otherwise tighten accepting states or transitions"
+            ),
+        )
+    ]
+
+
+# --------------------------------------------------------------------- #
+# nondeterminism pass
+# --------------------------------------------------------------------- #
+
+
+def patterns_may_overlap(p: EventPattern, q: EventPattern) -> bool:
+    """Can some ground event match both patterns (binding-agnostic)?
+
+    Over-approximate: variable-consistency constraints are ignored, so
+    ``f(X, X)`` and ``f(a, b)`` count as overlapping.  Good enough for a
+    hotspot report.
+    """
+    if p.is_wildcard or q.is_wildcard:
+        return True
+    if p.symbol != q.symbol or len(p.args) != len(q.args):
+        return False
+    for a, b in zip(p.args, q.args):
+        if isinstance(a, Lit) and isinstance(b, Lit) and a.value != b.value:
+            return False
+    return True
+
+
+def pass_nondeterminism(fa: FA) -> list[Diagnostic]:
+    """FA006: states with overlapping outgoing transition patterns.
+
+    Nondeterminism is legal (the FA class supports it) but each hotspot
+    multiplies the configurations :meth:`FA.executed_transitions` must
+    track, and on mined FAs it frequently marks an under-merged or
+    over-general region — worth a look, hence info severity.
+    """
+    index = _state_index(fa)
+    by_src: dict[State, list[tuple[int, Transition]]] = {}
+    for i, t in enumerate(fa.transitions):
+        by_src.setdefault(t.src, []).append((i, t))
+    out = []
+    for state in fa.states:
+        outgoing = by_src.get(state, [])
+        pairs = [
+            (i, j)
+            for a, (i, ti) in enumerate(outgoing)
+            for j, tj in (outgoing[b] for b in range(a + 1, len(outgoing)))
+            if patterns_may_overlap(ti.pattern, tj.pattern)
+        ]
+        if pairs:
+            involved = sorted({i for pair in pairs for i in pair})
+            out.append(
+                Diagnostic(
+                    code="FA006",
+                    severity="info",
+                    location=Location.state(index[state]),
+                    message=(
+                        f"state {state!r} is a nondeterminism hotspot: "
+                        f"{len(pairs)} overlapping transition pair(s) among "
+                        f"transitions {involved}"
+                    ),
+                    suggestion=(
+                        "consider determinizing or splitting the state if "
+                        "the overlap is unintended"
+                    ),
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# pattern-variable passes
+# --------------------------------------------------------------------- #
+
+
+def _transition_follows(fa: FA) -> Callable[[int, int], bool]:
+    """``follows(i, j)``: can transition ``j`` occur after ``i`` on a path?
+
+    True iff ``j.src`` is reachable from ``i.dst`` (zero or more steps).
+    """
+    succ: dict[State, set[State]] = {}
+    for t in fa.transitions:
+        succ.setdefault(t.src, set()).add(t.dst)
+    cache: dict[State, set[State]] = {}
+
+    def from_state(state: State) -> set[State]:
+        if state not in cache:
+            cache[state] = _closure([state], succ)
+        return cache[state]
+
+    def follows(i: int, j: int) -> bool:
+        return fa.transitions[j].src in from_state(fa.transitions[i].dst)
+
+    return follows
+
+
+def _variable_occurrences(fa: FA) -> dict[str, list[int]]:
+    """Variable name -> indices of transitions whose pattern mentions it."""
+    occurrences: dict[str, list[int]] = {}
+    for i, t in enumerate(fa.transitions):
+        for name in t.pattern.variables():
+            occurrences.setdefault(name, []).append(i)
+    return occurrences
+
+
+def _binds_twice_in_one_pattern(pattern: EventPattern, name: str) -> bool:
+    return sum(
+        1 for a in pattern.args if isinstance(a, Var) and a.name == name
+    ) >= 2
+
+
+def pass_unconstraining_variables(fa: FA) -> list[Diagnostic]:
+    """FA007: variables that can never be matched against a prior binding.
+
+    A variable constrains acceptance only if some path can traverse two
+    of its occurrences (the second match must agree with the first) or a
+    single pattern mentions it twice.  Otherwise it behaves exactly like
+    the anonymous wildcard ``_`` while *looking* like a data-flow
+    constraint — a classic specification bug (Figure 1's ``X`` is only
+    meaningful because it recurs along the path).
+    """
+    occurrences = _variable_occurrences(fa)
+    if not occurrences:
+        return []
+    follows = _transition_follows(fa)
+    out = []
+    for name in sorted(occurrences):
+        trans = occurrences[name]
+        if any(
+            _binds_twice_in_one_pattern(fa.transitions[i].pattern, name)
+            for i in trans
+        ):
+            continue
+        constrains = any(follows(i, j) for i in trans for j in trans)
+        if not constrains:
+            out.append(
+                Diagnostic(
+                    code="FA007",
+                    severity="warning",
+                    location=Location.variable(name),
+                    message=(
+                        f"variable {name!r} occurs on transition(s) "
+                        f"{trans} but no path traverses two of its "
+                        "occurrences: it never constrains a match"
+                    ),
+                    suggestion=(
+                        "replace it with '_' or rename it to a variable "
+                        "bound earlier on the path"
+                    ),
+                )
+            )
+    return out
+
+
+def _abbreviate(indices: list[int], limit: int = 6) -> str:
+    """Render an index group compactly: ``[0, 1, 2, ... (64 total)]``."""
+    if len(indices) <= limit:
+        return "[" + ", ".join(map(str, indices)) + "]"
+    head = ", ".join(map(str, indices[:limit]))
+    return f"[{head}, ... ({len(indices)} total)]"
+
+
+def pass_shadowed_variables(fa: FA) -> list[Diagnostic]:
+    """FA008: one variable name used for unrelated bindings.
+
+    If a variable's occurrences split into groups that no path connects,
+    each group binds the name independently — the later group *shadows*
+    the earlier binding in the reader's mind while sharing nothing with
+    it.  Harmless to the semantics, hostile to the maintainer.
+    """
+    occurrences = _variable_occurrences(fa)
+    if not occurrences:
+        return []
+    follows = _transition_follows(fa)
+    out = []
+    for name in sorted(occurrences):
+        trans = occurrences[name]
+        if len(trans) < 2:
+            continue
+        # Union-find over "some path relates the two occurrences".
+        group = {i: i for i in trans}
+
+        def find(i: int) -> int:
+            while group[i] != i:
+                group[i] = group[group[i]]
+                i = group[i]
+            return i
+
+        for a in trans:
+            for b in trans:
+                if a < b and (follows(a, b) or follows(b, a)):
+                    group[find(a)] = find(b)
+        roots = {find(i) for i in trans}
+        if len(roots) > 1:
+            parts = sorted(
+                sorted(i for i in trans if find(i) == root) for root in roots
+            )
+            shown = ", ".join(_abbreviate(part) for part in parts)
+            out.append(
+                Diagnostic(
+                    code="FA008",
+                    severity="info",
+                    location=Location.variable(name),
+                    message=(
+                        f"variable {name!r} binds independently in "
+                        f"{len(parts)} disjoint regions (transitions "
+                        f"{shown}); the occurrences share no path"
+                    ),
+                    suggestion="rename the independent groups for clarity",
+                )
+            )
+    return out
+
+
+#: All FA passes in execution order, keyed by their primary code.
+FA_PASSES: tuple[tuple[str, FAPass], ...] = (
+    ("FA001", pass_unreachable_states),
+    ("FA002", pass_dead_states),
+    ("FA003", pass_dead_transitions),
+    ("FA004", pass_empty_language),
+    ("FA005", pass_universal_language),
+    ("FA006", pass_nondeterminism),
+    ("FA007", pass_unconstraining_variables),
+    ("FA008", pass_shadowed_variables),
+)
+
+
+def run_fa_passes(
+    fa: FA, codes: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Run the FA passes (all by default, else only ``codes``)."""
+    wanted = None if codes is None else frozenset(codes)
+    out: list[Diagnostic] = []
+    for code, fa_pass in FA_PASSES:
+        if wanted is None or code in wanted:
+            out.extend(fa_pass(fa))
+    return out
+
+
+__all__ = [
+    "FA_PASSES",
+    "co_reachable_states",
+    "live_transitions",
+    "patterns_may_overlap",
+    "reachable_states",
+    "run_fa_passes",
+]

@@ -1,0 +1,251 @@
+"""Concept-lattice invariant checking, as diagnostics and as assertions.
+
+A :class:`~repro.core.concepts.ConceptLattice` is trusted by everything
+downstream — labeling strategies, Cable navigation, ranking — so a
+construction bug (in Godin's incremental algorithm, a checkpoint resume,
+or a hand-built lattice) corrupts entire debugging sessions silently.
+:func:`check_lattice` verifies the order-theoretic contract and returns
+structured diagnostics; :func:`assert_lattice_invariants` is the debug
+assertion form.
+
+The checks are deliberately cheaper than
+:meth:`~repro.core.concepts.ConceptLattice.validate` (which recomputes
+the full cover relation in O(n³)): everything here is linear in the
+Hasse diagram plus one closure computation per concept, so the debug
+hook can stay enabled for an entire test suite.
+
+Codes:
+
+======= ===== ===========================================================
+LAT001  error extent/intent pair is not Galois-closed (σ/τ mismatch)
+LAT002  error Hasse order inconsistency (parent not a strict superset,
+              asymmetric parent/child links, or parents not an antichain)
+LAT003  error top/bottom incorrect (top extent ≠ O or bottom intent ≠ A)
+LAT004  error duplicate concept extents
+LAT005  error Hasse diagram is cyclic
+======= ===== ===========================================================
+
+Enable the hook with :func:`enable_debug_checks` (the tier-1 test suite
+does this in ``tests/conftest.py``, so every lattice built by any test is
+checked at construction time).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Location, LintReport
+from repro.core import concepts as _concepts_module
+from repro.core.concepts import ConceptLattice
+
+
+def _error(code: str, location: Location, message: str) -> Diagnostic:
+    return Diagnostic(
+        code=code, severity="error", location=location, message=message
+    )
+
+
+def check_lattice(lattice: ConceptLattice) -> list[Diagnostic]:
+    """Verify the lattice's structural invariants; return the violations."""
+    out: list[Diagnostic] = []
+    ctx = lattice.context
+    n = len(lattice.concepts)
+
+    # LAT001 — Galois closure of every (extent, intent) pair.
+    for c, concept in enumerate(lattice.concepts):
+        if ctx.sigma(concept.extent) != concept.intent:
+            out.append(
+                _error(
+                    "LAT001",
+                    Location.concept(c),
+                    f"σ(extent) != intent for concept {c}: the pair is not "
+                    "Galois-closed",
+                )
+            )
+        elif ctx.tau(concept.intent) != concept.extent:
+            out.append(
+                _error(
+                    "LAT001",
+                    Location.concept(c),
+                    f"τ(intent) != extent for concept {c}: the pair is not "
+                    "Galois-closed",
+                )
+            )
+
+    # LAT004 — extents must be distinct (they are the order's carrier).
+    seen: dict[frozenset[int], int] = {}
+    for c, concept in enumerate(lattice.concepts):
+        first = seen.setdefault(concept.extent, c)
+        if first != c:
+            out.append(
+                _error(
+                    "LAT004",
+                    Location.concept(c),
+                    f"concept {c} duplicates the extent of concept {first}",
+                )
+            )
+
+    # LAT002 — local order consistency along every Hasse edge.
+    for c in range(n):
+        for p in lattice.parents[c]:
+            if not lattice.concepts[c].extent < lattice.concepts[p].extent:
+                out.append(
+                    _error(
+                        "LAT002",
+                        Location.concept(c),
+                        f"parent {p} of concept {c} is not a strict "
+                        "extent-superset",
+                    )
+                )
+            if c not in lattice.children[p]:
+                out.append(
+                    _error(
+                        "LAT002",
+                        Location.concept(c),
+                        f"asymmetric Hasse link: {p} is a parent of {c} but "
+                        f"{c} is not a child of {p}",
+                    )
+                )
+        for child in lattice.children[c]:
+            if c not in lattice.parents[child]:
+                out.append(
+                    _error(
+                        "LAT002",
+                        Location.concept(c),
+                        f"asymmetric Hasse link: {child} is a child of {c} "
+                        f"but {c} is not a parent of {child}",
+                    )
+                )
+        # Covers form an antichain: no parent's extent inside another's.
+        parents = lattice.parents[c]
+        for i, p in enumerate(parents):
+            for q in parents[i + 1 :]:
+                pe = lattice.concepts[p].extent
+                qe = lattice.concepts[q].extent
+                if pe < qe or qe < pe:
+                    out.append(
+                        _error(
+                            "LAT002",
+                            Location.concept(c),
+                            f"parents {p} and {q} of concept {c} are "
+                            "comparable: the Hasse edge is transitive, not "
+                            "a cover",
+                        )
+                    )
+
+    # LAT003 — top and bottom.
+    if n:
+        top = lattice.concepts[lattice.top]
+        bottom = lattice.concepts[lattice.bottom]
+        if top.extent != ctx.all_objects:
+            out.append(
+                _error(
+                    "LAT003",
+                    Location.concept(lattice.top),
+                    "top concept's extent is not the full object set",
+                )
+            )
+        if bottom.intent != ctx.all_attributes:
+            out.append(
+                _error(
+                    "LAT003",
+                    Location.concept(lattice.bottom),
+                    "bottom concept's intent is not the full attribute set",
+                )
+            )
+
+    # LAT005 — acyclicity (Kahn's algorithm over child→parent edges).
+    indegree = {c: len(lattice.children[c]) for c in range(n)}
+    queue = deque(c for c in range(n) if indegree[c] == 0)
+    visited = 0
+    while queue:
+        node = queue.popleft()
+        visited += 1
+        for parent in lattice.parents[node]:
+            indegree[parent] -= 1
+            if indegree[parent] == 0:
+                queue.append(parent)
+    if visited != n:
+        out.append(
+            _error(
+                "LAT005",
+                Location("lattice"),
+                f"Hasse diagram is cyclic: only {visited} of {n} concepts "
+                "are reachable in a topological sweep",
+            )
+        )
+    return out
+
+
+def lint_lattice(lattice: ConceptLattice, target: str = "lattice") -> LintReport:
+    """The report form of :func:`check_lattice`."""
+    return LintReport(target, tuple(check_lattice(lattice)))
+
+
+class LatticeInvariantViolation(AssertionError):
+    """Raised by the debug assertion when a lattice is inconsistent.
+
+    An ``AssertionError`` subclass: invariant violations are programming
+    errors in a construction algorithm, not bad user input.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics = tuple(diagnostics)
+        rendered = "; ".join(d.render().splitlines()[0] for d in diagnostics)
+        super().__init__(f"concept lattice invariants violated: {rendered}")
+
+
+def assert_lattice_invariants(lattice: ConceptLattice) -> None:
+    """Debug assertion: raise on any invariant violation."""
+    diagnostics = check_lattice(lattice)
+    if diagnostics:
+        raise LatticeInvariantViolation(diagnostics)
+
+
+# --------------------------------------------------------------------- #
+# the construction-time debug hook
+# --------------------------------------------------------------------- #
+
+
+def enable_debug_checks() -> None:
+    """Check invariants on every :class:`ConceptLattice` construction.
+
+    Intended for test suites and debugging sessions; the check is linear
+    in the Hasse diagram but still a real cost on hot paths, so it is off
+    by default.
+    """
+    _concepts_module.set_invariant_check(assert_lattice_invariants)
+
+
+def disable_debug_checks() -> None:
+    """Stop checking invariants at construction time."""
+    _concepts_module.set_invariant_check(None)
+
+
+def debug_checks_enabled() -> bool:
+    return _concepts_module.get_invariant_check() is assert_lattice_invariants
+
+
+@contextmanager
+def lattice_debug_checks() -> Iterator[None]:
+    """Context manager form of :func:`enable_debug_checks`."""
+    previous = _concepts_module.get_invariant_check()
+    _concepts_module.set_invariant_check(assert_lattice_invariants)
+    try:
+        yield
+    finally:
+        _concepts_module.set_invariant_check(previous)
+
+
+__all__ = [
+    "LatticeInvariantViolation",
+    "assert_lattice_invariants",
+    "check_lattice",
+    "debug_checks_enabled",
+    "disable_debug_checks",
+    "enable_debug_checks",
+    "lattice_debug_checks",
+    "lint_lattice",
+]

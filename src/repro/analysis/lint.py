@@ -1,0 +1,115 @@
+"""Lint orchestration: run the right passes over the right artifacts.
+
+The entry points compose the pass modules into the lint surfaces the
+rest of the system consumes:
+
+* :func:`lint_fa` — the automaton passes alone (an FA loaded from a
+  file, a template, a mined specification);
+* :func:`lint_reference` — FA passes plus the trace-corpus
+  compatibility passes: the pre-flight check
+  :func:`~repro.core.trace_clustering.cluster_traces` and
+  :func:`~repro.workloads.pipeline.run_spec` run before paying for a
+  lattice build;
+* :func:`lint_spec_model` — a catalog entry's Table 1 artifacts (the
+  re-mined specification plus its behavior corpus), the unit the CI gate
+  iterates over;
+* :func:`lint_catalog` — every specification in the catalog.
+
+All of them return :class:`~repro.analysis.diagnostics.LintReport`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.analysis.corpus import run_corpus_passes
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.fa_passes import run_fa_passes
+from repro.fa.automaton import FA
+from repro.lang.traces import Trace
+from repro.robustness.errors import InputError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.xlib_model import SpecModel
+
+
+def lint_fa(
+    fa: FA, target: str = "fa", codes: Iterable[str] | None = None
+) -> LintReport:
+    """Run the static FA passes over one automaton."""
+    return LintReport(target, tuple(run_fa_passes(fa, codes=codes)))
+
+
+def lint_corpus(
+    fa: FA, traces: Sequence[Trace], target: str = "corpus"
+) -> LintReport:
+    """Run only the trace-corpus compatibility passes."""
+    return LintReport(target, tuple(run_corpus_passes(fa, traces)))
+
+
+def lint_reference(
+    fa: FA, traces: Sequence[Trace], target: str = "reference-fa"
+) -> LintReport:
+    """Pre-flight lint of a reference FA against the corpus it will
+    cluster: the full FA passes plus the alphabet-compatibility passes."""
+    diagnostics = tuple(run_fa_passes(fa)) + tuple(run_corpus_passes(fa, traces))
+    return LintReport(target, diagnostics)
+
+
+def raise_on_errors(report: LintReport) -> None:
+    """Raise :class:`~repro.robustness.errors.InputError` if the report
+    carries error-severity findings (the ``strict=True`` behaviour)."""
+    errors = report.errors
+    if errors:
+        raise InputError(
+            "spec lint found errors",
+            target=report.target,
+            num_errors=len(errors),
+            codes=sorted({d.code for d in errors}),
+            fingerprints=[d.fingerprint for d in errors[:10]],
+        )
+
+
+# --------------------------------------------------------------------- #
+# catalog specifications
+# --------------------------------------------------------------------- #
+
+
+def lint_spec_model(spec: "SpecModel") -> LintReport:
+    """Lint one catalog entry without running its pipeline.
+
+    Checks the debugged specification (the Table 1 artifact, re-mined
+    from the good behaviors — cheap to build, no trace generation) with
+    the FA passes, then its full behavior corpus against that FA's
+    alphabet.  This is the millisecond-scale static gate; a full
+    ``run_spec`` on the same entry costs trace synthesis, mining and a
+    lattice build.
+    """
+    fa = spec.debugged_fa()
+    corpus = [behavior.trace() for behavior in spec.behaviors]
+    diagnostics = tuple(run_fa_passes(fa)) + tuple(
+        run_corpus_passes(fa, corpus)
+    )
+    return LintReport(f"spec:{spec.name}", diagnostics)
+
+
+def lint_catalog(names: Iterable[str] | None = None) -> list[LintReport]:
+    """Lint catalog specifications (all of them by default)."""
+    from repro.workloads.specs_catalog import SPEC_CATALOG, spec_by_name
+
+    if names is None:
+        specs = list(SPEC_CATALOG)
+    else:
+        specs = [spec_by_name(name) for name in names]
+    return [lint_spec_model(spec) for spec in specs]
+
+
+__all__ = [
+    "lint_catalog",
+    "lint_corpus",
+    "lint_fa",
+    "lint_reference",
+    "lint_spec_model",
+    "raise_on_errors",
+]

@@ -1,0 +1,148 @@
+"""Seeded specification mutations, for testing the linter against itself.
+
+Each mutation plants one *known* defect into a healthy FA and names the
+diagnostic code the linter must report for it.  The property tests drive
+these over the whole catalog; ``benchmarks/bench_spec_lint.py`` uses
+:func:`inject_dead_transition` to demonstrate the end-to-end CI gate.
+
+All helpers return a fresh FA (FAs are immutable) and never mutate their
+input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.fa_passes import reachable_states
+from repro.fa.automaton import FA, Transition
+from repro.lang.events import EventPattern, Var
+from repro.robustness.errors import InputError
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """A mutated FA plus what the linter is expected to say about it."""
+
+    fa: FA
+    description: str
+    expected_code: str
+    #: Transition index the expected diagnostic should point at, if the
+    #: defect is transition-shaped.
+    transition_index: int | None = None
+
+
+def drop_transition(fa: FA, index: int) -> Mutant:
+    """Remove transition ``index``; orphans its downstream subgraph.
+
+    On a tree- or chain-shaped specification this strands the target
+    state, so the linter reports FA001 (and usually FA002/FA003 along
+    with it).
+    """
+    if not 0 <= index < fa.num_transitions:
+        raise InputError(
+            "transition index out of range",
+            index=index,
+            num_transitions=fa.num_transitions,
+        )
+    transitions = list(fa.transitions)
+    dropped = transitions.pop(index)
+    return Mutant(
+        fa=fa.with_transitions(transitions),
+        description=f"dropped transition {index} ({dropped})",
+        expected_code="FA001",
+    )
+
+
+def flip_accepting_state(fa: FA, state: object) -> Mutant:
+    """Toggle ``state``'s membership in the accepting set.
+
+    Flipping a *sink* accepting state (no outgoing transitions) makes it
+    dead: FA002.  Flipping the only accepting state empties the language:
+    FA004.
+    """
+    if state not in set(fa.states):
+        raise InputError("unknown state", state=str(state))
+    accepting = set(fa.accepting)
+    if state in accepting:
+        accepting.discard(state)
+        expected = "FA004" if not accepting else "FA002"
+    else:
+        accepting.add(state)
+        expected = "FA006"  # no structural error; at most new overlap noise
+    return Mutant(
+        fa=FA(fa.states, fa.initial, accepting, fa.transitions),
+        description=f"flipped accepting status of state {state!r}",
+        expected_code=expected,
+    )
+
+
+def rename_symbol(fa: FA, old: str, new: str) -> Mutant:
+    """Rename every occurrence of symbol ``old`` on transition labels.
+
+    Against the original corpus this desynchronizes the alphabets: the
+    corpus still emits ``old`` (TR001, with ``new`` as the near-miss
+    suggestion) and the FA now mentions ``new`` that the corpus never
+    produces (TR002).
+    """
+    if not any(
+        not t.pattern.is_wildcard and t.pattern.symbol == old
+        for t in fa.transitions
+    ):
+        raise InputError("symbol not used by any transition", symbol=old)
+    transitions = [
+        Transition(
+            t.src,
+            EventPattern(new, t.pattern.args)
+            if not t.pattern.is_wildcard and t.pattern.symbol == old
+            else t.pattern,
+            t.dst,
+        )
+        for t in fa.transitions
+    ]
+    return Mutant(
+        fa=fa.with_transitions(transitions),
+        description=f"renamed symbol {old!r} to {new!r}",
+        expected_code="TR001",
+    )
+
+
+def inject_dead_transition(
+    fa: FA, symbol: str = "lintprobe", state_name: str = "__lint_dead__"
+) -> Mutant:
+    """Add a transition from a live state into a fresh non-accepting sink.
+
+    The new transition lies on no accepting path — the canonical FA003 —
+    and the sink state is dead (FA002).  ``transition_index`` locates the
+    injected transition (it is appended last).
+    """
+    states = list(fa.states)
+    sink = state_name
+    while sink in states:
+        sink += "_"
+    live = reachable_states(fa)
+    anchors = [s for s in states if s in live] or states
+    transitions = list(fa.transitions)
+    transitions.append(
+        Transition(anchors[0], EventPattern(symbol, (Var("X"),)), sink)
+    )
+    mutated = FA(
+        states + [sink], fa.initial, fa.accepting, transitions
+    )
+    return Mutant(
+        fa=mutated,
+        description=(
+            f"injected dead transition {len(transitions) - 1} "
+            f"({anchors[0]!r} --{symbol}(X)--> {sink!r})"
+        ),
+        expected_code="FA003",
+        transition_index=len(transitions) - 1,
+    )
+
+
+__all__ = [
+    "Mutant",
+    "drop_transition",
+    "flip_accepting_state",
+    "inject_dead_transition",
+    "rename_symbol",
+]

@@ -34,6 +34,10 @@ Commands::
     quit
 
 (Restore a saved session by starting the CLI with ``--session FILE``.)
+
+``cable lint ...`` dispatches to the static spec-lint subcommand
+(:mod:`repro.analysis.cli`): lint catalog specifications or FA files
+without running the dynamic pipeline.
 """
 
 from __future__ import annotations
@@ -289,9 +293,14 @@ def build_session(trace_path: str, fa_path: str | None) -> CableSession:
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import lint_main
+
+        return lint_main(argv[1:])
     if not argv or argv[0] in ("-h", "--help"):
         print(
-            "usage: cable TRACE_FILE [FA_FILE]  |  cable --session FILE",
+            "usage: cable TRACE_FILE [FA_FILE]  |  cable --session FILE"
+            "  |  cable lint ...",
             file=sys.stderr,
         )
         print(__doc__, file=sys.stderr)

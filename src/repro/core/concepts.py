@@ -15,10 +15,30 @@ and the navigation queries Cable and the labeling strategies need.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.core.context import FormalContext
+from repro.robustness.errors import InputError, LookupInputError
+
+#: Optional construction-time invariant check (a debug assertion).  Set
+#: via :func:`set_invariant_check`; :mod:`repro.analysis.invariants`
+#: provides the standard checker and enable/disable helpers.
+_INVARIANT_CHECK: Callable[["ConceptLattice"], None] | None = None
+
+
+def set_invariant_check(
+    check: Callable[["ConceptLattice"], None] | None,
+) -> None:
+    """Install (or clear, with ``None``) the construction-time check run
+    on every new :class:`ConceptLattice`."""
+    global _INVARIANT_CHECK
+    _INVARIANT_CHECK = check
+
+
+def get_invariant_check() -> Callable[["ConceptLattice"], None] | None:
+    """The currently installed construction-time check, if any."""
+    return _INVARIANT_CHECK
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +110,8 @@ class ConceptLattice:
                     self.concepts[best].extent
                 ):
                     self._object_concept[o] = i
+        if _INVARIANT_CHECK is not None:
+            _INVARIANT_CHECK(self)
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -101,18 +123,38 @@ class ConceptLattice:
     def __iter__(self):
         return iter(range(len(self.concepts)))
 
+    def _check_index(self, c: int) -> int:
+        if not isinstance(c, int) or isinstance(c, bool):
+            raise InputError(
+                "concept index must be an integer", index=c
+            )
+        if not -len(self.concepts) <= c < len(self.concepts):
+            raise InputError(
+                "concept index out of range",
+                index=c,
+                num_concepts=len(self.concepts),
+            )
+        return c % len(self.concepts) if c < 0 else c
+
     def extent(self, c: int) -> frozenset[int]:
-        return self.concepts[c].extent
+        return self.concepts[self._check_index(c)].extent
 
     def intent(self, c: int) -> frozenset[int]:
-        return self.concepts[c].intent
+        return self.concepts[self._check_index(c)].intent
 
     def similarity(self, c: int) -> int:
-        return self.concepts[c].similarity
+        return self.concepts[self._check_index(c)].similarity
 
     def object_concept(self, obj: int) -> int:
         """γ(obj): the smallest concept whose extent contains ``obj``."""
-        return self._object_concept[obj]
+        try:
+            return self._object_concept[obj]
+        except KeyError:
+            raise LookupInputError(
+                "object appears in no concept extent",
+                object=obj,
+                num_objects=self.context.num_objects,
+            ) from None
 
     def attribute_concept(self, attr: int) -> int:
         """μ(attr): the largest concept whose intent contains ``attr``."""
@@ -124,7 +166,11 @@ class ConceptLattice:
                 ):
                     best = i
         if best is None:
-            raise KeyError(f"attribute {attr} appears in no intent")
+            raise LookupInputError(
+                "attribute appears in no concept intent",
+                attribute=attr,
+                num_attributes=self.context.num_attributes,
+            )
         return best
 
     def own_objects(self, c: int) -> frozenset[int]:
@@ -133,6 +179,7 @@ class ConceptLattice:
         These are the traces a user labels "directly at" this concept once
         its children are dealt with (the second case of well-formedness).
         """
+        c = self._check_index(c)
         covered: set[int] = set()
         for child in self.children[c]:
             covered |= self.concepts[child].extent
@@ -144,6 +191,7 @@ class ConceptLattice:
 
     def ancestors(self, c: int) -> set[int]:
         """All strict superconcepts of ``c`` (transitively)."""
+        c = self._check_index(c)
         seen: set[int] = set()
         queue = deque(self.parents[c])
         while queue:
@@ -155,6 +203,7 @@ class ConceptLattice:
 
     def descendants(self, c: int) -> set[int]:
         """All strict subconcepts of ``c`` (transitively)."""
+        c = self._check_index(c)
         seen: set[int] = set()
         queue = deque(self.children[c])
         while queue:
@@ -220,7 +269,9 @@ class ConceptLattice:
         for i, concept in enumerate(self.concepts):
             if concept.extent == extent:
                 return i
-        raise KeyError(f"no concept with extent {sorted(extent)}")
+        raise LookupInputError(
+            "no concept with the requested extent", extent=sorted(extent)
+        )
 
     # ------------------------------------------------------------------ #
     # validation (used heavily by the tests)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.concepts import ConceptLattice
 from repro.core.context import FormalContext
@@ -26,6 +27,9 @@ from repro.fa.automaton import FA
 from repro.lang.traces import DedupResult, Trace, dedup_traces
 from repro.robustness.budget import Budget
 from repro.robustness.errors import ClusteringError
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import LintReport
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,7 @@ class TraceClustering:
     class_counts: tuple[int, ...]
     class_members: tuple[tuple[Trace, ...], ...]
     rejected: tuple[Trace, ...]
+    lint_report: "LintReport | None" = None
 
     @property
     def num_objects(self) -> int:
@@ -159,6 +164,7 @@ def extend_clustering(
         class_counts=tuple(counts),
         class_members=tuple(tuple(m) for m in members),
         rejected=tuple(rejected),
+        lint_report=clustering.lint_report,
     )
 
 
@@ -169,6 +175,7 @@ def cluster_traces(
     build: Callable[[FormalContext], ConceptLattice] = build_lattice_godin,
     strict: bool = False,
     budget: Budget | None = None,
+    lint: bool = False,
 ) -> TraceClustering:
     """Cluster ``traces`` with respect to ``reference_fa``.
 
@@ -184,7 +191,23 @@ def cluster_traces(
     Godin builder; an over-budget build raises
     :class:`~repro.robustness.errors.BudgetExceeded` with a resumable
     checkpoint).
+
+    ``lint=True`` runs the static spec-lint passes
+    (:func:`repro.analysis.lint.lint_reference`) over ``reference_fa``
+    and the trace corpus *before* clustering; the report rides along on
+    the result as ``lint_report``, and under ``strict=True`` lint
+    *errors* abort the run with
+    :class:`~repro.robustness.errors.InputError`.
     """
+    lint_report: LintReport | None = None
+    if lint:
+        # Imported here: repro.analysis imports this package's modules.
+        from repro.analysis.lint import lint_reference, raise_on_errors
+
+        lint_report = lint_reference(reference_fa, traces)
+        if strict:
+            raise_on_errors(lint_report)
+
     if dedup:
         groups: DedupResult = dedup_traces(traces)
         pool = list(groups.representatives)
@@ -227,4 +250,5 @@ def cluster_traces(
         class_counts=tuple(counts[i] for i in accepted_idx),
         class_members=tuple(members[i] for i in accepted_idx),
         rejected=tuple(rejected),
+        lint_report=lint_report,
     )

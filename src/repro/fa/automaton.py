@@ -144,6 +144,20 @@ class FA:
 
     def describe_transition(self, index: int) -> str:
         """Human-readable rendering of transition ``index``."""
+        # Imported here: repro.robustness.quarantine imports this module,
+        # so a top-level import would be circular.
+        from repro.robustness.errors import InputError
+
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise InputError(
+                "transition index must be an integer", index=index
+            )
+        if not -len(self.transitions) <= index < len(self.transitions):
+            raise InputError(
+                "transition index out of range",
+                index=index,
+                num_transitions=len(self.transitions),
+            )
         return str(self.transitions[index])
 
     # ------------------------------------------------------------------ #

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.fa.automaton import FA
@@ -197,7 +197,7 @@ def minimize(fa: FA) -> FA:
 
 
 def _product(
-    a: SymbolicDFA, b: SymbolicDFA, want: "callable[[bool, bool], bool]",
+    a: SymbolicDFA, b: SymbolicDFA, want: Callable[[bool, bool], bool],
     alphabet: frozenset[str],
 ) -> SymbolicDFA:
     """Product DFA over ``alphabet`` with acceptance combined by ``want``.

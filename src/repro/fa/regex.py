@@ -97,27 +97,30 @@ class _Atom:
 
 @dataclass(frozen=True)
 class _Seq:
-    parts: tuple
+    parts: tuple["_Node", ...]
 
 
 @dataclass(frozen=True)
 class _Alt:
-    options: tuple
+    options: tuple["_Node", ...]
 
 
 @dataclass(frozen=True)
 class _Star:
-    inner: object
+    inner: "_Node"
 
 
 @dataclass(frozen=True)
 class _Plus:
-    inner: object
+    inner: "_Node"
 
 
 @dataclass(frozen=True)
 class _Opt:
-    inner: object
+    inner: "_Node"
+
+
+_Node = _Atom | _Seq | _Alt | _Star | _Plus | _Opt
 
 
 class _Parser:
@@ -135,27 +138,27 @@ class _Parser:
         self.pos += 1
         return token
 
-    def parse(self):
+    def parse(self) -> _Node:
         expr = self.expr()
         if self.peek() is not None:
             raise RegexSyntaxError(f"trailing input at token {self.peek()!r}")
         return expr
 
-    def expr(self):
+    def expr(self) -> _Node:
         options = [self.term()]
         while self.peek() == "|":
             self.take()
             options.append(self.term())
         return options[0] if len(options) == 1 else _Alt(tuple(options))
 
-    def term(self):
-        parts = []
+    def term(self) -> _Node:
+        parts: list[_Node] = []
         while self.peek() is not None and self.peek() not in (")", "|"):
             parts.append(self.factor())
         return _Seq(tuple(parts)) if len(parts) != 1 else parts[0]
 
-    def factor(self):
-        atom = self.atom()
+    def factor(self) -> _Node:
+        atom: _Node = self.atom()
         while self.peek() in ("*", "+", "?"):
             op = self.take()
             if op == "*":
@@ -166,7 +169,7 @@ class _Parser:
                 atom = _Opt(atom)
         return atom
 
-    def atom(self):
+    def atom(self) -> _Node:
         token = self.take()
         if token == "(":
             inner = self.expr()

@@ -18,12 +18,16 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace, dedup_traces
 from repro.learners.coring import core_fa
 from repro.learners.sk_strings import LearnedFA, learn_sk_strings
 from repro.mining.scenarios import ScenarioExtractor
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import LintReport
 
 
 @dataclass(frozen=True)
@@ -88,6 +92,23 @@ class Strauss:
     def mine(self, traces: Iterable[Trace]) -> MinedSpecification:
         """Full pipeline: front end then back end."""
         return self.back_end(self.front_end(traces))
+
+    def lint(
+        self, mined: MinedSpecification, target: str = "mined-spec"
+    ) -> "LintReport":
+        """Statically lint a mined specification against its own scenarios.
+
+        Runs the spec-lint FA passes plus the corpus-compatibility passes
+        (:func:`repro.analysis.lint.lint_reference`) on ``mined.fa`` and
+        the scenarios it was learned from; returns the
+        :class:`~repro.analysis.diagnostics.LintReport`.  Useful as a
+        quick sanity check that the learner did not produce dead states
+        or a vacuous language before a Cable session is spent on it.
+        """
+        # Imported here: repro.analysis imports repro.fa, keep mining light.
+        from repro.analysis.lint import lint_reference
+
+        return lint_reference(mined.fa, mined.scenarios, target=target)
 
     def remine(
         self,

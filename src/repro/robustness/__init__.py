@@ -18,6 +18,7 @@ from repro.robustness.errors import (
     BudgetExceeded,
     ClusteringError,
     InputError,
+    LookupInputError,
     ReproError,
     SessionCorrupt,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "BudgetMeter",
     "ClusteringError",
     "InputError",
+    "LookupInputError",
     "QuarantinedTrace",
     "RejectedReport",
     "ReproError",

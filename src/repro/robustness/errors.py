@@ -12,11 +12,13 @@ Taxonomy::
 
     ReproError
     ├── InputError          (also ValueError)   malformed files/FA text/traces
+    │   └── LookupInputError (also KeyError)    a failed keyed lookup
     ├── ClusteringError     (also RuntimeError) clustering failed in strict mode
     ├── BudgetExceeded                          resource budget hit mid-build
     └── SessionCorrupt      (also ValueError)   a persisted session is damaged
 
-``InputError`` and ``SessionCorrupt`` double as :class:`ValueError`, and
+``InputError`` and ``SessionCorrupt`` double as :class:`ValueError`,
+``LookupInputError`` additionally as :class:`KeyError`, and
 ``ClusteringError`` as :class:`RuntimeError`, so pre-taxonomy callers
 (and tests) that catch the builtin types keep working.
 """
@@ -58,6 +60,18 @@ class InputError(ReproError, ValueError):
 
     Typical context keys: ``path``, ``line_number``, ``line``.
     """
+
+
+class LookupInputError(InputError, KeyError):
+    """A keyed lookup failed (unknown spec name, missing concept, ...).
+
+    Also a :class:`KeyError` so callers that catch the builtin type keep
+    working; ``__str__`` is overridden because ``KeyError`` renders its
+    argument with ``repr``, which would mangle the structured message.
+    """
+
+    def __str__(self) -> str:
+        return self._render()
 
 
 class ClusteringError(ReproError, RuntimeError):

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.core.trace_clustering import TraceClustering, cluster_traces
 from repro.fa.automaton import FA
@@ -38,6 +39,9 @@ from repro.util.timing import Stopwatch
 from repro.workloads.specs_catalog import spec_by_name
 from repro.workloads.tracegen import generate_program_traces
 from repro.workloads.xlib_model import SpecModel
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import LintReport
 
 
 @dataclass(frozen=True)
@@ -53,6 +57,7 @@ class SpecRun:
     debugged_fa: FA
     lattice_seconds: float
     rejected_report: RejectedReport = field(default_factory=RejectedReport)
+    lint_report: "LintReport | None" = None
 
     @property
     def num_scenarios(self) -> int:
@@ -82,6 +87,7 @@ def run_spec(
     seed: int | str = 0,
     strict: bool = False,
     budget: Budget | None = None,
+    lint: bool = False,
 ) -> SpecRun:
     """Run the full pipeline for ``spec`` (a model or a catalogue name).
 
@@ -91,6 +97,12 @@ def run_spec(
     continues on the accepted subset.  ``strict=True`` raises
     :class:`~repro.robustness.errors.ClusteringError` instead; ``budget``
     bounds the lattice construction.
+
+    ``lint=True`` runs the static spec-lint passes over the reference FA
+    and scenario corpus before clustering (pre-flight); the
+    :class:`~repro.analysis.diagnostics.LintReport` rides along on the
+    result, and under ``strict=True`` lint errors abort the run with
+    :class:`~repro.robustness.errors.InputError` before any lattice work.
     """
     if isinstance(spec, str):
         spec = spec_by_name(spec)
@@ -98,6 +110,16 @@ def run_spec(
     miner = Strauss(seeds=spec.seeds, hops=0, k=spec.mine_k, s=spec.mine_s)
     scenarios = miner.front_end(programs)
     reference = spec.reference_fa(scenarios)
+
+    lint_report: LintReport | None = None
+    if lint:
+        from repro.analysis.lint import lint_reference, raise_on_errors
+
+        lint_report = lint_reference(
+            reference, scenarios, target=f"spec:{spec.name}"
+        )
+        if strict:
+            raise_on_errors(lint_report)
 
     stopwatch = Stopwatch()
     with stopwatch:
@@ -132,6 +154,7 @@ def run_spec(
         debugged_fa=spec.debugged_fa(),
         lattice_seconds=stopwatch.elapsed,
         rejected_report=rejected_report,
+        lint_report=lint_report,
     )
 
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import itertools
 from collections.abc import Iterable, Sequence
 
+from repro.robustness.errors import LookupInputError
 from repro.workloads.xlib_model import Behavior, SpecModel, make_behaviors
 
 #: Noise calls sprinkled between instances by the generator; they model
@@ -844,4 +845,8 @@ def spec_by_name(name: str) -> SpecModel:
     for spec in SPEC_CATALOG:
         if spec.name == name:
             return spec
-    raise KeyError(f"unknown specification {name!r}")
+    raise LookupInputError(
+        "unknown specification",
+        name=name,
+        known=[spec.name for spec in SPEC_CATALOG],
+    )

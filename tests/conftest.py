@@ -4,11 +4,26 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.invariants import disable_debug_checks, enable_debug_checks
 from repro.core.context import FormalContext
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace, parse_trace
 from repro.workloads.animals import animals_context
 from repro.workloads.stdio import buggy_spec, fixed_spec, reference_fa
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lattice_invariant_checks():
+    """Assert lattice invariants on every construction, suite-wide.
+
+    This is the spec-lint debug hook: every ConceptLattice any test
+    builds (Godin, batch, next-closure, checkpoint resume, ...) is
+    checked for Galois closure, order consistency and acyclicity at
+    construction time.
+    """
+    enable_debug_checks()
+    yield
+    disable_debug_checks()
 
 
 @pytest.fixture

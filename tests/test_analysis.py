@@ -1,0 +1,402 @@
+"""Unit tests for the spec-lint subsystem (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Diagnostic,
+    LatticeInvariantViolation,
+    LintReport,
+    Location,
+    check_lattice,
+    lattice_debug_checks,
+    lint_fa,
+    lint_reference,
+    merge_reports,
+    near_misses,
+    raise_on_errors,
+    run_corpus_passes,
+    run_fa_passes,
+    sort_diagnostics,
+)
+from repro.analysis.fa_passes import (
+    co_reachable_states,
+    live_transitions,
+    reachable_states,
+)
+from repro.core.concepts import Concept, ConceptLattice
+from repro.core.context import FormalContext
+from repro.core.godin import build_lattice_godin
+from repro.core.trace_clustering import cluster_traces
+from repro.fa.automaton import FA
+from repro.fa.templates import unordered_fa
+from repro.lang.traces import parse_trace
+from repro.mining.strauss import Strauss
+from repro.robustness.errors import InputError, LookupInputError
+from repro.workloads.specs_catalog import spec_by_name
+
+
+def make(edges, initial, accepting, states=None):
+    return FA.from_edges(edges, initial=initial, accepting=accepting, states=states)
+
+
+# --------------------------------------------------------------------- #
+# diagnostics
+# --------------------------------------------------------------------- #
+
+
+class TestDiagnostics:
+    def test_fingerprint_is_code_at_location(self):
+        d = Diagnostic("FA003", "error", Location.transition(7), "dead")
+        assert d.fingerprint == "FA003@transition:7"
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("FA001", "fatal", Location.state(0), "boom")
+
+    def test_render_includes_suggestion(self):
+        d = Diagnostic(
+            "TR001", "warning", Location.symbol("fopne"), "typo",
+            suggestion="did you mean 'fopen'?",
+        )
+        text = d.render()
+        assert "TR001" in text and "suggestion: did you mean 'fopen'?" in text
+
+    def test_sort_severity_major_then_numeric_refs(self):
+        def mk(code, sev, loc):
+            return Diagnostic(code, sev, loc, "m")
+
+        d_info = mk("FA006", "info", Location.state(0))
+        d_err10 = mk("FA003", "error", Location.transition(10))
+        d_err2 = mk("FA003", "error", Location.transition(2))
+        d_warn = mk("FA005", "warning", Location.whole_fa())
+        ordered = sort_diagnostics([d_info, d_err10, d_warn, d_err2])
+        assert ordered == [d_err2, d_err10, d_warn, d_info]
+
+    def test_report_counts_and_errors(self):
+        report = LintReport(
+            "t",
+            (
+                Diagnostic("FA001", "error", Location.state(1), "m"),
+                Diagnostic("TR002", "info", Location.symbol("x"), "m"),
+            ),
+        )
+        assert report.counts() == {"error": 1, "warning": 0, "info": 1}
+        assert report.has_errors
+        assert [d.code for d in report.errors] == ["FA001"]
+        assert report.codes() == {"FA001", "TR002"}
+
+    def test_clean_report_renders_clean(self):
+        assert "clean" in LintReport("t").render_text()
+
+    def test_merge_reports(self):
+        a = LintReport("a", (Diagnostic("FA001", "error", Location.state(0), "m"),))
+        b = LintReport("b", (Diagnostic("TR002", "info", Location.symbol("s"), "m"),))
+        merged = merge_reports("all", [a, b])
+        assert merged.target == "all" and len(merged) == 2
+
+    def test_to_dict_shape(self):
+        d = Diagnostic("FA003", "error", Location.transition(3), "dead")
+        doc = LintReport("t", (d,)).to_dict()
+        assert doc["target"] == "t"
+        assert doc["diagnostics"][0]["location"] == {
+            "kind": "transition",
+            "ref": "3",
+        }
+
+
+# --------------------------------------------------------------------- #
+# FA passes
+# --------------------------------------------------------------------- #
+
+
+class TestGraphHelpers:
+    def test_reachable_and_co_reachable(self):
+        fa = make(
+            [("s", "a", "f"), ("s", "b", "dead")],
+            ["s"],
+            ["f"],
+            states=["s", "f", "dead", "orphan"],
+        )
+        assert reachable_states(fa) == {"s", "f", "dead"}
+        assert co_reachable_states(fa) == {"s", "f"}
+        assert live_transitions(fa) == {0}
+
+
+class TestFAPasses:
+    def test_fa001_unreachable_state(self):
+        fa = make([("s", "a", "f")], ["s"], ["f"], states=["s", "f", "orphan"])
+        codes = {d.code for d in run_fa_passes(fa)}
+        assert "FA001" in codes
+        diag = next(d for d in run_fa_passes(fa) if d.code == "FA001")
+        assert diag.location.kind == "state"
+        assert fa.states[int(diag.location.ref)] == "orphan"
+
+    def test_fa002_fa003_dead_state_and_transition(self):
+        fa = make([("s", "a", "f"), ("s", "b", "dead")], ["s"], ["f"])
+        diags = run_fa_passes(fa)
+        codes = {d.code for d in diags}
+        assert {"FA002", "FA003"} <= codes
+        fa003 = next(d for d in diags if d.code == "FA003")
+        assert fa003.location == Location.transition(1)
+        assert fa003.severity == "error"
+
+    def test_fa004_empty_language(self):
+        fa = make([("s", "a", "t")], ["s"], [])
+        codes = {d.code for d in run_fa_passes(fa)}
+        assert "FA004" in codes
+
+    def test_fa005_universal_language(self):
+        fa = unordered_fa(["a(X)", "b(X)"])
+        diags = run_fa_passes(fa)
+        assert any(d.code == "FA005" and d.severity == "warning" for d in diags)
+
+    def test_fa006_nondeterminism_hotspot(self):
+        fa = make(
+            [("s", "a", "x"), ("s", "a", "y"), ("x", "b", "f"), ("y", "c", "f")],
+            ["s"],
+            ["f"],
+        )
+        diags = [d for d in run_fa_passes(fa) if d.code == "FA006"]
+        assert len(diags) == 1
+        assert diags[0].severity == "info"
+        assert diags[0].location.kind == "state"
+
+    def test_deterministic_fa_has_no_fa006(self, stdio_fixed):
+        assert not [d for d in run_fa_passes(stdio_fixed) if d.code == "FA006"]
+
+    def test_fa007_unconstraining_variable(self):
+        fa = make([("s", "fopen(X)", "f")], ["s"], ["f"])
+        diags = [d for d in run_fa_passes(fa) if d.code == "FA007"]
+        assert len(diags) == 1
+        assert diags[0].location == Location.variable("X")
+        assert "_" in diags[0].suggestion
+
+    def test_fa007_not_on_self_loop(self):
+        # A single occurrence on a cycle CAN constrain (XtMalloc(X)* style).
+        fa = make([("s", "fopen(X)", "s")], ["s"], ["s"])
+        assert not [d for d in run_fa_passes(fa) if d.code == "FA007"]
+
+    def test_fa007_not_when_two_occurrences_on_a_path(self, stdio_fixed):
+        assert not [d for d in run_fa_passes(stdio_fixed) if d.code == "FA007"]
+
+    def test_fa008_shadowed_variable(self):
+        fa = make(
+            [("a1", "f(X)", "a2"), ("b1", "g(X)", "b2")],
+            ["a1", "b1"],
+            ["a2", "b2"],
+        )
+        diags = [d for d in run_fa_passes(fa) if d.code == "FA008"]
+        assert len(diags) == 1
+        assert diags[0].location == Location.variable("X")
+
+    def test_clean_fa_is_clean(self, stdio_fixed):
+        assert not lint_fa(stdio_fixed).has_errors
+
+    def test_codes_filter(self):
+        fa = make([("s", "a", "f"), ("s", "b", "dead")], ["s"], ["f"])
+        only = run_fa_passes(fa, codes=["FA003"])
+        assert {d.code for d in only} == {"FA003"}
+
+
+# --------------------------------------------------------------------- #
+# corpus passes
+# --------------------------------------------------------------------- #
+
+
+class TestCorpusPasses:
+    def test_near_misses(self):
+        assert near_misses("fopne", ["fopen", "fclose"])[0] == "fopen"
+        assert near_misses("zzz", ["fopen"]) == []
+
+    def test_tr001_with_suggestion(self, stdio_fixed):
+        traces = [parse_trace("fopne(o); fclose(o)")]
+        diags = run_corpus_passes(stdio_fixed, traces)
+        tr001 = [d for d in diags if d.code == "TR001"]
+        assert len(tr001) == 1
+        assert tr001[0].location == Location.symbol("fopne")
+        assert "fopen" in tr001[0].suggestion
+
+    def test_tr002_unused_fa_symbol(self, stdio_fixed):
+        traces = [parse_trace("fopen(o); fclose(o)")]
+        diags = run_corpus_passes(stdio_fixed, traces)
+        tr002 = {d.location.ref for d in diags if d.code == "TR002"}
+        assert "popen" in tr002 and "pclose" in tr002
+
+    def test_wildcard_fa_suppresses_tr001(self):
+        fa = make([("s", "*", "s")], ["s"], ["s"])
+        traces = [parse_trace("anything(o); at_all(o)")]
+        assert not run_corpus_passes(fa, traces)
+
+    def test_compatible_corpus_is_clean(self, stdio_fixed):
+        traces = [
+            parse_trace(t)
+            for t in (
+                "fopen(o); fread(o); fclose(o)",
+                "popen(o); fwrite(o); pclose(o)",
+            )
+        ]
+        assert not run_corpus_passes(stdio_fixed, traces)
+
+
+# --------------------------------------------------------------------- #
+# lattice invariants
+# --------------------------------------------------------------------- #
+
+
+class TestLatticeInvariants:
+    def test_clean_lattice(self, animals):
+        lattice = build_lattice_godin(animals)
+        assert check_lattice(lattice) == []
+
+    def test_galois_violation_detected(self, animals):
+        lattice = build_lattice_godin(animals)
+        broken = lattice.concepts[lattice.top]
+        # Tamper post-construction (bypasses the debug hook on purpose).
+        lattice.concepts = (
+            Concept(broken.extent, broken.intent | {0}),
+        ) + lattice.concepts[1:]
+        codes = {d.code for d in check_lattice(lattice)}
+        assert "LAT001" in codes
+
+    def test_order_violation_detected(self, animals):
+        lattice = build_lattice_godin(animals)
+        # Point a concept's parent list at itself: not a strict superset,
+        # asymmetric, and it closes a cycle.
+        lattice.parents = lattice.parents[:-1] + (
+            (len(lattice.concepts) - 1,),
+        )
+        codes = {d.code for d in check_lattice(lattice)}
+        assert "LAT002" in codes and "LAT005" in codes
+
+    def test_construction_hook_raises(self):
+        context = FormalContext(["o0", "o1"], ["a0", "a1"], [{0}, {1}])
+        wrong = [Concept(frozenset({0, 1}), frozenset({0}))]
+        with lattice_debug_checks():
+            with pytest.raises(LatticeInvariantViolation) as info:
+                ConceptLattice(context, wrong, [[]], [[]])
+        codes = {d.code for d in info.value.diagnostics}
+        assert "LAT001" in codes and "LAT003" in codes
+        assert isinstance(info.value, AssertionError)
+
+    def test_godin_builds_pass_hook(self, animals):
+        with lattice_debug_checks():
+            build_lattice_godin(animals)  # must not raise
+
+
+# --------------------------------------------------------------------- #
+# baseline
+# --------------------------------------------------------------------- #
+
+
+class TestBaseline:
+    ERR = Diagnostic("FA003", "error", Location.transition(4), "dead")
+    WARN = Diagnostic("FA005", "warning", Location.whole_fa(), "universal")
+
+    def test_from_reports_records_only_errors(self):
+        baseline = Baseline.from_reports([LintReport("t", (self.ERR, self.WARN))])
+        assert baseline.suppressions == {"t": frozenset({"FA003@transition:4"})}
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline = Baseline.from_reports([LintReport("t", (self.ERR,))])
+        baseline.save(path)
+        assert Baseline.load(path) == baseline
+
+    def test_new_errors_filtered(self):
+        baseline = Baseline.from_reports([LintReport("t", (self.ERR,))])
+        other = Diagnostic("FA001", "error", Location.state(0), "unreachable")
+        report = LintReport("t", (self.ERR, other))
+        assert baseline.new_errors(report) == [other]
+        # Same fingerprint under a different target is NOT suppressed.
+        assert baseline.new_errors(LintReport("u", (self.ERR,))) == [self.ERR]
+
+    def test_malformed_file_raises_input_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(InputError):
+            Baseline.load(path)
+        path.write_text('{"version": 99, "suppressions": {}}')
+        with pytest.raises(InputError):
+            Baseline.load(path)
+        path.write_text('{"no": "table"}')
+        with pytest.raises(InputError):
+            Baseline.load(path)
+
+
+# --------------------------------------------------------------------- #
+# wiring: pipeline pre-flight, miner lint, hardened accessors
+# --------------------------------------------------------------------- #
+
+
+class TestWiring:
+    def test_cluster_traces_lint_rides_along(self, stdio_reference, stdio_traces):
+        clustering = cluster_traces(stdio_traces, stdio_reference, lint=True)
+        assert clustering.lint_report is not None
+        assert not clustering.lint_report.has_errors
+        off = cluster_traces(stdio_traces, stdio_reference)
+        assert off.lint_report is None
+
+    def test_cluster_traces_strict_lint_raises(self, stdio_traces):
+        bad = make([("s", "fopen(X)", "f"), ("s", "x", "dead")], ["s"], ["f"])
+        with pytest.raises(InputError) as info:
+            cluster_traces(stdio_traces, bad, lint=True, strict=True)
+        assert "FA003" in str(info.value)
+
+    def test_raise_on_errors_clean_report_is_noop(self):
+        raise_on_errors(LintReport("t"))
+
+    def test_run_spec_preflight_lint(self):
+        from repro.workloads.pipeline import run_spec
+
+        run = run_spec("XFreeGC", lint=True, strict=True)
+        assert run.lint_report is not None
+        assert run.lint_report.target == "spec:XFreeGC"
+        assert not run.lint_report.has_errors
+        assert run_spec("XFreeGC").lint_report is None
+
+    def test_strauss_lint(self, stdio_traces):
+        miner = Strauss(k=2, s=1.0)
+        mined = miner.back_end(stdio_traces)
+        report = miner.lint(mined)
+        assert report.target == "mined-spec"
+        assert not report.has_errors
+
+    def test_lint_reference_composes_both_pass_families(self, stdio_fixed):
+        traces = [parse_trace("fopne(o)")]
+        report = lint_reference(stdio_fixed, traces, target="r")
+        assert "TR001" in report.codes() and report.target == "r"
+
+    def test_describe_transition_bad_index(self, stdio_fixed):
+        with pytest.raises(InputError):
+            stdio_fixed.describe_transition(10_000)
+        with pytest.raises(InputError):
+            stdio_fixed.describe_transition("0")
+        assert stdio_fixed.describe_transition(0)
+
+    def test_lattice_accessors_raise_input_error(self, animals):
+        lattice = build_lattice_godin(animals)
+        for method in (
+            lattice.extent,
+            lattice.intent,
+            lattice.similarity,
+            lattice.own_objects,
+            lattice.ancestors,
+            lattice.descendants,
+        ):
+            with pytest.raises(InputError):
+                method(len(lattice) + 5)
+        with pytest.raises(LookupInputError):
+            lattice.object_concept(10_000)
+        with pytest.raises(LookupInputError):
+            lattice.attribute_concept(10_000)
+        with pytest.raises(KeyError):  # LookupInputError is a KeyError too
+            lattice.concept_with_extent(frozenset({999}))
+
+    def test_spec_by_name_lookup_error_message(self):
+        with pytest.raises(LookupInputError) as info:
+            spec_by_name("NoSuchSpec")
+        # KeyError would repr-quote the message; LookupInputError must not.
+        assert str(info.value).startswith("unknown specification")
+        assert isinstance(info.value, KeyError)
+        assert isinstance(info.value, ValueError)

@@ -1,0 +1,142 @@
+"""End-to-end tests for ``cable lint`` (the acceptance criterion path:
+an injected dead transition must fail the lint with a stable code and
+the offending transition index, in both text and JSON output)."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.cli import lint_main
+from repro.analysis.mutations import inject_dead_transition
+from repro.cable.cli import main as cable_main
+from repro.fa.serialization import fa_from_text, fa_to_text
+from repro.workloads.specs_catalog import spec_by_name
+
+
+def run_lint(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = lint_main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+@pytest.fixture
+def dead_transition_spec(tmp_path):
+    """A catalog spec's FA with one injected dead transition, on disk."""
+    spec = spec_by_name("XFreeGC")
+    mutant = inject_dead_transition(spec.debugged_fa())
+    path = tmp_path / "XFreeGC_dead.fa"
+    path.write_text(fa_to_text(mutant.fa))
+    # The defect must survive the serialization round-trip.
+    assert len(fa_from_text(path.read_text()).transitions) == len(
+        mutant.fa.transitions
+    )
+    return path, mutant
+
+
+class TestAcceptance:
+    def test_dead_transition_fails_text_mode(self, dead_transition_spec):
+        path, mutant = dead_transition_spec
+        code, out, _ = run_lint([str(path)])
+        assert code == 1
+        assert "FA003" in out
+        assert f"transition:{mutant.transition_index}" in out
+
+    def test_dead_transition_fails_json_mode(self, dead_transition_spec):
+        path, mutant = dead_transition_spec
+        code, out, _ = run_lint([str(path), "--format", "json"])
+        assert code == 1
+        document = json.loads(out)
+        fa003 = [
+            d
+            for report in document["reports"]
+            for d in report["diagnostics"]
+            if d["code"] == "FA003"
+        ]
+        assert fa003
+        assert any(
+            d["location"] == {"kind": "transition", "ref": str(mutant.transition_index)}
+            for d in fa003
+        )
+        assert document["summary"]["new_errors"] >= 1
+
+    def test_clean_spec_exits_zero(self):
+        code, out, _ = run_lint(["XFreeGC"])
+        assert code == 0
+        assert "spec:XFreeGC" in out
+
+    def test_cable_dispatches_lint_subcommand(self, dead_transition_spec):
+        path, _ = dead_transition_spec
+        assert cable_main(["lint", str(path)]) == 1
+        assert cable_main(["lint", "XFreeGC"]) == 0
+
+
+class TestBaselineGate:
+    def test_update_then_pass(self, dead_transition_spec, tmp_path):
+        path, mutant = dead_transition_spec
+        baseline = tmp_path / "baseline.json"
+        code, out, _ = run_lint(
+            [str(path), "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert code == 0 and baseline.exists()
+        # The same errors are now baselined: exit 0, reported as such.
+        code, out, _ = run_lint([str(path), "--baseline", str(baseline)])
+        assert code == 0
+        assert "baselined" in out
+
+    def test_new_error_still_fails_with_baseline(
+        self, dead_transition_spec, tmp_path
+    ):
+        path, _ = dead_transition_spec
+        baseline = tmp_path / "baseline.json"
+        run_lint([str(path), "--baseline", str(baseline), "--update-baseline"])
+        # Inject a second defect the baseline has not seen.
+        spec = spec_by_name("XFreeGC")
+        worse = inject_dead_transition(
+            inject_dead_transition(spec.debugged_fa()).fa, symbol="probe2"
+        )
+        path.write_text(fa_to_text(worse.fa))
+        code, out, _ = run_lint([str(path), "--baseline", str(baseline)])
+        assert code == 1
+
+    def test_update_baseline_requires_baseline_path(self):
+        code, _, err = run_lint(["XFreeGC", "--update-baseline"])
+        assert code == 2 and "baseline" in err
+
+
+class TestCliErrors:
+    def test_unknown_target_exits_2(self):
+        code, _, err = run_lint(["NoSuchSpecOrFile"])
+        assert code == 2
+        assert "target" in err
+
+    def test_nothing_to_lint_exits_2(self):
+        code, _, err = run_lint([])
+        assert code == 2
+
+    def test_help_exits_zero(self):
+        code, _, _ = run_lint(["--help"])
+        assert code == 0
+
+    def test_traces_option_runs_corpus_passes(self, tmp_path, stdio_fixed):
+        fa_path = tmp_path / "spec.fa"
+        fa_path.write_text(fa_to_text(stdio_fixed))
+        traces_path = tmp_path / "traces.txt"
+        traces_path.write_text("fopne(o); fclose(o)\n")
+        code, out, _ = run_lint([str(fa_path), "--traces", str(traces_path)])
+        assert code == 0  # TR001 is a warning, not an error
+        assert "TR001" in out and "fopen" in out
+
+
+class TestCatalogMode:
+    def test_catalog_lints_clean(self):
+        code, out, _ = run_lint(["--catalog"])
+        assert code == 0
+        assert "17 target(s)" in out
+
+    def test_catalog_json_summary(self):
+        code, out, _ = run_lint(["--catalog", "--format", "json"])
+        assert code == 0
+        document = json.loads(out)
+        assert document["summary"]["targets"] == 17
+        assert document["summary"]["error"] == 0

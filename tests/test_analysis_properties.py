@@ -1,0 +1,138 @@
+"""Property tests for the spec linter.
+
+Two families, both over the real specification catalog:
+
+1. every catalog specification lints clean (no error-severity findings);
+2. seeded mutations (drop a transition, flip an accepting state, rename
+   a symbol, inject a dead transition) each trigger the diagnostic code
+   the mutation promises.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import lint_fa, lint_reference, lint_spec_model
+from repro.analysis.mutations import (
+    drop_transition,
+    flip_accepting_state,
+    inject_dead_transition,
+    rename_symbol,
+)
+from repro.robustness.errors import InputError
+from repro.workloads.specs_catalog import SPEC_CATALOG, spec_by_name
+
+SPEC_NAMES = [spec.name for spec in SPEC_CATALOG]
+
+
+def ground_truth(name):
+    return spec_by_name(name).ground_truth
+
+
+# --------------------------------------------------------------------- #
+# property 1: the shipped catalog is error-free
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_catalog_spec_lints_clean(name):
+    report = lint_spec_model(spec_by_name(name))
+    assert not report.has_errors, report.render_text()
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_ground_truth_lints_clean(name):
+    assert not lint_fa(ground_truth(name)).has_errors
+
+
+# --------------------------------------------------------------------- #
+# property 2: seeded mutations trigger their promised codes
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_drop_transition_triggers_fa001(name):
+    # Ground truths are prefix trees: every state has exactly one
+    # incoming transition, so dropping any one strands its target.
+    mutant = drop_transition(ground_truth(name), 0)
+    report = lint_fa(mutant.fa)
+    assert mutant.expected_code in report.codes(), mutant.description
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_inject_dead_transition_triggers_fa003(name):
+    mutant = inject_dead_transition(ground_truth(name))
+    report = lint_fa(mutant.fa)
+    fingerprints = {d.fingerprint for d in report.errors}
+    assert f"FA003@transition:{mutant.transition_index}" in fingerprints
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_flip_accepting_sink_triggers_expected(name):
+    fa = ground_truth(name)
+    outgoing = {t.src for t in fa.transitions}
+    sinks = [s for s in fa.states if s in fa.accepting and s not in outgoing]
+    if not sinks:
+        pytest.skip("no accepting sink state to flip")
+    mutant = flip_accepting_state(fa, sinks[0])
+    report = lint_fa(mutant.fa)
+    assert mutant.expected_code in report.codes(), mutant.description
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_rename_symbol_desynchronizes_corpus(name):
+    spec = spec_by_name(name)
+    fa = spec.debugged_fa()
+    symbols = sorted(fa.symbols())
+    if not symbols:
+        pytest.skip("wildcard-only specification has no symbols to rename")
+    old = symbols[0]
+    mutant = rename_symbol(fa, old, old + "2")
+    corpus = [behavior.trace() for behavior in spec.behaviors]
+    report = lint_reference(mutant.fa, corpus)
+    codes = report.codes()
+    has_wildcard = any(t.pattern.is_wildcard for t in fa.transitions)
+    if not has_wildcard:
+        assert mutant.expected_code in codes  # TR001: corpus still emits old
+        tr001 = next(d for d in report if d.code == "TR001")
+        assert tr001.location.ref == old
+        assert old + "2" in tr001.suggestion  # the near-miss points at the typo
+    assert "TR002" in codes  # the FA now mentions a symbol no trace emits
+
+
+# --------------------------------------------------------------------- #
+# hypothesis: random mutation sites behave the same way
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_random_dead_transition_site_always_caught(data):
+    name = data.draw(st.sampled_from(SPEC_NAMES))
+    fa = ground_truth(name)
+    mutant = inject_dead_transition(fa, symbol=data.draw(st.sampled_from(
+        ["probe", "lintprobe", "zzz_never_seen"]
+    )))
+    report = lint_fa(mutant.fa)
+    assert f"FA003@transition:{mutant.transition_index}" in {
+        d.fingerprint for d in report.errors
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_random_transition_drop_always_caught(data):
+    name = data.draw(st.sampled_from(SPEC_NAMES))
+    fa = ground_truth(name)
+    index = data.draw(st.integers(0, fa.num_transitions - 1))
+    mutant = drop_transition(fa, index)
+    assert "FA001" in lint_fa(mutant.fa).codes()
+
+
+def test_mutation_helpers_validate_inputs():
+    fa = ground_truth(SPEC_NAMES[0])
+    with pytest.raises(InputError):
+        drop_transition(fa, 10_000)
+    with pytest.raises(InputError):
+        flip_accepting_state(fa, "no_such_state")
+    with pytest.raises(InputError):
+        rename_symbol(fa, "no_such_symbol", "other")

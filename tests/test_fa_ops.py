@@ -150,6 +150,48 @@ class TestEnumeration:
             assert stdio_fixed.accepts(trace)
 
 
+class TestEdgeCases:
+    """Degenerate inputs: no accepting states, empty alphabets."""
+
+    def test_no_accepting_states_is_empty(self):
+        fa = make([("s", "a", "t"), ("t", "b", "s")], ["s"], [])
+        assert is_empty(fa)
+
+    def test_no_accepting_states_is_subset_of_anything(self, a_star):
+        nothing = make([("s", "a", "t")], ["s"], [])
+        assert language_subset(nothing, a_star)
+        assert not language_subset(a_star, nothing)
+
+    def test_no_accepting_states_subset_of_itself(self):
+        nothing = make([("s", "a", "t")], ["s"], [])
+        assert language_subset(nothing, nothing)
+        assert language_equal(nothing, nothing)
+
+    def test_empty_alphabet_complement_of_epsilon(self):
+        # Accepts only ε; over the empty alphabet ε is the ONLY string,
+        # so the complement is the empty language.
+        eps_only = make([], ["s"], ["s"])
+        comp = symbol_complement(eps_only, frozenset())
+        assert is_empty(comp)
+
+    def test_empty_alphabet_complement_of_nothing(self):
+        nothing = make([], ["s"], [])
+        comp = symbol_complement(nothing, frozenset())
+        assert comp.accepts(parse_trace(""))
+
+    def test_empty_alphabet_rejected_when_fa_has_symbols(self, a_star):
+        with pytest.raises(ValueError):
+            symbol_complement(a_star, frozenset())
+
+    def test_transitionless_fa_language_comparisons(self):
+        eps_only = make([], ["s"], ["s"])
+        nothing = make([], ["s"], [])
+        assert not is_empty(eps_only)
+        assert is_empty(nothing)
+        assert language_subset(nothing, eps_only)
+        assert not language_equal(eps_only, nothing)
+
+
 class TestDfaConversion:
     def test_reachable_prunes(self):
         fa = make([("s", "a", "f"), ("orphan", "b", "f")], ["s"], ["f"])
