@@ -4,12 +4,22 @@ Benchmarks regenerate the paper's tables and figures; the rendered
 artifacts are collected here and printed in the terminal summary (so
 ``pytest benchmarks/ --benchmark-only`` shows them even with output
 capture on) and written to ``benchmarks/results/``.
+
+Every benchmark also runs under :mod:`repro.obs` recording: an autouse
+fixture wraps the test in a root ``bench.<name>`` span and writes the
+phase times, span aggregates, and metrics it collected to
+``benchmarks/results/BENCH_<name>.json`` (compare runs with
+``python tools/calibrate.py --bench``).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
 from pathlib import Path
+
+import pytest
 
 _REPORTS: list[tuple[str, str]] = []
 
@@ -22,6 +32,30 @@ def report(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+
+
+def _bench_name(nodeid: str) -> str:
+    """``bench_scalability.py::test_godin[800]`` -> ``test_godin_800``."""
+    name = nodeid.rsplit("::", 1)[-1]
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+
+
+@pytest.fixture(autouse=True)
+def obs_profile(request):
+    """Record every benchmark under a root span and dump BENCH_*.json."""
+    from repro import obs
+
+    name = _bench_name(request.node.nodeid)
+    recorder = obs.configure(record=True)
+    try:
+        with obs.span(f"bench.{name}"):
+            yield
+        profile = obs.ProfileReport.from_recorder(name, recorder)
+    finally:
+        obs.shutdown()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(profile.to_dict(), indent=2) + "\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -20,7 +20,9 @@ The package rebuilds the paper's entire system stack:
 * :mod:`repro.strategies` — the Section 4.2 labeling strategies and cost
   model;
 * :mod:`repro.workloads` — the synthetic X11 corpus, the 17-specification
-  catalogue, and the stdio / animals examples.
+  catalogue, and the stdio / animals examples;
+* :mod:`repro.obs` — tracing spans, metrics, and profiling exporters for
+  the whole pipeline (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -37,6 +39,7 @@ Quickstart::
     summary = session.inspect(session.lattice.top)
 """
 
+from repro import obs
 from repro.cable import CableSession, FocusSession
 from repro.core import (
     Concept,
@@ -76,6 +79,7 @@ __all__ = [
     "cluster_traces",
     "is_well_formed",
     "learn_sk_strings",
+    "obs",
     "parse_event",
     "parse_pattern",
     "parse_trace",

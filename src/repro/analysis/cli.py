@@ -21,9 +21,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import IO
 
+from repro import obs
 from repro.analysis.baseline import Baseline
 from repro.analysis.diagnostics import SEVERITIES, LintReport
 from repro.analysis.lint import lint_fa, lint_reference, lint_spec_model
@@ -126,8 +128,10 @@ def lint_main(
         args = parser.parse_args(argv)
     except SystemExit as exc:  # argparse handles -h and usage errors
         return int(exc.code or 0)
+    started = time.perf_counter()
     try:
-        reports = _lint_targets(args)
+        with obs.span("lint.targets"):
+            reports = _lint_targets(args)
         baseline = (
             Baseline.load(args.baseline)
             if args.baseline and Path(args.baseline).exists()
@@ -143,6 +147,7 @@ def lint_main(
         print(f"error: {exc}", file=err)
         return 2
 
+    elapsed = time.perf_counter() - started
     new_errors = {r.target: baseline.new_errors(r) for r in reports}
     num_new = sum(len(v) for v in new_errors.values())
     totals = {s: 0 for s in SEVERITIES}
@@ -159,6 +164,7 @@ def lint_main(
                 "new_errors": num_new,
                 "baselined_errors": totals["error"] - num_new,
                 "targets": len(reports),
+                "seconds": elapsed,
             },
         }
         print(json.dumps(document, indent=2), file=out)
@@ -169,7 +175,7 @@ def lint_main(
         summary = (
             f"spec lint: {totals['error']} error(s) ({num_new} new), "
             f"{totals['warning']} warning(s), {totals['info']} info(s) "
-            f"across {len(reports)} target(s)"
+            f"across {len(reports)} target(s) in {elapsed * 1e3:.1f}ms"
         )
         if suppressed:
             summary += f"; {suppressed} error(s) baselined"

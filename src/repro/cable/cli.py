@@ -37,7 +37,14 @@ Commands::
 
 ``cable lint ...`` dispatches to the static spec-lint subcommand
 (:mod:`repro.analysis.cli`): lint catalog specifications or FA files
-without running the dynamic pipeline.
+without running the dynamic pipeline.  ``cable profile ...`` runs one
+catalog spec (or the ``animals`` example) under full tracing and prints
+a phase-time/metric table (:mod:`repro.cable.profile`).
+
+Observability: ``--trace FILE`` / ``--metrics FILE`` / ``--chrome FILE``
+before the positional arguments enable :mod:`repro.obs` for the whole
+session — every lattice build, learner run, and counted operation is
+exported when the CLI exits (equivalent to setting ``REPRO_OBS``).
 """
 
 from __future__ import annotations
@@ -291,16 +298,38 @@ def build_session(trace_path: str, fa_path: str | None) -> CableSession:
     return CableSession(clustering)
 
 
+def _pop_obs_options(argv: list[str]) -> tuple[list[str], dict[str, str]]:
+    """Strip leading ``--trace/--metrics/--chrome FILE`` option pairs."""
+    paths: dict[str, str] = {}
+    rest = list(argv)
+    option_keys = {"--trace": "trace_path", "--metrics": "metrics_path",
+                   "--chrome": "chrome_path"}
+    while len(rest) >= 2 and rest[0] in option_keys:
+        paths[option_keys[rest[0]]] = rest[1]
+        del rest[:2]
+    return rest, paths
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "lint":
         from repro.analysis.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.cable.profile import profile_main
+
+        return profile_main(argv[1:])
+    argv, obs_paths = _pop_obs_options(argv)
+    if obs_paths:
+        from repro import obs
+
+        obs.configure(**obs_paths)
     if not argv or argv[0] in ("-h", "--help"):
         print(
-            "usage: cable TRACE_FILE [FA_FILE]  |  cable --session FILE"
-            "  |  cable lint ...",
+            "usage: cable [--trace F] [--metrics F] [--chrome F] "
+            "TRACE_FILE [FA_FILE]  |  cable --session FILE"
+            "  |  cable lint ...  |  cable profile SPEC ...",
             file=sys.stderr,
         )
         print(__doc__, file=sys.stderr)
@@ -326,6 +355,10 @@ def main(argv: list[str] | None = None) -> int:
         cli.run(iter(sys.stdin.readline, ""))
     except KeyboardInterrupt:
         pass
+    if obs_paths:
+        from repro import obs
+
+        obs.shutdown()  # flush the session's exporters now, not at exit
     return 0
 
 

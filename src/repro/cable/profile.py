@@ -1,0 +1,147 @@
+"""The ``cable profile`` subcommand: run one spec under full tracing.
+
+Runs the end-to-end pipeline for a catalog specification (or the
+Figure 9 ``animals`` example) with :mod:`repro.obs` recording, then
+prints a phase-time table, the hottest spans, and the collected
+metrics::
+
+    cable profile XtFree
+    cable profile animals --trace /tmp/t.jsonl --metrics /tmp/m.prom
+    cable profile RegionsBig --chrome /tmp/flame.json --json
+
+``--trace`` writes the JSON-lines event stream, ``--metrics`` the
+Prometheus text dump, ``--chrome`` a ``chrome://tracing`` file, and
+``--json`` switches the stdout report to the machine-readable
+``BENCH``-style document.
+
+Exit status: 0 on success, 2 on usage or input problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO
+
+from repro import obs
+from repro.robustness.errors import ReproError
+
+#: The non-catalog demo target: the Figure 9 concept-analysis example.
+ANIMALS_TARGET = "animals"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cable profile",
+        description="profile one specification's pipeline run",
+    )
+    parser.add_argument(
+        "target",
+        metavar="TARGET",
+        help=f"catalog spec name (e.g. XtFree) or {ANIMALS_TARGET!r}",
+    )
+    parser.add_argument("--seed", default="0", help="tracegen seed (default 0)")
+    parser.add_argument(
+        "--trace", metavar="FILE", help="write a JSON-lines span trace"
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", help="write a Prometheus text dump"
+    )
+    parser.add_argument(
+        "--chrome", metavar="FILE", help="write a chrome://tracing file"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report instead of tables",
+    )
+    return parser
+
+
+def _profile_animals() -> None:
+    """Profile the Figures 9/10 example: build the animals lattice with
+    both constructions (Godin cross-checked against NextClosure)."""
+    from repro.core.godin import build_lattice_godin
+    from repro.core.nextclosure import build_lattice_nextclosure
+    from repro.workloads.animals import animals_context
+
+    with obs.span("pipeline.profile", target=ANIMALS_TARGET):
+        with obs.span("phase.context"):
+            context = animals_context()
+        with obs.span("phase.lattice"):
+            godin = build_lattice_godin(context)
+        with obs.span("phase.crosscheck"):
+            nextclosure = build_lattice_nextclosure(context)
+    if len(godin) != len(nextclosure):  # pragma: no cover - invariant
+        raise ReproError(
+            "lattice constructions disagree",
+            godin=len(godin),
+            nextclosure=len(nextclosure),
+        )
+
+
+def _profile_spec(name: str, seed: str) -> "object":
+    from repro.workloads.pipeline import run_spec
+
+    return run_spec(name, seed=seed)
+
+
+def profile_main(
+    argv: list[str],
+    out: IO[str] | None = None,
+    err: IO[str] | None = None,
+) -> int:
+    """Entry point for ``cable profile``; returns the exit status."""
+    out = out or sys.stdout
+    err = err or sys.stderr
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse handles -h and usage errors
+        return int(exc.code or 0)
+
+    recorder = obs.configure(
+        record=True,
+        trace_path=args.trace,
+        chrome_path=args.chrome,
+        metrics_path=args.metrics,
+    )
+    run = None
+    try:
+        if args.target == ANIMALS_TARGET:
+            _profile_animals()
+        else:
+            run = _profile_spec(args.target, args.seed)
+    except (ReproError, OSError) as exc:
+        obs.shutdown()
+        print(f"error: {exc}", file=err)
+        return 2
+
+    report = obs.ProfileReport.from_recorder(args.target, recorder)
+    obs.shutdown()  # flush the file exporters before reporting
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str), file=out)
+    else:
+        print(report.render(), file=out)
+        if run is not None:
+            print(
+                f"\n{run.spec.name}: {run.num_scenarios} scenarios, "
+                f"{run.num_unique_scenarios} classes, "
+                f"{run.num_concepts} concepts, "
+                f"{run.num_quarantined} quarantined",
+                file=out,
+            )
+            print(f"phases: {run.describe_phases()}", file=out)
+    for flag, path in (
+        ("trace", args.trace),
+        ("metrics", args.metrics),
+        ("chrome", args.chrome),
+    ):
+        if path:
+            print(f"wrote {flag} to {path}", file=out)
+    return 0
+
+
+__all__ = ["profile_main", "ANIMALS_TARGET"]

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cable.labels import LabelStore
 from repro.cable.views import ConceptState, ConceptSummary
 from repro.core.trace_clustering import TraceClustering
@@ -112,6 +113,7 @@ class CableSession:
     def inspect(self, concept: int) -> ConceptSummary:
         """View a concept; counts as one operation."""
         self.ops.inspections += 1
+        obs.inc("cable.inspections")
         extent = self.lattice.extent(concept)
         return ConceptSummary(
             concept=concept,
@@ -143,6 +145,8 @@ class CableSession:
                 f"selection {which!r} of concept {concept} is empty"
             )
         self.ops.labelings += 1
+        obs.inc("cable.labelings")
+        obs.inc("cable.traces_labeled", len(selected))
         self.labels.assign(selected, label)
         return len(selected)
 
@@ -195,11 +199,14 @@ class CableSession:
         """
         from repro.core.trace_clustering import extend_clustering
 
-        before = self.clustering.num_objects
-        self.clustering = extend_clustering(self.clustering, traces)
-        self.lattice = self.clustering.lattice
-        self.labels.grow(self.clustering.num_objects)
-        return self.clustering.num_objects - before
+        with obs.span("cable.add_traces", traces=len(traces)) as span:
+            before = self.clustering.num_objects
+            self.clustering = extend_clustering(self.clustering, traces)
+            self.lattice = self.clustering.lattice
+            self.labels.grow(self.clustering.num_objects)
+            added = self.clustering.num_objects - before
+            span.set(new_classes=added, concepts=len(self.lattice))
+            return added
 
     # ------------------------------------------------------------------ #
     # focus

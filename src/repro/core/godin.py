@@ -41,6 +41,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.concepts import Concept, ConceptLattice
 from repro.core.context import FormalContext
 from repro.robustness.budget import Budget, BudgetMeter
@@ -153,6 +154,14 @@ class GodinLatticeBuilder:
         if violation is None:
             return
         dimension, limit, value = violation
+        obs.inc("godin.budget_exceeded")
+        obs.event(
+            "godin.budget_exceeded",
+            dimension=dimension,
+            limit=limit,
+            value=value,
+            objects_done=self._num_objects,
+        )
         raise BudgetExceeded(
             f"lattice build exceeded budget on {dimension}",
             checkpoint=self.snapshot(),
@@ -210,11 +219,17 @@ class GodinLatticeBuilder:
         before the insertion and the concept count after it, so a
         :class:`~repro.robustness.errors.BudgetExceeded` always carries
         a consistent partial lattice.
+
+        Each insertion is one ``godin.insert`` span (a no-op unless
+        :mod:`repro.obs` is enabled); a budget violation escapes through
+        the span and is captured as its error.
         """
-        self._check_budget(self._num_objects + 1)
-        self._insert(obj, row)
-        self._check_budget(self._num_objects)
-        self._refresh_checkpoint()
+        with obs.span("godin.insert", objects=self._num_objects + 1):
+            self._check_budget(self._num_objects + 1)
+            self._insert(obj, row)
+            self._check_budget(self._num_objects)
+            self._refresh_checkpoint()
+        obs.inc("godin.inserts")
 
     def _insert(self, obj: int, row: Iterable[int]) -> None:
         row = frozenset(row)
@@ -324,8 +339,15 @@ def build_lattice_godin(
         builder = GodinLatticeBuilder.from_checkpoint(resume_from, budget=budget)
     else:
         builder = GodinLatticeBuilder(budget=budget)
-    for obj in range(builder._num_objects, context.num_objects):
-        builder.add_object(obj, context.rows[obj])
+    with obs.span(
+        "godin.build",
+        objects=context.num_objects,
+        attributes=context.num_attributes,
+        resumed=resume_from is not None,
+    ) as build_span:
+        for obj in range(builder._num_objects, context.num_objects):
+            builder.add_object(obj, context.rows[obj])
+        build_span.set(concepts=builder.num_concepts)
     if context.num_objects == 0:
         # Degenerate context: the lattice is the single concept (∅, A).
         builder._new_concept(set(), context.all_attributes)
@@ -341,4 +363,5 @@ def build_lattice_godin(
             else:
                 builder._intents[bottom] = context.all_attributes
             builder._all_attrs = context.all_attributes
+    obs.set_gauge("lattice.concepts", builder.num_concepts)
     return builder.build(context)

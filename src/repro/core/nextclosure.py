@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro import obs
 from repro.core.concepts import Concept, ConceptLattice
 from repro.core.context import FormalContext
 
@@ -40,7 +41,15 @@ def closed_intents(context: FormalContext) -> Iterator[frozenset[int]]:
 
 def build_lattice_nextclosure(context: FormalContext) -> ConceptLattice:
     """Build the concept lattice using NextClosure enumeration."""
-    concepts = [
-        Concept(context.tau(intent), intent) for intent in closed_intents(context)
-    ]
-    return ConceptLattice.from_concepts(context, concepts)
+    with obs.span(
+        "nextclosure.build",
+        objects=context.num_objects,
+        attributes=context.num_attributes,
+    ) as span:
+        concepts = [
+            Concept(context.tau(intent), intent)
+            for intent in closed_intents(context)
+        ]
+        span.set(concepts=len(concepts))
+        obs.inc("nextclosure.concepts", len(concepts))
+        return ConceptLattice.from_concepts(context, concepts)

@@ -20,6 +20,7 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.core.concepts import ConceptLattice
 from repro.core.context import FormalContext
 from repro.core.godin import GodinLatticeBuilder, build_lattice_godin
@@ -208,26 +209,28 @@ def cluster_traces(
         if strict:
             raise_on_errors(lint_report)
 
-    if dedup:
-        groups: DedupResult = dedup_traces(traces)
-        pool = list(groups.representatives)
-        counts = list(groups.counts)
-        members = list(groups.members)
-    else:
-        pool = list(traces)
-        counts = [1] * len(pool)
-        members = [(t,) for t in pool]
-
-    accepted_idx: list[int] = []
-    rejected: list[Trace] = []
-    rows: list[frozenset[int]] = []
-    for i, trace in enumerate(pool):
-        executed = reference_fa.executed_transitions(trace)
-        if executed or reference_fa.accepts(trace):
-            accepted_idx.append(i)
-            rows.append(executed)
+    with obs.span("cluster.relation", traces=len(traces)) as relation_span:
+        if dedup:
+            groups: DedupResult = dedup_traces(traces)
+            pool = list(groups.representatives)
+            counts = list(groups.counts)
+            members = list(groups.members)
         else:
-            rejected.extend(members[i])
+            pool = list(traces)
+            counts = [1] * len(pool)
+            members = [(t,) for t in pool]
+
+        accepted_idx: list[int] = []
+        rejected: list[Trace] = []
+        rows: list[frozenset[int]] = []
+        for i, trace in enumerate(pool):
+            executed = reference_fa.executed_transitions(trace)
+            if executed or reference_fa.accepts(trace):
+                accepted_idx.append(i)
+                rows.append(executed)
+            else:
+                rejected.extend(members[i])
+        relation_span.set(classes=len(pool), rejected=len(rejected))
 
     if strict and rejected:
         raise ClusteringError(

@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro import obs
 from repro.fa.automaton import FA, Transition
 from repro.lang.events import parse_pattern
 from repro.lang.traces import Trace
@@ -245,27 +246,42 @@ def learn_sk_strings(
     tree = PrefixTree.from_traces(traces)
     if tree.visits[0] == 0:
         raise ValueError("cannot learn from an empty trace set")
-    merger = _Merger(tree)
+    with obs.span(
+        "sk_strings.learn", nodes=tree.num_nodes, k=k, s=s, variant=variant
+    ) as span:
+        merger = _Merger(tree)
 
-    red: list[int] = [merger.find(0)]
-    while True:
-        # Blue fringe: successors of red states that are not red.
-        red = sorted({merger.find(r) for r in red})
-        blue = sorted(
-            {
-                target
-                for r in red
-                for _, (target, _) in merger.successors(r).items()
-                if target not in red
-            }
-        )
-        if not blue:
-            break
-        b = blue[0]
-        for r in red:
-            if merger.sk_equivalent(r, b, k, s, variant):
-                merger.merge(r, b)
+        merges = promotions = 0
+        red: list[int] = [merger.find(0)]
+        while True:
+            # Blue fringe: successors of red states that are not red.
+            red = sorted({merger.find(r) for r in red})
+            blue = sorted(
+                {
+                    target
+                    for r in red
+                    for _, (target, _) in merger.successors(r).items()
+                    if target not in red
+                }
+            )
+            if not blue:
                 break
-        else:
-            red.append(b)
-    return merger.to_learned_fa()
+            b = blue[0]
+            for r in red:
+                if merger.sk_equivalent(r, b, k, s, variant):
+                    merger.merge(r, b)
+                    merges += 1
+                    break
+            else:
+                red.append(b)
+                promotions += 1
+        learned = merger.to_learned_fa()
+        span.set(
+            merges=merges,
+            promotions=promotions,
+            states=len(learned.fa.states),
+        )
+        obs.inc("learner.merges", merges)
+        obs.inc("learner.promotions", promotions)
+        obs.inc("learner.runs")
+        return learned

@@ -20,6 +20,7 @@ from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace, dedup_traces
 from repro.learners.coring import core_fa
@@ -69,25 +70,33 @@ class Strauss:
 
     def front_end(self, traces: Iterable[Trace]) -> list[Trace]:
         """Extract scenario traces from the training set."""
-        extractor = ScenarioExtractor(
-            seeds=frozenset(self.seeds),
-            hops=self.hops,
-            max_events=self.max_events,
-            seed_arg=self.seed_arg,
-        )
-        return extractor.extract_all(traces)
+        with obs.span("strauss.front_end", hops=self.hops) as span:
+            extractor = ScenarioExtractor(
+                seeds=frozenset(self.seeds),
+                hops=self.hops,
+                max_events=self.max_events,
+                seed_arg=self.seed_arg,
+            )
+            scenarios = extractor.extract_all(traces)
+            span.set(scenarios=len(scenarios))
+            obs.inc("strauss.scenarios", len(scenarios))
+            return scenarios
 
     def back_end(self, scenarios: Sequence[Trace]) -> MinedSpecification:
         """Learn a specification FA from scenario traces."""
         if not scenarios:
             raise ValueError("no scenario traces to learn from")
-        learned = learn_sk_strings(scenarios, k=self.k, s=self.s)
-        fa = (
-            core_fa(learned, self.coring_fraction)
-            if self.coring_fraction > 0
-            else learned.fa
-        )
-        return MinedSpecification(fa, learned, tuple(scenarios))
+        with obs.span(
+            "strauss.back_end", scenarios=len(scenarios), k=self.k, s=self.s
+        ) as span:
+            learned = learn_sk_strings(scenarios, k=self.k, s=self.s)
+            fa = (
+                core_fa(learned, self.coring_fraction)
+                if self.coring_fraction > 0
+                else learned.fa
+            )
+            span.set(states=len(fa.states))
+            return MinedSpecification(fa, learned, tuple(scenarios))
 
     def mine(self, traces: Iterable[Trace]) -> MinedSpecification:
         """Full pipeline: front end then back end."""

@@ -1,0 +1,133 @@
+"""``repro.obs`` — tracing, metrics, and profiling for the pipeline.
+
+The paper's claims are quantitative (Table 2's lattice sizes and times,
+Table 3's labeling costs), so the reproduction instruments itself: every
+hot path emits hierarchical **spans** and process-local **metrics**, and
+pluggable **exporters** turn a run into a JSON-lines event stream, a
+``chrome://tracing`` flame graph, a Prometheus text dump, or an
+in-memory record for tests and benchmarks.
+
+Instrumentation API (safe to call unconditionally — all of it is a
+near-free no-op until :func:`configure` or ``REPRO_OBS`` enables a
+sink)::
+
+    from repro import obs
+
+    with obs.span("godin.insert", objects=n):
+        ...
+    obs.inc("learner.merges")
+    obs.set_gauge("lattice.concepts", len(lattice))
+    obs.observe("verify.check_seconds", dt)
+    obs.event("budget.exceeded", dimension="wall")
+
+Configuration::
+
+    recorder = obs.configure(record=True)            # tests/benchmarks
+    obs.configure(trace_path="run.jsonl",
+                  chrome_path="run.trace.json",
+                  metrics_path="run.prom")
+    # or: REPRO_OBS=jsonl:/tmp/t.jsonl,prom:/tmp/m.prom python ...
+
+See ``docs/observability.md`` for naming conventions and the exporter
+formats.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.config import (
+    ENV_VAR,
+    MultiSink,
+    Sink,
+    STATE,
+    configure,
+    get_registry,
+    get_sink,
+    is_enabled,
+    shutdown,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import InMemoryRecorder
+from repro.obs.report import ProfileReport, SpanStats, aggregate_spans
+from repro.obs.spans import (
+    NOOP_SPAN,
+    LiveSpan,
+    NoopSpan,
+    SpanRecord,
+    current_span,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemoryRecorder",
+    "LiveSpan",
+    "MetricsRegistry",
+    "MultiSink",
+    "NOOP_SPAN",
+    "NoopSpan",
+    "ProfileReport",
+    "Sink",
+    "SpanRecord",
+    "SpanStats",
+    "aggregate_spans",
+    "configure",
+    "current_span",
+    "event",
+    "get_registry",
+    "get_sink",
+    "inc",
+    "is_enabled",
+    "observe",
+    "set_gauge",
+    "shutdown",
+    "span",
+]
+
+
+def span(name: str, **attrs: Any) -> "LiveSpan | NoopSpan":
+    """Open a span; a shared no-op when observability is disabled."""
+    sink = STATE.sink
+    if sink is None:
+        return NOOP_SPAN
+    return LiveSpan(name, attrs, sink)
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` (no-op when disabled)."""
+    registry = STATE.registry
+    if registry is not None:
+        registry.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op when disabled)."""
+    registry = STATE.registry
+    if registry is not None:
+        registry.gauge(name).set(value)
+
+
+def observe(
+    name: str, value: float, buckets: tuple[float, ...] | None = None
+) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    registry = STATE.registry
+    if registry is not None:
+        registry.histogram(name, buckets).observe(value)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit a point event to the sink (no-op when disabled)."""
+    sink = STATE.sink
+    if sink is not None:
+        sink.on_event(name, attrs)

@@ -1,0 +1,95 @@
+"""Chrome-trace exporter (``chrome://tracing`` / Perfetto).
+
+Writes the Trace Event Format's JSON-array form: one **complete event**
+(``"ph": "X"``) per finished span, with microsecond timestamps relative
+to the first span's start.  Load the file in ``chrome://tracing``, or at
+https://ui.perfetto.dev, to see the pipeline as a flame graph — span
+nesting renders as stacked slices per thread track.
+
+Only the fields the viewers require are emitted: ``name``, ``ph``,
+``ts``, ``dur``, ``pid``, ``tid``, plus span attributes under ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.obs.spans import SpanRecord
+
+#: Keys every emitted complete event carries (validated by tests/CI).
+REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def span_to_event(record: SpanRecord, epoch: float, pid: int) -> dict[str, Any]:
+    """One span as a Trace Event Format complete event."""
+    args: dict[str, Any] = dict(record.attrs)
+    args["cpu_ms"] = round(record.cpu * 1e3, 3)
+    if record.error is not None:
+        args["error"] = record.error
+    return {
+        "name": record.name,
+        "ph": "X",
+        "ts": round((record.start - epoch) * 1e6, 1),
+        "dur": round(record.wall * 1e6, 1),
+        "pid": pid,
+        "tid": record.thread,
+        "cat": record.name.split(".", 1)[0],
+        "args": args,
+    }
+
+
+class ChromeTraceExporter:
+    """Buffers spans and writes one JSON array at close."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._spans: list[SpanRecord] = []
+        self.closed = False
+
+    def on_span(self, record: SpanRecord) -> None:
+        self._spans.append(record)
+
+    def on_event(self, name: str, attrs: dict[str, Any]) -> None:
+        # Point events become zero-duration instant events at close time;
+        # buffer them as (name, attrs) with no timing.
+        self._spans.append(
+            SpanRecord(
+                name=name,
+                span_id=0,
+                parent_id=None,
+                depth=0,
+                start=0.0,
+                wall=0.0,
+                cpu=0.0,
+                thread=0,
+                attrs=dict(attrs),
+            )
+        )
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        timed = [s for s in self._spans if s.span_id]
+        epoch = min((s.start for s in timed), default=0.0)
+        pid = os.getpid()
+        events = [span_to_event(s, epoch, pid) for s in timed]
+        events.extend(
+            {
+                "name": s.name,
+                "ph": "i",
+                "ts": 0.0,
+                "dur": 0.0,
+                "pid": pid,
+                "tid": 0,
+                "s": "g",
+                "args": s.attrs,
+            }
+            for s in self._spans
+            if not s.span_id
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(events, default=str))

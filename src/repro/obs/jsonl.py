@@ -1,0 +1,98 @@
+"""JSON-lines event stream exporter.
+
+One JSON object per line, written as spans finish (streaming — a crashed
+process keeps everything flushed so far).  Three record types, tagged by
+``"type"``:
+
+* ``{"type": "span", ...}`` — one finished span (name, ids, timings,
+  attributes, error);
+* ``{"type": "event", ...}`` — a point event;
+* ``{"type": "metrics", ...}`` — the final registry snapshot, appended
+  once by :meth:`JsonlExporter.close`.
+
+Parse it back with :func:`read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+
+def span_to_dict(record: SpanRecord) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "type": "span",
+        "name": record.name,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "depth": record.depth,
+        "start": record.start,
+        "wall": record.wall,
+        "cpu": record.cpu,
+        "thread": record.thread,
+    }
+    if record.attrs:
+        out["attrs"] = record.attrs
+    if record.error is not None:
+        out["error"] = record.error
+    return out
+
+
+class JsonlExporter:
+    """Streams span/event records to a file (or file-like object)."""
+
+    def __init__(
+        self,
+        path: str | Path | IO[str],
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if hasattr(path, "write"):
+            self._fh: IO[str] = path  # type: ignore[assignment]
+            self._owns = False
+        else:
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(path, "w")
+            self._owns = True
+        self.registry = registry
+        self.closed = False
+
+    def _emit(self, document: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(document, default=str) + "\n")
+
+    def on_span(self, record: SpanRecord) -> None:
+        self._emit(span_to_dict(record))
+
+    def on_event(self, name: str, attrs: dict[str, Any]) -> None:
+        self._emit({"type": "event", "name": name, "attrs": attrs})
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self.registry is not None and len(self.registry):
+            self._emit({"type": "metrics", **self.registry.snapshot()})
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSON-lines trace back into a list of record dicts."""
+    out = []
+    for i, line in enumerate(Path(path).read_text().splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i + 1}: not valid JSON: {exc}") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise ValueError(f"{path}:{i + 1}: record lacks a 'type' tag")
+        out.append(record)
+    return out

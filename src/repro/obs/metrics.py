@@ -1,0 +1,191 @@
+"""The process-local metrics registry: counters, gauges, histograms.
+
+Metric names are dotted strings (``lattice.concepts``,
+``learner.merges``); the dots group related metrics in reports and are
+rewritten to underscores by the Prometheus exporter
+(:mod:`repro.obs.promtext`).  Instruments are created on first use and
+live for the lifetime of their :class:`MetricsRegistry`, so repeated
+``registry.counter("x")`` calls return the same object.
+
+All three instruments are deliberately minimal — no labels, no
+timestamps — because the registry is process-local and scraped exactly
+once, at export time.  Histograms use **fixed upper-bound buckets**
+chosen at creation (``le`` semantics, cumulative on export, like
+Prometheus histograms): an observation lands in the first bucket whose
+upper bound is >= the value, or in the implicit ``+Inf`` overflow
+bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from threading import Lock
+
+#: Default histogram buckets, in seconds — tuned for the pipeline's span
+#: durations (sub-millisecond inserts up to multi-second full runs).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (resets only with the registry)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``bounds`` are the finite upper bounds, strictly increasing; the
+    overflow (``+Inf``) bucket is implicit.  ``counts[i]`` is the number
+    of observations with ``bounds[i-1] < v <= bounds[i]`` (non-cumulative
+    internally; :meth:`cumulative` converts).
+    """
+
+    name: str
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram {self.name!r} bounds must be strictly increasing"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Process-local home for all instruments, keyed by name.
+
+    Thread-safe for instrument *creation*; increments themselves are
+    plain ``+=`` (the GIL makes them atomic enough for our counters, and
+    the hot paths must not pay for a lock).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = Lock()
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(
+                    name, Histogram(name, buckets or DEFAULT_BUCKETS)
+                )
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+
+    @property
+    def counters(self) -> dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, Gauge]:
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-data dump of every instrument (JSON-serializable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "mean": h.mean,
+                    "buckets": [
+                        ["+Inf" if bound == float("inf") else bound, count]
+                        for bound, count in h.cumulative()
+                    ],
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

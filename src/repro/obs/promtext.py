@@ -1,0 +1,122 @@
+"""Prometheus text-format dump of the metrics registry.
+
+:func:`render_prometheus` formats a :class:`~repro.obs.metrics.MetricsRegistry`
+in the Prometheus exposition text format (version 0.0.4): ``# HELP`` /
+``# TYPE`` headers, one sample per line, histograms expanded into
+cumulative ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``.
+Dotted metric names are sanitized to legal Prometheus names
+(``lattice.concepts`` -> ``repro_lattice_concepts``).
+
+This is a *dump*, not a scrape endpoint: the process writes its final
+state once (``cable profile --metrics out.prom``, or the
+``REPRO_OBS=prom:PATH`` exporter at shutdown).  The format is chosen so
+standard tooling — ``promtool check metrics``, textfile collectors —
+ingests it unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Prefix namespacing every exported sample.
+PREFIX = "repro"
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """``lattice.concepts`` -> ``repro_lattice_concepts``."""
+    sanitized = _ILLEGAL.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"{PREFIX}_{sanitized}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        prom = metric_name(name)
+        lines.append(f"# HELP {prom} Counter {name!r} (repro.obs)")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_format_value(counter.value)}")
+    for name, gauge in sorted(registry.gauges.items()):
+        prom = metric_name(name)
+        lines.append(f"# HELP {prom} Gauge {name!r} (repro.obs)")
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_format_value(gauge.value)}")
+    for name, histogram in sorted(registry.histograms.items()):
+        prom = metric_name(name)
+        lines.append(f"# HELP {prom} Histogram {name!r} (repro.obs)")
+        lines.append(f"# TYPE {prom} histogram")
+        for bound, cumulative in histogram.cumulative():
+            le = _format_value(bound)
+            lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{prom}_sum {repr(histogram.total)}")
+        lines.append(f"{prom}_count {histogram.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse a text dump back into ``{sample_name_with_labels: value}``.
+
+    A validation helper (tests, the CI smoke job) — not a full parser,
+    but strict about the line grammar: every non-comment line must be
+    ``name[{labels}] value``.
+    """
+    samples: dict[str, float] = {}
+    for i, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = re.fullmatch(
+            r"([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?)\s+(\S+)", line
+        )
+        if not match:
+            raise ValueError(f"line {i + 1}: not a Prometheus sample: {line!r}")
+        value = float(match.group(2)) if match.group(2) != "+Inf" else float("inf")
+        samples[match.group(1)] = value
+    return samples
+
+
+class PrometheusTextExporter:
+    """A sink that ignores spans and dumps the registry at close."""
+
+    def __init__(
+        self, path: str | Path, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.path = Path(path)
+        self.registry = registry
+        self.closed = False
+
+    def on_span(self, record: Any) -> None:
+        pass
+
+    def on_event(self, name: str, attrs: dict[str, Any]) -> None:
+        pass
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        registry = self.registry
+        if registry is None:
+            from repro.obs.config import STATE
+
+            registry = STATE.registry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            render_prometheus(registry) if registry is not None else ""
+        )

@@ -1,0 +1,50 @@
+"""The in-memory sink: keeps every finished span for later inspection.
+
+This is the sink tests and the benchmark harness use — nothing touches
+the filesystem, and the recorded :class:`~repro.obs.spans.SpanRecord`
+values can be aggregated with :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+
+class InMemoryRecorder:
+    """Collects spans and point events in plain lists."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.spans: list[SpanRecord] = []
+        self.events: list[tuple[str, dict[str, Any]]] = []
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.closed = False
+
+    def on_span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+
+    def on_event(self, name: str, attrs: dict[str, Any]) -> None:
+        self.events.append((name, dict(attrs)))
+
+    def close(self) -> None:
+        self.closed = True
+
+    # ------------------------------------------------------------------ #
+    # conveniences for tests and reports
+    # ------------------------------------------------------------------ #
+
+    def named(self, name: str) -> list[SpanRecord]:
+        """All finished spans with exactly this name."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, parent: SpanRecord) -> list[SpanRecord]:
+        return [s for s in self.spans if s.parent_id == parent.span_id]
+
+    def roots(self) -> list[SpanRecord]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()

@@ -1,0 +1,187 @@
+"""Turning recorded spans + metrics into human and machine reports.
+
+:func:`aggregate_spans` folds a list of finished spans into per-name
+totals (count, wall, CPU, errors); :class:`ProfileReport` combines that
+with a registry snapshot and renders the ``cable profile`` phase-time
+table or the ``BENCH_<name>.json`` document the benchmark harness
+writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+from repro.util.tables import format_table
+
+#: Span-name prefix marking the pipeline phases ``cable profile`` tables.
+PHASE_PREFIX = "phase."
+
+
+@dataclass
+class SpanStats:
+    """Aggregate over all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    wall: float = 0.0
+    cpu: float = 0.0
+    errors: int = 0
+    max_wall: float = 0.0
+
+    @property
+    def mean_wall(self) -> float:
+        return self.wall / self.count if self.count else 0.0
+
+
+def aggregate_spans(spans: list[SpanRecord]) -> dict[str, SpanStats]:
+    """Fold spans into per-name :class:`SpanStats`, insertion-ordered."""
+    out: dict[str, SpanStats] = {}
+    for span in spans:
+        stats = out.get(span.name)
+        if stats is None:
+            stats = out[span.name] = SpanStats(span.name)
+        stats.count += 1
+        stats.wall += span.wall
+        stats.cpu += span.cpu
+        stats.max_wall = max(stats.max_wall, span.wall)
+        if span.error is not None:
+            stats.errors += 1
+    return out
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled run produced, ready to render."""
+
+    target: str
+    spans: dict[str, SpanStats]
+    metrics: dict[str, Any] = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    @classmethod
+    def from_recorder(
+        cls,
+        target: str,
+        recorder: Any,
+        registry: MetricsRegistry | None = None,
+    ) -> "ProfileReport":
+        if registry is None:
+            registry = getattr(recorder, "registry", None)
+        roots = [s for s in recorder.spans if s.parent_id is None]
+        return cls(
+            target=target,
+            spans=aggregate_spans(recorder.spans),
+            metrics=registry.snapshot() if registry is not None else {},
+            total_seconds=sum(s.wall for s in roots),
+        )
+
+    # ------------------------------------------------------------------ #
+    # projections
+    # ------------------------------------------------------------------ #
+
+    def phases(self) -> dict[str, SpanStats]:
+        """The ``phase.*`` spans, keyed by bare phase name, run order."""
+        return {
+            name[len(PHASE_PREFIX):]: stats
+            for name, stats in self.spans.items()
+            if name.startswith(PHASE_PREFIX)
+        }
+
+    def phase_seconds(self) -> dict[str, float]:
+        return {name: stats.wall for name, stats in self.phases().items()}
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def render_phase_table(self) -> str:
+        """The ``cable profile`` phase-time table."""
+        phases = self.phases()
+        total = self.total_seconds or sum(s.wall for s in phases.values())
+        rows: list[list[object]] = []
+        for name, stats in phases.items():
+            share = 100.0 * stats.wall / total if total else 0.0
+            rows.append(
+                [
+                    name,
+                    stats.count,
+                    stats.wall * 1e3,
+                    stats.cpu * 1e3,
+                    f"{share:.1f}%",
+                ]
+            )
+        rows.append(["total", "", total * 1e3, "", "100.0%"])
+        return format_table(
+            ["phase", "spans", "wall ms", "cpu ms", "share"],
+            rows,
+            title=f"profile: {self.target}",
+        )
+
+    def render_span_table(self, limit: int = 20) -> str:
+        """The hottest span names by total wall time."""
+        hottest = sorted(
+            self.spans.values(), key=lambda s: -s.wall
+        )[:limit]
+        rows = [
+            [s.name, s.count, s.wall * 1e3, s.mean_wall * 1e3, s.errors]
+            for s in hottest
+        ]
+        return format_table(
+            ["span", "count", "wall ms", "mean ms", "errors"],
+            rows,
+            title="hottest spans",
+        )
+
+    def render_metrics_table(self) -> str:
+        counters = self.metrics.get("counters", {})
+        gauges = self.metrics.get("gauges", {})
+        rows: list[list[object]] = [
+            [name, "counter", value] for name, value in counters.items()
+        ]
+        rows.extend(
+            [name, "gauge", value] for name, value in gauges.items()
+        )
+        for name, data in self.metrics.get("histograms", {}).items():
+            rows.append([name, "histogram", f"n={data['count']} mean={data['mean']:.4g}"])
+        if not rows:
+            return "metrics: (none recorded)"
+        return format_table(
+            ["metric", "kind", "value"], rows, title="metrics"
+        )
+
+    def render(self) -> str:
+        parts = [self.render_phase_table()]
+        if self.spans:
+            parts.append(self.render_span_table())
+        parts.append(self.render_metrics_table())
+        return "\n\n".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ``BENCH_<name>.json`` document shape."""
+        return {
+            "version": 1,
+            "name": self.target,
+            "seconds": self.total_seconds,
+            "phases": {
+                name: {
+                    "count": stats.count,
+                    "wall": stats.wall,
+                    "cpu": stats.cpu,
+                }
+                for name, stats in self.phases().items()
+            },
+            "spans": {
+                name: {
+                    "count": stats.count,
+                    "wall": stats.wall,
+                    "cpu": stats.cpu,
+                    "mean_wall": stats.mean_wall,
+                    "errors": stats.errors,
+                }
+                for name, stats in self.spans.items()
+            },
+            "metrics": self.metrics,
+        }

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.concepts import ConceptLattice
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace
@@ -76,6 +77,7 @@ class LabelingSimulator:
         """Inspect ``concept``; label its unlabeled traces if they are
         uniform under the reference labeling.  Returns True if labeled."""
         self.inspections += 1
+        obs.inc("strategy.inspections")
         unlabeled = self.unlabeled_in(concept)
         if not unlabeled:
             return False
@@ -84,6 +86,8 @@ class LabelingSimulator:
             return False
         label = next(iter(wanted))
         self.labelings += 1
+        obs.inc("strategy.labelings")
+        obs.inc("strategy.traces_labeled", len(unlabeled))
         for o in unlabeled:
             self.labels[o] = label
         return True

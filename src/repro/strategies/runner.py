@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.trace_clustering import TraceClustering
 from repro.strategies.base import StuckError, reference_labeling_from_fa
 from repro.strategies.baseline import baseline_cost
@@ -94,30 +95,37 @@ def evaluate_strategies(
     """
     lattice = clustering.lattice
 
-    try:
-        expert = expert_strategy(lattice, reference).cost
-    except StuckError:
-        expert = None
+    with obs.span("strategy.expert", spec=name):
+        try:
+            expert = expert_strategy(lattice, reference).cost
+        except StuckError:
+            expert = None
     baseline = baseline_cost(clustering.num_objects).cost
-    top_down = best_of(
-        top_down_strategy, lattice, reference, shuffle_trials, f"{seed}-td"
-    )
-    bottom_up = best_of(
-        bottom_up_strategy, lattice, reference, shuffle_trials, f"{seed}-bu"
-    )
-    try:
-        random_mean = random_strategy_mean(
-            lattice, reference, trials=random_trials, seed=f"{seed}-rnd"
+    with obs.span("strategy.top_down", spec=name):
+        top_down = best_of(
+            top_down_strategy, lattice, reference, shuffle_trials, f"{seed}-td"
         )
-    except StuckError:
-        random_mean = None
+    with obs.span("strategy.bottom_up", spec=name):
+        bottom_up = best_of(
+            bottom_up_strategy, lattice, reference, shuffle_trials, f"{seed}-bu"
+        )
+    with obs.span("strategy.random", spec=name, trials=random_trials):
+        try:
+            random_mean = random_strategy_mean(
+                lattice, reference, trials=random_trials, seed=f"{seed}-rnd"
+            )
+        except StuckError:
+            random_mean = None
     if (
         optimal_max_objects is not None
         and clustering.num_objects > optimal_max_objects
     ):
         optimal = None
     else:
-        optimal = optimal_cost(lattice, reference, max_states=optimal_max_states)
+        with obs.span("strategy.optimal", spec=name):
+            optimal = optimal_cost(
+                lattice, reference, max_states=optimal_max_states
+            )
 
     return StrategyTable(
         name=name,

@@ -1,14 +1,34 @@
-"""A tiny stopwatch used by the Table 2 benchmark (lattice build times)."""
+"""Deprecated stopwatch, kept as a thin shim over :mod:`repro.obs` spans.
+
+There is now one timing code path in the repo: :func:`repro.obs.span`.
+:class:`Stopwatch` survives for backward compatibility only — each
+enter/exit pair emits a ``util.stopwatch`` span (a no-op unless
+observability is enabled) and accumulates ``elapsed`` exactly as
+before.  New code should write::
+
+    with obs.span("lattice.build") as span:
+        ...
+    # span.wall / span.cpu
+
+instead of constructing a Stopwatch.
+"""
 
 from __future__ import annotations
 
 import time
+import warnings
 
 
 class Stopwatch:
     """Accumulating stopwatch with context-manager support.
 
-    >>> sw = Stopwatch()
+    .. deprecated::
+        Use :func:`repro.obs.span`; this shim forwards to it.
+
+    >>> import warnings
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     sw = Stopwatch()
     >>> with sw:
     ...     _ = sum(range(10))
     >>> sw.elapsed >= 0.0
@@ -16,10 +36,21 @@ class Stopwatch:
     """
 
     def __init__(self) -> None:
+        warnings.warn(
+            "repro.util.timing.Stopwatch is deprecated; "
+            "use repro.obs.span instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.elapsed = 0.0
         self._started_at: float | None = None
+        self._span = None
 
     def __enter__(self) -> "Stopwatch":
+        from repro import obs
+
+        self._span = obs.span("util.stopwatch")
+        self._span.__enter__()
         self._started_at = time.perf_counter()
         return self
 
@@ -28,3 +59,6 @@ class Stopwatch:
             raise RuntimeError("stopwatch exited without being entered")
         self.elapsed += time.perf_counter() - self._started_at
         self._started_at = None
+        span, self._span = self._span, None
+        if span is not None:
+            span.__exit__(None, None, None)

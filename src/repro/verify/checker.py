@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
+from repro import obs
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace
 
@@ -126,10 +127,16 @@ class TemporalChecker:
 
     def check_all(self, traces: Iterable[Trace]) -> list[Violation]:
         """All violations across a set of program traces."""
-        out: list[Violation] = []
-        for trace in traces:
-            out.extend(self.check(trace))
-        return out
+        with obs.span("verify.check_all") as span:
+            out: list[Violation] = []
+            checked = 0
+            for trace in traces:
+                out.extend(self.check(trace))
+                checked += 1
+            span.set(traces=checked, violations=len(out))
+            obs.inc("verify.traces", checked)
+            obs.inc("verify.violations", len(out))
+            return out
 
 
 def check_traces(

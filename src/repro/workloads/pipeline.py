@@ -24,10 +24,12 @@ opts back into fail-fast, raising a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.core.trace_clustering import TraceClustering, cluster_traces
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace, dedup_traces
@@ -35,10 +37,42 @@ from repro.mining.strauss import Strauss
 from repro.robustness.budget import Budget
 from repro.robustness.errors import ClusteringError
 from repro.robustness.quarantine import RejectedReport
-from repro.util.timing import Stopwatch
 from repro.workloads.specs_catalog import spec_by_name
 from repro.workloads.tracegen import generate_program_traces
 from repro.workloads.xlib_model import SpecModel
+
+#: ``run_spec``'s phases, in execution order (``lint`` only when enabled).
+PHASES = ("tracegen", "mine", "reference", "lint", "cluster", "label")
+
+
+class _PhaseClock:
+    """Times each pipeline phase and emits a ``phase.<name>`` span.
+
+    The wall-clock measurement is unconditional (cheap — two clock reads
+    per phase) so :attr:`SpecRun.phase_seconds` is always populated; the
+    span is the usual :mod:`repro.obs` no-op unless a sink is active.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self._name: str | None = None
+        self._span = None
+        self._t0 = 0.0
+
+    def phase(self, name: str) -> "_PhaseClock":
+        self._name = name
+        self._span = obs.span(f"phase.{name}")
+        return self
+
+    def __enter__(self) -> "_PhaseClock":
+        self._span.__enter__()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        self.seconds[self._name] = self.seconds.get(self._name, 0.0) + elapsed
+        return self._span.__exit__(exc_type, exc, tb)
 
 if TYPE_CHECKING:
     from repro.analysis.diagnostics import LintReport
@@ -58,6 +92,9 @@ class SpecRun:
     lattice_seconds: float
     rejected_report: RejectedReport = field(default_factory=RejectedReport)
     lint_report: "LintReport | None" = None
+    #: Wall seconds per pipeline phase (see :data:`PHASES`); always
+    #: recorded, with or without :mod:`repro.obs` enabled.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def num_scenarios(self) -> int:
@@ -80,6 +117,24 @@ class SpecRun:
         """Scenario traces the reference FA rejected (see
         ``rejected_report`` for diagnoses)."""
         return len(self.rejected_report)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time across all recorded phases."""
+        return sum(self.phase_seconds.values())
+
+    def describe_phases(self) -> str:
+        """One-line phase-duration summary for CLI output.
+
+        ``tracegen 12.3ms | mine 45.6ms | ... (total 123.4ms)``, phases
+        in execution order.
+        """
+        parts = [
+            f"{name} {self.phase_seconds[name] * 1e3:.1f}ms"
+            for name in PHASES
+            if name in self.phase_seconds
+        ]
+        return " | ".join(parts) + f" (total {self.total_seconds * 1e3:.1f}ms)"
 
 
 def run_spec(
@@ -106,44 +161,54 @@ def run_spec(
     """
     if isinstance(spec, str):
         spec = spec_by_name(spec)
-    programs = generate_program_traces(spec, seed=seed)
-    miner = Strauss(seeds=spec.seeds, hops=0, k=spec.mine_k, s=spec.mine_s)
-    scenarios = miner.front_end(programs)
-    reference = spec.reference_fa(scenarios)
-
-    lint_report: LintReport | None = None
-    if lint:
-        from repro.analysis.lint import lint_reference, raise_on_errors
-
-        lint_report = lint_reference(
-            reference, scenarios, target=f"spec:{spec.name}"
-        )
-        if strict:
-            raise_on_errors(lint_report)
-
-    stopwatch = Stopwatch()
-    with stopwatch:
-        clustering = cluster_traces(scenarios, reference, budget=budget)
-    if clustering.rejected:
-        if strict:
-            raise ClusteringError(
-                "reference FA rejected scenario trace(s) in strict mode",
-                spec=spec.name,
-                num_rejected=len(clustering.rejected),
-                trace_ids=[
-                    t.trace_id or str(t) for t in clustering.rejected[:10]
-                ],
+    clock = _PhaseClock()
+    with obs.span("pipeline.run_spec", spec=spec.name, seed=str(seed)):
+        with clock.phase("tracegen"):
+            programs = generate_program_traces(spec, seed=seed)
+        with clock.phase("mine"):
+            miner = Strauss(
+                seeds=spec.seeds, hops=0, k=spec.mine_k, s=spec.mine_s
             )
-        rejected_report = RejectedReport.from_traces(
-            clustering.rejected, reference, spec_name=spec.name
-        )
-    else:
-        rejected_report = RejectedReport(spec_name=spec.name)
+            scenarios = miner.front_end(programs)
+        with clock.phase("reference"):
+            reference = spec.reference_fa(scenarios)
 
-    labeling = {
-        o: spec.oracle_label(trace)
-        for o, trace in enumerate(clustering.representatives)
-    }
+        lint_report: LintReport | None = None
+        if lint:
+            from repro.analysis.lint import lint_reference, raise_on_errors
+
+            with clock.phase("lint"):
+                lint_report = lint_reference(
+                    reference, scenarios, target=f"spec:{spec.name}"
+                )
+                if strict:
+                    raise_on_errors(lint_report)
+
+        with clock.phase("cluster"):
+            clustering = cluster_traces(scenarios, reference, budget=budget)
+        if clustering.rejected:
+            if strict:
+                raise ClusteringError(
+                    "reference FA rejected scenario trace(s) in strict mode",
+                    spec=spec.name,
+                    num_rejected=len(clustering.rejected),
+                    trace_ids=[
+                        t.trace_id or str(t) for t in clustering.rejected[:10]
+                    ],
+                )
+            rejected_report = RejectedReport.from_traces(
+                clustering.rejected, reference, spec_name=spec.name
+            )
+        else:
+            rejected_report = RejectedReport(spec_name=spec.name)
+        obs.inc("quarantine.rejected", len(clustering.rejected))
+
+        with clock.phase("label"):
+            labeling = {
+                o: spec.oracle_label(trace)
+                for o, trace in enumerate(clustering.representatives)
+            }
+    obs.inc("pipeline.runs")
     return SpecRun(
         spec=spec,
         program_traces=tuple(programs),
@@ -152,9 +217,10 @@ def run_spec(
         clustering=clustering,
         reference_labeling=labeling,
         debugged_fa=spec.debugged_fa(),
-        lattice_seconds=stopwatch.elapsed,
+        lattice_seconds=clock.seconds["cluster"],
         rejected_report=rejected_report,
         lint_report=lint_report,
+        phase_seconds=clock.seconds,
     )
 
 

@@ -1,27 +1,100 @@
-"""Calibration helper: print per-spec strategy costs and claim flags."""
-import sys
-from repro.workloads import run_spec, SPEC_CATALOG
-from repro.strategies import evaluate_strategies
-from repro.core.wellformed import is_well_formed
-from repro.workloads.specs_catalog import FOUR_LARGEST
+"""Calibration helper.
 
-names = sys.argv[1:] or [s.name for s in SPEC_CATALOG]
-ratios = []
-for name in names:
-    run = run_spec(name)
-    wf = is_well_formed(run.clustering.lattice, run.reference_labeling)
-    t = evaluate_strategies(run.clustering, run.reference_labeling, name=name,
-                            random_trials=128, shuffle_trials=8, optimal_max_states=50_000)
-    rnd = f"{t.random_mean:.1f}" if t.random_mean is not None else "-"
-    ratios.append(t.expert / t.baseline)
-    flags = []
-    if name not in FOUR_LARGEST and name not in ("XGetSelOwner", "XPutImage"):
-        if t.top_down is not None and t.top_down >= t.baseline: flags.append("TD>=BASE!")
-        if t.random_mean is not None and t.random_mean >= t.baseline: flags.append("RND>=BASE!")
-    if name in ("XGetSelOwner", "XPutImage"):
-        if t.top_down is not None and t.top_down < t.baseline: flags.append("TDlose!")
-    if not wf: flags.append("NOT-WF!")
-    print(f"{name:18s} cls={run.clustering.num_objects:4d} con={run.num_concepts:4d} "
-          f"exp={t.expert:4d} base={t.baseline:4d} td={t.top_down} bu={t.bottom_up} rnd={rnd} opt={t.optimal} {' '.join(flags)}")
-if len(names) > 3:
-    print("mean expert/baseline:", sum(ratios) / len(ratios))
+Default mode prints per-spec strategy costs and claim flags::
+
+    PYTHONPATH=src python tools/calibrate.py [SPEC ...]
+
+``--bench`` mode instead reads the ``BENCH_<name>.json`` documents the
+benchmark harness writes to ``benchmarks/results/`` and prints a
+delta-vs-baseline table (graceful when no baseline has been saved)::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
+    PYTHONPATH=src python tools/calibrate.py --bench
+    PYTHONPATH=src python tools/calibrate.py --bench --save-baseline
+"""
+import json
+import shutil
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+BASELINE_DIR = RESULTS_DIR / "baseline"
+
+
+def _load_bench(directory):
+    docs = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        docs[doc.get("name", path.stem[len("BENCH_"):])] = doc
+    return docs
+
+
+def bench_main(argv):
+    current = _load_bench(RESULTS_DIR)
+    if not current:
+        print(f"no BENCH_*.json in {RESULTS_DIR}; run the benchmarks first:")
+        print("  PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only")
+        return 1
+    if "--save-baseline" in argv:
+        BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+        for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+            shutil.copy(path, BASELINE_DIR / path.name)
+        print(f"saved {len(current)} BENCH file(s) to {BASELINE_DIR}")
+        return 0
+    baseline = _load_bench(BASELINE_DIR) if BASELINE_DIR.is_dir() else {}
+    header = f"{'benchmark':40s} {'seconds':>10s} {'baseline':>10s} {'delta':>8s}"
+    print(header)
+    print("-" * len(header))
+    for name, doc in current.items():
+        seconds = doc.get("seconds", 0.0)
+        base = baseline.get(name, {}).get("seconds")
+        if base is None:
+            base_s, delta = "-", "-"
+        else:
+            base_s = f"{base:10.4f}"
+            delta = f"{100.0 * (seconds - base) / base:+7.1f}%" if base else "-"
+        print(f"{name:40s} {seconds:10.4f} {base_s:>10s} {delta:>8s}")
+    if not baseline:
+        print("\n(no baseline; save one with: python tools/calibrate.py"
+              " --bench --save-baseline)")
+    return 0
+
+
+def strategy_main(names):
+    from repro.core.wellformed import is_well_formed
+    from repro.strategies import evaluate_strategies
+    from repro.workloads import SPEC_CATALOG, run_spec
+    from repro.workloads.specs_catalog import FOUR_LARGEST
+
+    names = names or [s.name for s in SPEC_CATALOG]
+    ratios = []
+    for name in names:
+        run = run_spec(name)
+        wf = is_well_formed(run.clustering.lattice, run.reference_labeling)
+        t = evaluate_strategies(run.clustering, run.reference_labeling, name=name,
+                                random_trials=128, shuffle_trials=8, optimal_max_states=50_000)
+        rnd = f"{t.random_mean:.1f}" if t.random_mean is not None else "-"
+        ratios.append(t.expert / t.baseline)
+        flags = []
+        if name not in FOUR_LARGEST and name not in ("XGetSelOwner", "XPutImage"):
+            if t.top_down is not None and t.top_down >= t.baseline: flags.append("TD>=BASE!")
+            if t.random_mean is not None and t.random_mean >= t.baseline: flags.append("RND>=BASE!")
+        if name in ("XGetSelOwner", "XPutImage"):
+            if t.top_down is not None and t.top_down < t.baseline: flags.append("TDlose!")
+        if not wf: flags.append("NOT-WF!")
+        print(f"{name:18s} cls={run.clustering.num_objects:4d} con={run.num_concepts:4d} "
+              f"exp={t.expert:4d} base={t.baseline:4d} td={t.top_down} bu={t.bottom_up} rnd={rnd} opt={t.optimal} {' '.join(flags)}")
+    if len(names) > 3:
+        print("mean expert/baseline:", sum(ratios) / len(ratios))
+    return 0
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--bench" in argv:
+        sys.exit(bench_main([a for a in argv if a != "--bench"]))
+    sys.exit(strategy_main(argv))
