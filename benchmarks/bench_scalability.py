@@ -6,12 +6,20 @@ times seem to vary slightly worse than linearly".  This benchmark grows
 the context along both axes — more objects (scenario classes) at fixed
 attributes, and more attributes (richer reference FA) at fixed objects —
 and reports sizes and build times for Godin's algorithm.
+
+A4c measures the relation phase itself: serial vs the
+:mod:`repro.parallel` worker pool vs a hot cache on a 600-trace corpus,
+writing the speedup table to ``benchmarks/results/BENCH_scalability.json``
+(``python tools/calibrate.py --bench`` reports the serial-vs-parallel
+delta from it).
 """
 
+import json
+import os
 import time
 
 
-from benchmarks.conftest import report
+from benchmarks.conftest import RESULTS_DIR, report
 from repro.core.context import FormalContext
 from repro.core.godin import build_lattice_godin
 from repro.util.rng import make_rng
@@ -110,3 +118,101 @@ def test_scalability_in_attributes(benchmark):
 def test_bench_godin_800_objects(benchmark):
     context = _random_context(800, 24, 6, "bench")
     benchmark(build_lattice_godin, context)
+
+
+def _relation_corpus(num_traces: int, length: int, seed: str):
+    """A reference FA and a corpus of long traces over its alphabet, so
+    each relation evaluation does real layered-graph work."""
+    from repro.fa.templates import unordered_fa
+    from repro.lang.events import Event
+    from repro.lang.traces import Trace
+
+    symbols = [f"ev{i}" for i in range(12)]
+    fa = unordered_fa([f"{s}(X)" for s in symbols])
+    rng = make_rng(seed)
+    traces = [
+        Trace(
+            tuple(
+                Event(rng.choice(symbols), ("X",)) for _ in range(length)
+            ),
+            trace_id=f"t{i}",
+        )
+        for i in range(num_traces)
+    ]
+    return fa, traces
+
+
+def test_scalability_relation_parallel(benchmark):
+    """Ablation A4c: the relation phase, serial vs parallel vs cached.
+
+    Runs the same 600-trace corpus through ``relation_map`` serially
+    (``jobs=1``, no cache), over the process pool at ``jobs`` 2 and 4,
+    and once more against a hot cache; asserts all modes return
+    bit-identical rows and writes the speedup table to
+    ``BENCH_scalability.json``.
+    """
+    from repro.parallel import RelationCache, relation_map
+
+    fa, traces = _relation_corpus(600, 40, "a4c")
+
+    def timed(**kwargs):
+        start = time.perf_counter()
+        rows = relation_map(fa, traces, **kwargs)
+        return rows, time.perf_counter() - start
+
+    def run_modes():
+        serial, serial_s = timed(jobs=1, cache=False)
+        modes = [("serial", 1, serial_s)]
+        for jobs in (2, 4):
+            rows, seconds = timed(jobs=jobs, backend="process", cache=False)
+            assert rows == serial  # parallel must be bit-identical
+            modes.append((f"process x{jobs}", jobs, seconds))
+        cache = RelationCache()
+        relation_map(fa, traces, cache=cache)  # warm it
+        rows, seconds = timed(jobs=1, cache=cache)
+        assert rows == serial
+        modes.append(("cache-hot", 1, seconds))
+        return serial_s, modes
+
+    serial_s, modes = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    rows = [
+        [mode, jobs, seconds * 1000, serial_s / seconds if seconds else 0.0]
+        for mode, jobs, seconds in modes
+    ]
+    text = format_table(
+        ["mode", "jobs", "ms", "speedup"],
+        rows,
+        title=(
+            "Ablation A4c: relation phase over 600 traces — serial vs "
+            "worker pool vs hot cache"
+        ),
+    )
+    cpus = os.cpu_count() or 1
+    text += f"\n\n(measured on {cpus} CPU(s))"
+    report("ablation_a4c_relation_parallel", text)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = {
+        "name": "scalability",
+        "corpus": len(traces),
+        "cpus": cpus,
+        "parallel": [
+            {
+                "mode": mode,
+                "jobs": jobs,
+                "seconds": seconds,
+                "speedup": serial_s / seconds if seconds else 0.0,
+            }
+            for mode, jobs, seconds in modes
+        ],
+    }
+    (RESULTS_DIR / "BENCH_scalability.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+
+    # The hot cache must beat recomputing, on any machine.
+    assert doc["parallel"][-1]["speedup"] > 1.0
+    # The >=2x-at-jobs=4 criterion only means something with >=4 cores.
+    if cpus >= 4:
+        by_jobs = {row["jobs"]: row for row in doc["parallel"][:-1]}
+        assert by_jobs[4]["speedup"] >= 2.0

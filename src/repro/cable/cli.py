@@ -45,6 +45,11 @@ Observability: ``--trace FILE`` / ``--metrics FILE`` / ``--chrome FILE``
 before the positional arguments enable :mod:`repro.obs` for the whole
 session — every lattice build, learner run, and counted operation is
 exported when the CLI exits (equivalent to setting ``REPRO_OBS``).
+
+Parallelism: ``--jobs N`` (also before the positional arguments) fans
+the clustering relation phase out over a process pool — for the initial
+build and every later ``addtraces`` — with ``0`` meaning one worker per
+CPU.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -278,12 +283,16 @@ class CableCLI:
                 break
 
 
-def build_session(trace_path: str, fa_path: str | None) -> CableSession:
+def build_session(
+    trace_path: str, fa_path: str | None, jobs: int | None = None
+) -> CableSession:
     """Load traces (and optionally a reference FA) and build a session.
 
     Trace names are standardized (``X, Y, ...`` by first appearance), as
     the miner front end and the verifier both do, so traces differing
-    only in concrete object ids form one class.
+    only in concrete object ids form one class.  ``jobs`` fans the
+    clustering relation phase out over a process pool and sticks to the
+    session for later ``addtraces`` updates.
     """
     with open(trace_path) as fh:
         texts = [line.strip() for line in fh if line.strip()]
@@ -294,20 +303,33 @@ def build_session(trace_path: str, fa_path: str | None) -> CableSession:
             reference = fa_from_text(fh.read())
     else:
         reference = learn_sk_strings(list(traces), k=2, s=1.0).fa
-    clustering = cluster_traces(list(traces), reference)
-    return CableSession(clustering)
+    clustering = cluster_traces(list(traces), reference, jobs=jobs)
+    return CableSession(clustering, jobs=jobs)
 
 
-def _pop_obs_options(argv: list[str]) -> tuple[list[str], dict[str, str]]:
-    """Strip leading ``--trace/--metrics/--chrome FILE`` option pairs."""
+def _pop_global_options(
+    argv: list[str],
+) -> tuple[list[str], dict[str, str], int | None]:
+    """Strip leading ``--trace/--metrics/--chrome FILE`` and ``--jobs N``
+    option pairs; returns ``(rest, obs_paths, jobs)``."""
     paths: dict[str, str] = {}
+    jobs: int | None = None
     rest = list(argv)
     option_keys = {"--trace": "trace_path", "--metrics": "metrics_path",
                    "--chrome": "chrome_path"}
-    while len(rest) >= 2 and rest[0] in option_keys:
-        paths[option_keys[rest[0]]] = rest[1]
+    while len(rest) >= 2 and (rest[0] in option_keys or rest[0] == "--jobs"):
+        if rest[0] == "--jobs":
+            try:
+                jobs = int(rest[1])
+            except ValueError:
+                raise InputError(
+                    "--jobs expects an integer (0 = one worker per CPU)",
+                    value=rest[1],
+                ) from None
+        else:
+            paths[option_keys[rest[0]]] = rest[1]
         del rest[:2]
-    return rest, paths
+    return rest, paths, jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -320,14 +342,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cable.profile import profile_main
 
         return profile_main(argv[1:])
-    argv, obs_paths = _pop_obs_options(argv)
+    try:
+        argv, obs_paths, jobs = _pop_global_options(argv)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if obs_paths:
         from repro import obs
 
         obs.configure(**obs_paths)
     if not argv or argv[0] in ("-h", "--help"):
         print(
-            "usage: cable [--trace F] [--metrics F] [--chrome F] "
+            "usage: cable [--trace F] [--metrics F] [--chrome F] [--jobs N] "
             "TRACE_FILE [FA_FILE]  |  cable --session FILE"
             "  |  cable lint ...  |  cable profile SPEC ...",
             file=sys.stderr,
@@ -341,8 +367,11 @@ def main(argv: list[str] | None = None) -> int:
             session, recovery_warnings = load_session_with_recovery(argv[1])
             for warning in recovery_warnings:
                 print(f"warning: {warning}", file=sys.stderr)
+            session.jobs = jobs
         else:
-            session = build_session(argv[0], argv[1] if len(argv) > 1 else None)
+            session = build_session(
+                argv[0], argv[1] if len(argv) > 1 else None, jobs=jobs
+            )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -43,6 +43,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", default="0", help="tracegen seed (default 0)")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker pool size for the relation phase (0 = one per CPU)",
+    )
+    parser.add_argument(
         "--trace", metavar="FILE", help="write a JSON-lines span trace"
     )
     parser.add_argument(
@@ -81,10 +88,10 @@ def _profile_animals() -> None:
         )
 
 
-def _profile_spec(name: str, seed: str) -> "object":
+def _profile_spec(name: str, seed: str, jobs: int | None = None) -> "object":
     from repro.workloads.pipeline import run_spec
 
-    return run_spec(name, seed=seed)
+    return run_spec(name, seed=seed, jobs=jobs)
 
 
 def profile_main(
@@ -112,7 +119,7 @@ def profile_main(
         if args.target == ANIMALS_TARGET:
             _profile_animals()
         else:
-            run = _profile_spec(args.target, args.seed)
+            run = _profile_spec(args.target, args.seed, jobs=args.jobs)
     except (ReproError, OSError) as exc:
         obs.shutdown()
         print(f"error: {exc}", file=err)

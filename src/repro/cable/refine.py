@@ -23,7 +23,10 @@ from __future__ import annotations
 from repro.cable.session import CableSession
 from repro.core.context import FormalContext
 from repro.core.godin import build_lattice_godin
-from repro.core.trace_clustering import TraceClustering
+from repro.core.trace_clustering import (
+    TraceClustering,
+    transition_attribute_names,
+)
 from repro.fa.automaton import FA, Transition
 
 
@@ -61,23 +64,27 @@ def refine_clustering(
     representative (use a template — they accept everything over their
     event set — or check first).
     """
+    from repro.parallel.relation import relation_map
+
     old_context = clustering.lattice.context
     offset = old_context.num_attributes
     rows = []
-    for o, trace in enumerate(clustering.representatives):
-        extra_row = extra_fa.executed_transitions(trace)
-        if not extra_row and not extra_fa.accepts(trace):
+    relations = relation_map(extra_fa, clustering.representatives)
+    for o, (trace, rel) in enumerate(zip(clustering.representatives, relations)):
+        if not rel.accepted:
             raise ValueError(
                 f"refinement FA rejects trace class {o} ({trace}); "
                 "refinement must keep every trace clusterable"
             )
-        rows.append(old_context.rows[o] | {offset + a for a in extra_row})
-    attributes = list(old_context.attributes) + [
-        f"b{j}: {t}" for j, t in enumerate(extra_fa.transitions)
-    ]
-    context = FormalContext(old_context.objects, attributes, rows)
+        rows.append(old_context.rows[o] | {offset + a for a in rel.executed})
+    combined = _combined_fa(clustering.reference_fa, extra_fa)
+    # The apposed context keeps the canonical attribute universe of the
+    # combined FA, so a later extend_clustering sees a consistent scheme.
+    context = FormalContext(
+        old_context.objects, transition_attribute_names(combined), rows
+    )
     return TraceClustering(
-        reference_fa=_combined_fa(clustering.reference_fa, extra_fa),
+        reference_fa=combined,
         lattice=build_lattice_godin(context),
         representatives=clustering.representatives,
         class_counts=clustering.class_counts,

@@ -58,11 +58,16 @@ class CableSession:
         self,
         clustering: TraceClustering,
         learner: Callable[[Sequence[Trace]], FA] | None = None,
+        jobs: int | None = None,
     ) -> None:
         self.clustering = clustering
         self.lattice = clustering.lattice
         self.labels = LabelStore(clustering.num_objects)
         self.ops = OperationCount()
+        #: Worker count for the relation fan-out of incremental updates
+        #: (``None``/``1`` = serial, ``0`` = one per CPU); the CLI's
+        #: ``--jobs`` lands here.
+        self.jobs = jobs
         self._learner = learner or (
             lambda traces: learn_sk_strings(traces, k=2, s=1.0).fa
         )
@@ -201,7 +206,9 @@ class CableSession:
 
         with obs.span("cable.add_traces", traces=len(traces)) as span:
             before = self.clustering.num_objects
-            self.clustering = extend_clustering(self.clustering, traces)
+            self.clustering = extend_clustering(
+                self.clustering, traces, jobs=self.jobs
+            )
             self.lattice = self.clustering.lattice
             self.labels.grow(self.clustering.num_objects)
             added = self.clustering.num_objects - before

@@ -23,8 +23,11 @@ from repro.core.godin import GodinLatticeBuilder, build_lattice_godin
 from repro.core.nextclosure import build_lattice_nextclosure, closed_intents
 from repro.core.trace_clustering import (
     TraceClustering,
+    build_trace_context,
     cluster_traces,
     extend_clustering,
+    trace_object_names,
+    transition_attribute_names,
 )
 from repro.core.wellformed import is_well_formed, well_formed_concepts
 
@@ -37,11 +40,14 @@ __all__ = [
     "build_lattice_batch",
     "build_lattice_godin",
     "build_lattice_nextclosure",
+    "build_trace_context",
     "closed_intents",
     "cluster_traces",
     "context_from_cxt",
     "context_to_cxt",
     "extend_clustering",
     "is_well_formed",
+    "trace_object_names",
+    "transition_attribute_names",
     "well_formed_concepts",
 ]

@@ -7,11 +7,23 @@ The formal context is:
 * **A** — the reference FA's transitions;
 * **R** — ``(o, a) ∈ R`` iff transition ``a`` lies on some accepting
   sequence of transitions for ``o`` (computed by
-  :meth:`repro.fa.automaton.FA.executed_transitions`).
+  :meth:`repro.fa.automaton.FA.relation`).
 
 With this choice, ``sim(X)`` is the number of transitions all traces of X
 execute in common — the paper's flexible, specification-connected
 similarity measure.
+
+Both context-building paths (:func:`cluster_traces` and
+:func:`build_trace_context`) draw their attribute and object names from
+the canonical helpers :func:`transition_attribute_names` and
+:func:`trace_object_names`, so the same FA always yields the same
+attribute universe and object names always track the *compacted* row
+index — cross-path context merge/compare, lint fingerprints, and session
+resume all rely on that.
+
+The relation phase is evaluated through
+:func:`repro.parallel.relation_map`: cached per FA, and fanned out over
+a worker pool when ``jobs > 1``.
 """
 
 from __future__ import annotations
@@ -26,11 +38,36 @@ from repro.core.context import FormalContext
 from repro.core.godin import GodinLatticeBuilder, build_lattice_godin
 from repro.fa.automaton import FA
 from repro.lang.traces import DedupResult, Trace, dedup_traces
+from repro.parallel.relation import relation_map
 from repro.robustness.budget import Budget
 from repro.robustness.errors import ClusteringError
 
 if TYPE_CHECKING:
     from repro.analysis.diagnostics import LintReport
+
+
+def transition_attribute_names(fa: FA) -> list[str]:
+    """The canonical FCA attribute universe for ``fa``'s transitions.
+
+    ``a<index>: <transition>`` — the index prefix keeps names unique even
+    when two transitions render to the same text, and the index *is* the
+    transition's identity as a concept attribute.  Every context built
+    against ``fa`` must use exactly these names: two paths inventing
+    their own schemes yield incompatible universes that break context
+    merge/compare, lint fingerprints, and session resume.
+    """
+    return [f"a{j}: {t}" for j, t in enumerate(fa.transitions)]
+
+
+def trace_object_names(traces: Sequence[Trace]) -> list[str]:
+    """Canonical context object names for an already-compacted trace list.
+
+    ``trace_id`` when present, else ``t<position>`` where ``position`` is
+    the trace's index in ``traces`` — which must be the *compacted*
+    (accepted-only) list, so names never drift from row indices when some
+    pool traces were rejected.
+    """
+    return [trace.trace_id or f"t{i}" for i, trace in enumerate(traces)]
 
 
 @dataclass(frozen=True)
@@ -67,45 +104,43 @@ class TraceClustering:
 def build_trace_context(
     traces: Sequence[Trace],
     reference_fa: FA,
+    jobs: int | None = None,
+    backend: str = "process",
 ) -> tuple[FormalContext, list[Trace]]:
     """Build the Section 3.2 formal context for accepted traces.
 
     Returns the context plus the list of traces the reference FA rejects
     (which cannot be clustered under it — the caller decides whether that
     is an error or whether those traces go to a different session).
+    ``jobs``/``backend`` fan the relation phase out over a worker pool
+    (see :mod:`repro.parallel`).
     """
     accepted: list[Trace] = []
     rows: list[frozenset[int]] = []
     rejected: list[Trace] = []
-    for trace in traces:
-        executed = reference_fa.executed_transitions(trace)
-        if executed or reference_fa.accepts(trace):
+    relations = relation_map(reference_fa, traces, jobs=jobs, backend=backend)
+    for trace, rel in zip(traces, relations):
+        if rel.accepted:
             accepted.append(trace)
-            rows.append(executed)
+            rows.append(rel.executed)
         else:
             rejected.append(trace)
-    names = [
-        trace.trace_id or f"trace{i}: {trace}" for i, trace in enumerate(accepted)
-    ]
-    attributes = [str(t) for t in reference_fa.transitions]
-    # Attribute *names* may repeat textually (e.g. two transitions with the
-    # same label between different states render differently, but be safe).
-    seen: dict[str, int] = {}
-    unique_attrs = []
-    for name in attributes:
-        if name in seen:
-            seen[name] += 1
-            unique_attrs.append(f"{name} #{seen[name]}")
-        else:
-            seen[name] = 0
-            unique_attrs.append(name)
-    context = FormalContext(names, unique_attrs, rows)
+    context = FormalContext(
+        trace_object_names(accepted),
+        transition_attribute_names(reference_fa),
+        rows,
+    )
     return context, rejected
 
 
 def extend_clustering(
     clustering: TraceClustering,
     new_traces: Sequence[Trace],
+    *,
+    strict: bool = False,
+    budget: Budget | None = None,
+    jobs: int | None = None,
+    backend: str = "process",
 ) -> TraceClustering:
     """Add traces to an existing clustering, incrementally.
 
@@ -115,40 +150,92 @@ def extend_clustering(
     the update a long-lived Cable session performs when the verifier
     reports a fresh batch of violations.
 
-    Traces the reference FA rejects are appended to ``rejected``.
+    Semantics match :func:`cluster_traces`: traces whose key matches an
+    already-rejected trace are skipped outright (no re-evaluation, no
+    duplicate ``rejected`` entry); newly rejected classes land in
+    ``rejected`` with all their members, or raise
+    :class:`~repro.robustness.errors.ClusteringError` under
+    ``strict=True``; a ``budget`` bounds both the relation fan-out and
+    the incremental lattice insertions.
     """
     reference_fa = clustering.reference_fa
     by_key = {
         rep.key(): o for o, rep in enumerate(clustering.representatives)
     }
+    rejected_keys = {t.key() for t in clustering.rejected}
     counts = list(clustering.class_counts)
     members = [list(m) for m in clustering.class_members]
     representatives = list(clustering.representatives)
     rejected = list(clustering.rejected)
 
-    fresh: list[tuple[Trace, frozenset[int]]] = []
-    for trace in new_traces:
-        key = trace.key()
-        existing = by_key.get(key)
-        if existing is not None:
-            counts[existing] += 1
-            members[existing].append(trace)
-            continue
-        executed = reference_fa.executed_transitions(trace)
-        if not executed and not reference_fa.accepts(trace):
-            rejected.append(trace)
-            continue
-        by_key[key] = len(representatives)
-        representatives.append(trace)
-        counts.append(1)
-        members.append([trace])
-        fresh.append((trace, executed))
+    with obs.span("cluster.relation", traces=len(new_traces)) as relation_span:
+        # Bucket: joins of existing classes, duplicates of already-rejected
+        # keys (skipped), and candidates — one relation evaluation per
+        # distinct unseen key.
+        candidates: dict[tuple, list[Trace]] = {}
+        skipped_rejected = 0
+        for trace in new_traces:
+            key = trace.key()
+            existing = by_key.get(key)
+            if existing is not None:
+                counts[existing] += 1
+                members[existing].append(trace)
+            elif key in rejected_keys:
+                skipped_rejected += 1
+            else:
+                candidates.setdefault(key, []).append(trace)
+
+        relations = relation_map(
+            reference_fa,
+            [group[0] for group in candidates.values()],
+            jobs=jobs,
+            backend=backend,
+            budget=budget,
+        )
+        fresh: list[tuple[Trace, frozenset[int]]] = []
+        newly_rejected: list[Trace] = []
+        for (key, group), rel in zip(candidates.items(), relations):
+            if rel.accepted:
+                by_key[key] = len(representatives)
+                representatives.append(group[0])
+                counts.append(len(group))
+                members.append(group)
+                fresh.append((group[0], rel.executed))
+            else:
+                newly_rejected.extend(group)
+                rejected_keys.add(key)
+        relation_span.set(
+            classes=len(candidates),
+            rejected=len(newly_rejected),
+            rejected_dups=skipped_rejected,
+        )
+
+    if strict and newly_rejected:
+        raise ClusteringError(
+            "reference FA rejected scenario trace(s) in strict mode",
+            num_rejected=len(newly_rejected),
+            trace_ids=[t.trace_id or str(t) for t in newly_rejected[:10]],
+        )
+    rejected.extend(newly_rejected)
 
     if not fresh:
         lattice = clustering.lattice
     else:
         old_context = clustering.lattice.context
-        builder = GodinLatticeBuilder.from_lattice(clustering.lattice)
+        # Reuse check: the existing context must carry the canonical
+        # attribute universe for this FA, or the appended rows would be
+        # indexed against a different universe than the old ones.
+        canonical = tuple(transition_attribute_names(reference_fa))
+        if old_context.attributes != canonical:
+            raise ClusteringError(
+                "clustering context attributes do not match the canonical "
+                "universe of its reference FA; rebuild with cluster_traces",
+                num_attributes=len(old_context.attributes),
+                num_transitions=reference_fa.num_transitions,
+            )
+        builder = GodinLatticeBuilder.from_lattice(
+            clustering.lattice, budget=budget
+        )
         rows = list(old_context.rows)
         names = list(old_context.objects)
         for trace, executed in fresh:
@@ -177,6 +264,8 @@ def cluster_traces(
     strict: bool = False,
     budget: Budget | None = None,
     lint: bool = False,
+    jobs: int | None = None,
+    backend: str = "process",
 ) -> TraceClustering:
     """Cluster ``traces`` with respect to ``reference_fa``.
 
@@ -188,10 +277,15 @@ def cluster_traces(
     clustering proceeds on the accepted subset (graceful degradation);
     ``strict=True`` restores fail-fast behaviour by raising
     :class:`~repro.robustness.errors.ClusteringError` instead.  A
-    ``budget`` bounds the lattice construction (honoured by the default
-    Godin builder; an over-budget build raises
-    :class:`~repro.robustness.errors.BudgetExceeded` with a resumable
-    checkpoint).
+    ``budget`` bounds the relation fan-out (wall clock) and the lattice
+    construction (honoured by the default Godin builder; an over-budget
+    build raises :class:`~repro.robustness.errors.BudgetExceeded` with a
+    resumable checkpoint).
+
+    ``jobs`` fans the relation phase out over a worker pool (``1``/
+    ``None`` = serial, ``0`` = one worker per CPU) with the given
+    ``backend`` (``"process"`` by default — the work is CPU-bound);
+    results are bit-identical to serial whatever the setting.
 
     ``lint=True`` runs the static spec-lint passes
     (:func:`repro.analysis.lint.lint_reference`) over ``reference_fa``
@@ -220,14 +314,16 @@ def cluster_traces(
             counts = [1] * len(pool)
             members = [(t,) for t in pool]
 
+        relations = relation_map(
+            reference_fa, pool, jobs=jobs, backend=backend, budget=budget
+        )
         accepted_idx: list[int] = []
         rejected: list[Trace] = []
         rows: list[frozenset[int]] = []
-        for i, trace in enumerate(pool):
-            executed = reference_fa.executed_transitions(trace)
-            if executed or reference_fa.accepts(trace):
+        for i, rel in enumerate(relations):
+            if rel.accepted:
                 accepted_idx.append(i)
-                rows.append(executed)
+                rows.append(rel.executed)
             else:
                 rejected.extend(members[i])
         relation_span.set(classes=len(pool), rejected=len(rejected))
@@ -239,9 +335,12 @@ def cluster_traces(
             trace_ids=[t.trace_id or str(t) for t in rejected[:10]],
         )
 
-    names = [pool[i].trace_id or f"t{i}" for i in accepted_idx]
-    attributes = [f"a{j}: {t}" for j, t in enumerate(reference_fa.transitions)]
-    context = FormalContext(names, attributes, rows)
+    representatives = tuple(pool[i] for i in accepted_idx)
+    context = FormalContext(
+        trace_object_names(representatives),
+        transition_attribute_names(reference_fa),
+        rows,
+    )
     if budget is not None and build is build_lattice_godin:
         lattice = build_lattice_godin(context, budget=budget)
     else:
@@ -249,7 +348,7 @@ def cluster_traces(
     return TraceClustering(
         reference_fa=reference_fa,
         lattice=lattice,
-        representatives=tuple(pool[i] for i in accepted_idx),
+        representatives=representatives,
         class_counts=tuple(counts[i] for i in accepted_idx),
         class_members=tuple(members[i] for i in accepted_idx),
         rejected=tuple(rejected),

@@ -17,6 +17,11 @@ Two queries matter for the paper:
   accepting trace ``o``.  It is computed with a forward/backward
   reachability pass over the layered configuration graph, where a
   configuration is ``(position, state, binding)``.
+
+:meth:`FA.relation` answers both at once from a single forward/backward
+sweep — the form the clustering hot path wants, since the historical
+``executed_transitions(t) or accepts(t)`` idiom paid a second forward
+pass for every rejected (or accepted-but-empty) trace.
 """
 
 from __future__ import annotations
@@ -28,6 +33,21 @@ from repro.lang.events import Binding, EMPTY_BINDING, EventPattern, parse_patter
 from repro.lang.traces import Trace
 
 State = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class RelationResult:
+    """One trace's row of the Section 3.2 relation, plus acceptance.
+
+    ``executed`` is empty both for rejected traces and for accepted
+    traces that execute no transition (the empty trace under an FA whose
+    initial state accepts) — ``accepted`` disambiguates, which is what
+    the ``executed or accepts(trace)`` callers were paying a second
+    forward pass to learn.
+    """
+
+    accepted: bool
+    executed: frozenset[int]
 
 
 @dataclass(frozen=True, slots=True)
@@ -194,27 +214,32 @@ class FA:
         final = self._forward_layers(trace)[len(trace)]
         return any(state in self.accepting for state, _ in final)
 
-    def executed_transitions(self, trace: Trace) -> frozenset[int]:
-        """Indices of transitions on at least one accepting path of ``trace``.
+    def relation(self, trace: Trace) -> RelationResult:
+        """Acceptance plus the relation-R row, in one forward/backward sweep.
 
-        Empty if the trace is rejected.  This realizes the relation R of
-        Section 3.2: forward-reachable configurations are intersected with
-        backward-reachable ones, and every surviving edge contributes its
-        FA transition.
+        This realizes the relation R of Section 3.2: forward-reachable
+        configurations are intersected with backward-reachable ones, and
+        every surviving edge contributes its FA transition.  Acceptance
+        falls out of the same forward pass, so callers never need the
+        historical ``executed_transitions(t) or accepts(t)`` double
+        evaluation.
         """
         n = len(trace)
         layers = self._forward_layers(trace)
+        final = {
+            (state, binding)
+            for state, binding in layers[n]
+            if state in self.accepting
+        }
+        if not final:
+            return RelationResult(False, frozenset())
 
         # Edges of the configuration graph, layer by layer:
         # (i, cfg, transition index, cfg') with cfg in layers[i].
         # Build successor lists as we go backward, keeping only edges whose
         # endpoints are forward-reachable.
         co_reachable: list[set[tuple[State, Binding]]] = [set() for _ in range(n + 1)]
-        co_reachable[n] = {
-            (state, binding)
-            for state, binding in layers[n]
-            if state in self.accepting
-        }
+        co_reachable[n] = final
         used: set[int] = set()
         for i in range(n - 1, -1, -1):
             event = trace[i]
@@ -227,9 +252,15 @@ class FA:
                     if new_binding is not None and (t.dst, new_binding) in target:
                         co_reachable[i].add((state, binding))
                         used.add(index)
-        if not co_reachable[0] & layers[0]:
-            return frozenset()
-        return frozenset(used)
+        return RelationResult(True, frozenset(used))
+
+    def executed_transitions(self, trace: Trace) -> frozenset[int]:
+        """Indices of transitions on at least one accepting path of ``trace``.
+
+        Empty if the trace is rejected (use :meth:`relation` when the
+        distinction matters — it costs nothing extra).
+        """
+        return self.relation(trace).executed
 
     def accepting_paths(
         self, trace: Trace, limit: int = 1000

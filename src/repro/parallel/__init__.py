@@ -1,0 +1,49 @@
+"""``repro.parallel`` — the worker-pool execution layer.
+
+The relation R of Section 3.2 (every trace run through the reference FA)
+dominates wall time in clustering and verification and is embarrassingly
+parallel.  This package provides the two pieces the hot paths share:
+
+* :func:`parallel_map` — a generic chunked worker-pool map (thread and
+  process backends, deterministic result ordering, budget-aware
+  cancellation with resumable :class:`MapCheckpoint`);
+* :func:`relation_map` / :class:`RelationCache` — the relation evaluated
+  over a whole corpus, with a per-FA LRU cache in front of the pool.
+
+``cluster_traces``, ``extend_clustering``, ``build_trace_context``, and
+``verify.check_all`` all accept ``jobs=``/``backend=`` and route through
+here; the ``cable`` CLI and ``run_spec`` surface it as ``--jobs N``
+(``0`` = one worker per CPU).  See ``docs/performance.md``.
+"""
+
+from repro.parallel.pool import (
+    BACKENDS,
+    CHUNKS_PER_WORKER,
+    MapCheckpoint,
+    auto_chunk_size,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.parallel.relation import (
+    DEFAULT_CACHE_SIZE,
+    RelationCache,
+    cached_relation,
+    clear_relation_caches,
+    relation_cache,
+    relation_map,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CHUNKS_PER_WORKER",
+    "DEFAULT_CACHE_SIZE",
+    "MapCheckpoint",
+    "RelationCache",
+    "auto_chunk_size",
+    "cached_relation",
+    "clear_relation_caches",
+    "parallel_map",
+    "relation_cache",
+    "relation_map",
+    "resolve_jobs",
+]

@@ -1,0 +1,195 @@
+"""The generic worker-pool map under everything ``repro.parallel`` does.
+
+:func:`parallel_map` applies a function to every item of a sequence and
+returns the results **in item order**, whatever order the workers finish
+in.  Three backends share one contract:
+
+* ``"serial"`` — a plain loop in the calling thread (also what any
+  backend degrades to for one job or one item), so ``jobs=1`` costs no
+  pool setup at all;
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; the
+  right choice when the mapped function releases the GIL or does I/O;
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`;
+  the right choice for the CPU-bound pure-Python work that dominates
+  this codebase (the function and items must pickle).
+
+Items are submitted in contiguous **chunks** (auto-sized to a few chunks
+per worker unless ``chunk_size`` is given) so per-task overhead
+amortizes, and a wall-clock :class:`~repro.robustness.budget.Budget` is
+re-checked between chunk completions: when it trips, pending chunks are
+cancelled and :class:`~repro.robustness.errors.BudgetExceeded` is raised
+carrying a resumable :class:`MapCheckpoint` of everything that did
+finish.  Pass that checkpoint back in to skip the completed items.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.robustness.budget import Budget, BudgetMeter
+from repro.robustness.errors import BudgetExceeded, InputError
+
+#: The recognized ``backend=`` values.
+BACKENDS = ("serial", "thread", "process")
+
+#: Auto-chunking targets this many chunks per worker, so the budget is
+#: re-checked (and stragglers rebalance) a few times per worker.
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs``-style value to a worker count.
+
+    ``None`` and ``1`` mean serial; ``0`` means one worker per CPU;
+    anything negative is an :class:`InputError`.
+    """
+    if jobs is None:
+        return 1
+    if not isinstance(jobs, int) or isinstance(jobs, bool):
+        raise InputError("jobs must be an integer", jobs=jobs)
+    if jobs < 0:
+        raise InputError("jobs must be >= 0 (0 = one per CPU)", jobs=jobs)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def auto_chunk_size(num_items: int, jobs: int) -> int:
+    """Chunk size giving ~:data:`CHUNKS_PER_WORKER` chunks per worker."""
+    if num_items <= 0:
+        return 1
+    return max(1, -(-num_items // (jobs * CHUNKS_PER_WORKER)))
+
+
+@dataclass(frozen=True)
+class MapCheckpoint:
+    """The resumable partial result of a budget-cancelled map.
+
+    ``completed`` maps item *indices* (positions in the original
+    sequence) to their results; pass the checkpoint back to
+    :func:`parallel_map` to finish only the remaining items.
+    """
+
+    total: int
+    completed: dict[int, Any]
+
+    @property
+    def done(self) -> int:
+        return len(self.completed)
+
+    @property
+    def remaining(self) -> int:
+        return self.total - len(self.completed)
+
+
+def _apply_chunk(fn: Callable[[Any], Any], items: list[Any]) -> list[Any]:
+    """Worker task: apply ``fn`` to one chunk (module-level, so it pickles)."""
+    return [fn(item) for item in items]
+
+
+def _check_wall(
+    meter: BudgetMeter | None, total: int, done: dict[int, Any]
+) -> None:
+    """Raise ``BudgetExceeded`` (with checkpoint) when the wall budget trips."""
+    if meter is None:
+        return
+    limit = meter.budget.wall_seconds
+    if limit is None:
+        return
+    elapsed = meter.elapsed
+    if elapsed > limit:
+        obs.event(
+            "parallel.budget_exceeded",
+            dimension="wall_seconds",
+            limit=limit,
+            value=elapsed,
+            completed=len(done),
+            total=total,
+        )
+        raise BudgetExceeded(
+            "parallel map exceeded budget on wall_seconds",
+            checkpoint=MapCheckpoint(total=total, completed=dict(done)),
+            dimension="wall_seconds",
+            limit=limit,
+            value=elapsed,
+        )
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    jobs: int | None = None,
+    backend: str = "process",
+    chunk_size: int | None = None,
+    budget: Budget | None = None,
+    checkpoint: MapCheckpoint | None = None,
+    clock: Callable[[], float] | None = None,
+    span_name: str = "parallel.map",
+) -> list[Any]:
+    """Apply ``fn`` to every item, with deterministic result ordering.
+
+    See the module docstring for backends, chunking, and budget
+    semantics.  ``clock`` is injectable (as for
+    :meth:`~repro.robustness.budget.Budget.meter`) so tests can trip the
+    wall budget deterministically.
+    """
+    if backend not in BACKENDS:
+        raise InputError(
+            "unknown parallel backend", backend=backend, known=BACKENDS
+        )
+    items = list(items)
+    total = len(items)
+    njobs = resolve_jobs(jobs)
+    done: dict[int, Any] = dict(checkpoint.completed) if checkpoint else {}
+    todo = [i for i in range(total) if i not in done]
+    meter = budget.meter(clock=clock) if budget is not None else None
+    effective = backend if njobs > 1 and len(todo) > 1 else "serial"
+
+    with obs.span(
+        span_name, items=total, jobs=njobs, backend=effective
+    ) as span:
+        num_chunks = 0
+        if effective == "serial":
+            for i in todo:
+                _check_wall(meter, total, done)
+                done[i] = fn(items[i])
+        else:
+            size = chunk_size or auto_chunk_size(len(todo), njobs)
+            chunked = [todo[k:k + size] for k in range(0, len(todo), size)]
+            num_chunks = len(chunked)
+            executor_cls = (
+                ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+            )
+            pool = executor_cls(max_workers=min(njobs, num_chunks))
+            try:
+                futures = {
+                    pool.submit(_apply_chunk, fn, [items[i] for i in chunk]): chunk
+                    for chunk in chunked
+                }
+                pending = set(futures)
+                while pending:
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        for i, result in zip(futures[future], future.result()):
+                            done[i] = result
+                    _check_wall(meter, total, done)
+            finally:
+                # On success nothing is pending and this returns at once;
+                # on budget cancellation (or a worker error) it drops the
+                # queued chunks without waiting for stragglers.
+                pool.shutdown(wait=False, cancel_futures=True)
+        span.set(chunks=num_chunks, completed=len(done))
+        obs.inc("parallel.items", len(todo))
+        obs.inc("parallel.chunks", num_chunks)
+    return [done[i] for i in range(total)]

@@ -1,0 +1,197 @@
+"""Cached, parallel evaluation of the trace relation R (Section 3.2).
+
+Running every trace through the reference FA dominates wall time in
+clustering and verification, yet the per-trace work is independent and
+the same traces recur across re-clusterings, session resumes, and Focus
+sub-sessions.  This module wraps :meth:`repro.fa.automaton.FA.relation`
+with both remedies:
+
+* a per-FA **LRU cache** keyed by :meth:`repro.lang.traces.Trace.key`
+  (the event sequence — ``trace_id`` is ignored, matching dedup), held
+  in a :class:`weakref.WeakKeyDictionary` so caches die with their FA;
+* :func:`relation_map` — evaluate a whole corpus: cache hits are
+  resolved inline, in-batch duplicates collapse to one evaluation, and
+  only the distinct misses fan out over a
+  :func:`~repro.parallel.pool.parallel_map` worker pool.
+
+On a wall-budget trip mid-fan-out, every chunk that *did* finish is
+written into the cache before :class:`BudgetExceeded` propagates, so the
+checkpoint it carries is trivially resumable: call again and only the
+genuinely missing traces are re-run.
+
+Observability: span ``relation.map`` (attrs ``traces``/``hits``/
+``misses``/``jobs``), counters ``relation.cache.hits`` and
+``relation.cache.misses``, plus the ``parallel.*`` span/counters of the
+underlying pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from functools import partial
+from weakref import WeakKeyDictionary
+
+from repro import obs
+from repro.fa.automaton import FA, RelationResult
+from repro.lang.traces import Trace
+from repro.parallel.pool import MapCheckpoint, parallel_map, resolve_jobs
+from repro.robustness.budget import Budget
+from repro.robustness.errors import BudgetExceeded
+
+#: Default per-FA cache capacity (relation rows are tiny — a bool and a
+#: small frozenset — so this is a few hundred KB at worst).
+DEFAULT_CACHE_SIZE = 4096
+
+
+class RelationCache:
+    """An LRU cache of :class:`RelationResult` rows for one FA.
+
+    Keys are ``trace.key()`` (event tuples).  Thread-safe, so a Cable
+    session and a thread-backend fan-out can share one instance.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: OrderedDict[tuple, RelationResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: tuple) -> RelationResult | None:
+        with self._lock:
+            result = self._data.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+            return result
+
+    def put(self, key: tuple, result: RelationResult) -> None:
+        with self._lock:
+            self._data[key] = result
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
+
+
+_caches: "WeakKeyDictionary[FA, RelationCache]" = WeakKeyDictionary()
+_caches_lock = threading.Lock()
+
+
+def relation_cache(fa: FA) -> RelationCache:
+    """The shared per-FA cache (created on first use, dies with the FA)."""
+    with _caches_lock:
+        cache = _caches.get(fa)
+        if cache is None:
+            cache = _caches[fa] = RelationCache()
+        return cache
+
+
+def clear_relation_caches() -> None:
+    """Drop every per-FA cache (benchmarks want cold-path numbers)."""
+    with _caches_lock:
+        for cache in _caches.values():
+            cache.clear()
+        _caches.clear()
+
+
+def cached_relation(fa: FA, trace: Trace) -> RelationResult:
+    """One trace's relation row through the shared per-FA cache."""
+    cache = relation_cache(fa)
+    key = trace.key()
+    result = cache.get(key)
+    if result is None:
+        result = fa.relation(trace)
+        cache.put(key, result)
+    return result
+
+
+def relation_map(
+    fa: FA,
+    traces: Sequence[Trace],
+    *,
+    jobs: int | None = None,
+    backend: str = "process",
+    chunk_size: int | None = None,
+    budget: Budget | None = None,
+    cache: RelationCache | bool | None = True,
+    clock: Callable[[], float] | None = None,
+) -> list[RelationResult]:
+    """The relation rows for a whole corpus, in trace order.
+
+    ``cache=True`` (default) uses the shared per-FA cache; pass a
+    :class:`RelationCache` to use your own, or ``False``/``None`` to
+    bypass caching entirely.  ``jobs``/``backend``/``chunk_size``/
+    ``budget``/``clock`` are the :func:`~repro.parallel.pool.parallel_map`
+    knobs; only distinct cache-missing traces are fanned out.
+    """
+    traces = list(traces)
+    if cache is True:
+        store: RelationCache | None = relation_cache(fa)
+    elif cache is False or cache is None:
+        store = None
+    else:
+        store = cache
+
+    results: list[RelationResult | None] = [None] * len(traces)
+    with obs.span(
+        "relation.map",
+        traces=len(traces),
+        jobs=resolve_jobs(jobs),
+        backend=backend,
+    ) as span:
+        # Resolve hits and collapse in-batch duplicates; ``pending`` maps
+        # each distinct missing key to every position that needs it.
+        pending: OrderedDict[tuple, list[int]] = OrderedDict()
+        for i, trace in enumerate(traces):
+            cached = store.get(trace.key()) if store is not None else None
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.setdefault(trace.key(), []).append(i)
+        hits = len(traces) - sum(len(v) for v in pending.values())
+        todo = [traces[positions[0]] for positions in pending.values()]
+
+        try:
+            computed = parallel_map(
+                partial(FA.relation, fa),
+                todo,
+                jobs=jobs,
+                backend=backend,
+                chunk_size=chunk_size,
+                budget=budget,
+                clock=clock,
+            )
+        except BudgetExceeded as exc:
+            # Bank the chunks that finished so the retry only pays for
+            # what is genuinely missing — the resumable checkpoint.
+            if store is not None and isinstance(exc.checkpoint, MapCheckpoint):
+                for j, result in exc.checkpoint.completed.items():
+                    store.put(todo[j].key(), result)
+            raise
+        for (key, positions), result in zip(pending.items(), computed):
+            if store is not None:
+                store.put(key, result)
+            for i in positions:
+                results[i] = result
+        span.set(hits=hits, misses=len(todo))
+        obs.inc("relation.cache.hits", hits)
+        obs.inc("relation.cache.misses", len(todo))
+    return results  # type: ignore[return-value]

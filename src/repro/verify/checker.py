@@ -125,16 +125,40 @@ class TemporalChecker:
                 )
         return violations
 
-    def check_all(self, traces: Iterable[Trace]) -> list[Violation]:
-        """All violations across a set of program traces."""
-        with obs.span("verify.check_all") as span:
-            out: list[Violation] = []
-            checked = 0
-            for trace in traces:
-                out.extend(self.check(trace))
-                checked += 1
-            span.set(traces=checked, violations=len(out))
-            obs.inc("verify.traces", checked)
+    def check_all(
+        self,
+        traces: Iterable[Trace],
+        jobs: int | None = None,
+        backend: str = "process",
+    ) -> list[Violation]:
+        """All violations across a set of program traces.
+
+        Per-trace checks are independent, so ``jobs > 1`` fans them out
+        over a :func:`repro.parallel.parallel_map` worker pool (``0`` =
+        one worker per CPU); violation order is identical to serial.
+        """
+        from repro.parallel import parallel_map, resolve_jobs
+
+        trace_list = list(traces)
+        njobs = resolve_jobs(jobs)
+        with obs.span(
+            "verify.check_all", traces=len(trace_list), jobs=njobs
+        ) as span:
+            if njobs <= 1 or len(trace_list) <= 1:
+                out: list[Violation] = []
+                for trace in trace_list:
+                    out.extend(self.check(trace))
+            else:
+                per_trace = parallel_map(
+                    self.check,
+                    trace_list,
+                    jobs=njobs,
+                    backend=backend,
+                    span_name="verify.fanout",
+                )
+                out = [v for vs in per_trace for v in vs]
+            span.set(violations=len(out))
+            obs.inc("verify.traces", len(trace_list))
             obs.inc("verify.violations", len(out))
             return out
 
@@ -143,6 +167,10 @@ def check_traces(
     spec: FA,
     traces: Iterable[Trace],
     creation_args: Mapping[str, int],
+    jobs: int | None = None,
+    backend: str = "process",
 ) -> list[Violation]:
     """Convenience wrapper: check ``traces`` against ``spec``."""
-    return TemporalChecker(spec, creation_args).check_all(traces)
+    return TemporalChecker(spec, creation_args).check_all(
+        traces, jobs=jobs, backend=backend
+    )

@@ -143,6 +143,7 @@ def run_spec(
     strict: bool = False,
     budget: Budget | None = None,
     lint: bool = False,
+    jobs: int | None = None,
 ) -> SpecRun:
     """Run the full pipeline for ``spec`` (a model or a catalogue name).
 
@@ -158,6 +159,10 @@ def run_spec(
     :class:`~repro.analysis.diagnostics.LintReport` rides along on the
     result, and under ``strict=True`` lint errors abort the run with
     :class:`~repro.robustness.errors.InputError` before any lattice work.
+
+    ``jobs`` fans the clustering relation phase out over a process pool
+    (``1``/``None`` = serial, ``0`` = one worker per CPU); results are
+    bit-identical whatever the setting.
     """
     if isinstance(spec, str):
         spec = spec_by_name(spec)
@@ -185,7 +190,9 @@ def run_spec(
                     raise_on_errors(lint_report)
 
         with clock.phase("cluster"):
-            clustering = cluster_traces(scenarios, reference, budget=budget)
+            clustering = cluster_traces(
+                scenarios, reference, budget=budget, jobs=jobs
+            )
         if clustering.rejected:
             if strict:
                 raise ClusteringError(

@@ -33,6 +33,26 @@ def _load_bench(directory):
     return docs
 
 
+def _print_parallel_delta(doc):
+    """The serial-vs-parallel speedup table from BENCH_scalability.json
+    (written by benchmarks/bench_scalability.py's A4c test)."""
+    if not doc or not doc.get("parallel"):
+        return
+    serial = next(
+        (row for row in doc["parallel"] if row.get("mode") == "serial"), None
+    )
+    if serial is None or not serial.get("seconds"):
+        return
+    print(f"\nrelation phase, {doc.get('corpus', '?')} traces on "
+          f"{doc.get('cpus', '?')} CPU(s) (serial vs parallel):")
+    for row in doc["parallel"]:
+        seconds = row.get("seconds", 0.0)
+        delta = 100.0 * (seconds - serial["seconds"]) / serial["seconds"]
+        print(f"  {row.get('mode', '?'):12s} jobs={row.get('jobs', '?'):<2} "
+              f"{seconds:8.4f}s  speedup x{row.get('speedup', 0.0):<5.2f} "
+              f"({delta:+.1f}% vs serial)")
+
+
 def bench_main(argv):
     current = _load_bench(RESULTS_DIR)
     if not current:
@@ -58,6 +78,7 @@ def bench_main(argv):
             base_s = f"{base:10.4f}"
             delta = f"{100.0 * (seconds - base) / base:+7.1f}%" if base else "-"
         print(f"{name:40s} {seconds:10.4f} {base_s:>10s} {delta:>8s}")
+    _print_parallel_delta(current.get("scalability"))
     if not baseline:
         print("\n(no baseline; save one with: python tools/calibrate.py"
               " --bench --save-baseline)")
