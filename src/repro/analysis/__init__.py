@@ -19,7 +19,11 @@ trace clustering and lattice construction spend real time on them:
   ``lint_reference``, ``lint_spec_model``, ``lint_catalog``);
 * :mod:`~repro.analysis.mutations` — seeded spec mutations that the test
   suite uses to prove each diagnostic fires;
-* :mod:`~repro.analysis.cli` — the ``cable lint`` subcommand.
+* :mod:`~repro.analysis.semantic` — *language-level* passes: spec-diff
+  with shortest witness traces (SEM001–SEM006) and label-flow over a
+  concept lattice (LBL001–LBL004);
+* :mod:`~repro.analysis.cli` — the ``cable lint`` and ``cable diff``
+  subcommands.
 
 Every diagnostic code is documented with a minimal triggering example in
 ``docs/static-analysis.md``.
@@ -51,18 +55,41 @@ from repro.analysis.lint import (
     lint_reference,
     lint_spec_model,
     raise_on_errors,
+    semantic_catalog,
+    semantic_fa_report,
+    semantic_spec_report,
+)
+from repro.analysis.semantic import (
+    LabelAct,
+    LabelConflict,
+    LabelFlowResult,
+    SpecDiff,
+    diff_fas,
+    label_flow,
+    label_flow_for_session,
+    oracle_concept_labels,
+    run_semantic_fa_passes,
+    semantically_dead_transitions,
+    shortest_accepting_completion,
 )
 
 __all__ = [
     "Baseline",
     "Diagnostic",
+    "LabelAct",
+    "LabelConflict",
+    "LabelFlowResult",
     "LatticeInvariantViolation",
     "LintReport",
     "Location",
+    "SpecDiff",
     "assert_lattice_invariants",
     "check_lattice",
+    "diff_fas",
     "disable_debug_checks",
     "enable_debug_checks",
+    "label_flow",
+    "label_flow_for_session",
     "lattice_debug_checks",
     "lint_catalog",
     "lint_corpus",
@@ -72,8 +99,15 @@ __all__ = [
     "lint_spec_model",
     "merge_reports",
     "near_misses",
+    "oracle_concept_labels",
     "raise_on_errors",
     "run_corpus_passes",
     "run_fa_passes",
+    "run_semantic_fa_passes",
+    "semantic_catalog",
+    "semantic_fa_report",
+    "semantic_spec_report",
+    "semantically_dead_transitions",
+    "shortest_accepting_completion",
     "sort_diagnostics",
 ]

@@ -15,6 +15,13 @@ Format (version 1)::
         ...
       }
     }
+
+Besides exact fingerprints, an entry may suppress a whole code or code
+family for its target: ``SEM001`` (equivalently ``SEM001@*``) accepts
+every SEM001 finding wherever it points, and ``SEM*`` accepts the whole
+SEM family.  Family entries exist for the semantic passes, whose
+witness locations legitimately move when either spec changes; exact
+fingerprints remain the right default for the positional FA passes.
 """
 
 from __future__ import annotations
@@ -116,7 +123,18 @@ class Baseline:
     # ------------------------------------------------------------------ #
 
     def is_suppressed(self, target: str, diagnostic: Diagnostic) -> bool:
-        return diagnostic.fingerprint in self.suppressions.get(target, frozenset())
+        entries = self.suppressions.get(target, frozenset())
+        if diagnostic.fingerprint in entries:
+            return True
+        code = diagnostic.code
+        if code in entries or f"{code}@*" in entries:
+            return True
+        return any(
+            entry.endswith("*")
+            and "@" not in entry
+            and code.startswith(entry[:-1])
+            for entry in entries
+        )
 
     def new_errors(self, report: LintReport) -> list[Diagnostic]:
         """Error-severity diagnostics not covered by this baseline."""

@@ -1,18 +1,28 @@
-"""The ``cable lint`` subcommand.
+"""The ``cable lint`` and ``cable diff`` subcommands.
 
-Lints catalog specifications and/or FA files without running any part of
-the dynamic pipeline, and gates on a baseline file so CI fails only on
-*new* errors::
+``cable lint`` checks catalog specifications and/or FA files without
+running any part of the dynamic pipeline, and gates on a baseline file
+so CI fails only on *new* errors::
 
     cable lint XtFree                      # one catalog spec
     cable lint --catalog                   # all seventeen
     cable lint path/to/spec.fa             # an FA file (serialization format)
     cable lint spec.fa --traces traces.txt # + corpus compatibility passes
+    cable lint --catalog --semantic        # + SEM/LBL semantic passes
     cable lint --catalog --format json     # machine-readable output
     cable lint --catalog --baseline tools/spec_lint_baseline.json
     cable lint --catalog --baseline B --update-baseline   # accept current
 
-Exit status: 0 when no (non-baselined) errors were found, 1 when new
+``cable diff`` compares two specifications at the *language* level
+(:mod:`repro.analysis.semantic`): relation verdict, shortest witness
+trace per disagreement direction, SEM diagnostics::
+
+    cable diff XtFree mined.fa             # catalog spec vs FA file
+    cable diff a.fa b.fa --format json     # machine-readable
+    cable diff a.fa b.fa --no-dead         # skip the SEM004 pass
+
+Exit status (both commands): 0 when no (non-baselined) errors were
+found — for ``diff``, that means the languages are equal — 1 when new
 errors exist, 2 on usage or input problems.
 """
 
@@ -28,7 +38,14 @@ from typing import IO
 from repro import obs
 from repro.analysis.baseline import Baseline
 from repro.analysis.diagnostics import SEVERITIES, LintReport
-from repro.analysis.lint import lint_fa, lint_reference, lint_spec_model
+from repro.analysis.lint import (
+    lint_fa,
+    lint_reference,
+    lint_spec_model,
+    semantic_fa_report,
+    semantic_spec_report,
+)
+from repro.fa.automaton import FA
 from repro.fa.serialization import fa_from_text
 from repro.lang.traces import parse_trace
 from repro.robustness.errors import ReproError
@@ -71,6 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="rewrite --baseline to accept the current errors and exit 0",
     )
+    parser.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also run the semantic passes (SEM/LBL code families)",
+    )
     return parser
 
 
@@ -99,14 +121,22 @@ def _lint_targets(args: argparse.Namespace) -> list[LintReport]:
             continue
         seen.add(name)
         if name in catalog_names:
-            reports.append(lint_spec_model(spec_by_name(name)))
+            report = lint_spec_model(spec_by_name(name))
+            if args.semantic:
+                report = report.merged_with(
+                    semantic_spec_report(spec_by_name(name))
+                )
+            reports.append(report)
         elif Path(name).exists():
             fa = fa_from_text(Path(name).read_text())
             if args.traces:
                 corpus = _load_corpus(args.traces)
-                reports.append(lint_reference(fa, corpus, target=name))
+                report = lint_reference(fa, corpus, target=name)
             else:
-                reports.append(lint_fa(fa, target=name))
+                report = lint_fa(fa, target=name)
+            if args.semantic:
+                report = report.merged_with(semantic_fa_report(fa, name))
+            reports.append(report)
         else:
             raise ReproError(
                 "target is neither a catalog spec nor an existing file",
@@ -183,4 +213,116 @@ def lint_main(
     return 1 if num_new else 0
 
 
-__all__ = ["lint_main"]
+# --------------------------------------------------------------------- #
+# cable diff
+# --------------------------------------------------------------------- #
+
+
+def _build_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cable diff",
+        description="compare two temporal specifications at the language level",
+    )
+    parser.add_argument(
+        "left", metavar="SPEC-A", help="catalog spec name or FA file path"
+    )
+    parser.add_argument(
+        "right", metavar="SPEC-B", help="catalog spec name or FA file path"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppression baseline; only non-baselined errors fail",
+    )
+    parser.add_argument(
+        "--no-dead",
+        action="store_true",
+        help="skip the semantically-dead-transition pass (SEM004)",
+    )
+    return parser
+
+
+def _resolve_spec(name: str) -> FA:
+    """A diff operand: catalog name → its debugged FA, else an FA file."""
+    from repro.workloads.specs_catalog import SPEC_CATALOG, spec_by_name
+
+    if name in {spec.name for spec in SPEC_CATALOG}:
+        return spec_by_name(name).debugged_fa()
+    if Path(name).exists():
+        return fa_from_text(Path(name).read_text())
+    raise ReproError(
+        "diff operand is neither a catalog spec nor an existing file",
+        target=name,
+    )
+
+
+def diff_main(
+    argv: list[str],
+    out: IO[str] | None = None,
+    err: IO[str] | None = None,
+) -> int:
+    """Entry point for ``cable diff``; returns the process exit status.
+
+    Exit 0 when the languages are equal (no non-baselined errors), 1
+    when they differ, 2 on usage or input problems — the same gate
+    contract as ``cable lint``, so CI can chain them.
+    """
+    from repro.analysis.semantic import diff_fas
+
+    out = out or sys.stdout
+    err = err or sys.stderr
+    parser = _build_diff_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    started = time.perf_counter()
+    try:
+        left_fa = _resolve_spec(args.left)
+        right_fa = _resolve_spec(args.right)
+        baseline = (
+            Baseline.load(args.baseline)
+            if args.baseline and Path(args.baseline).exists()
+            else Baseline.empty()
+        )
+        diff = diff_fas(
+            left_fa,
+            right_fa,
+            args.left,
+            args.right,
+            dead_transitions=not args.no_dead,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+
+    elapsed = time.perf_counter() - started
+    new_errors = baseline.new_errors(diff.report)
+    if args.format == "json":
+        document = {
+            "version": 1,
+            "diff": diff.to_dict(),
+            "summary": {
+                **diff.report.counts(),
+                "new_errors": len(new_errors),
+                "seconds": elapsed,
+            },
+        }
+        print(json.dumps(document, indent=2), file=out)
+    else:
+        print(diff.render_text(), file=out)
+        print(
+            f"spec diff: {diff.relation}, {len(new_errors)} new error(s) "
+            f"in {elapsed * 1e3:.1f}ms",
+            file=out,
+        )
+    return 1 if new_errors else 0
+
+
+__all__ = ["diff_main", "lint_main"]

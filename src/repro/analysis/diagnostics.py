@@ -30,9 +30,9 @@ class Location:
     """Where a diagnostic points: a kind plus an optional reference.
 
     ``kind`` is one of ``fa``, ``state``, ``transition``, ``symbol``,
-    ``variable``, ``concept`` or ``corpus``; ``ref`` is the index or name
-    within that kind (the transition index, the symbol, ...), rendered as
-    ``kind:ref``.  Transition and state references are *indices* into
+    ``variable``, ``concept``, ``corpus``, ``trace`` or ``witness``;
+    ``ref`` is the index or name within that kind (the transition index,
+    the symbol, ...), rendered as ``kind:ref``.  Transition and state references are *indices* into
     ``FA.transitions`` / ``FA.states`` — the same identity the formal
     context uses for its attributes (Section 3.2).
     """
@@ -59,6 +59,15 @@ class Location:
     @classmethod
     def concept(cls, index: int) -> "Location":
         return cls("concept", str(index))
+
+    @classmethod
+    def trace(cls, index: int) -> "Location":
+        return cls("trace", str(index))
+
+    @classmethod
+    def witness(cls, side: str) -> "Location":
+        """A witness string distinguishing two languages (``left``/``right``)."""
+        return cls("witness", side)
 
     @classmethod
     def whole_fa(cls) -> "Location":

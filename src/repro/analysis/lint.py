@@ -13,7 +13,11 @@ rest of the system consumes:
 * :func:`lint_spec_model` — a catalog entry's Table 1 artifacts (the
   re-mined specification plus its behavior corpus), the unit the CI gate
   iterates over;
-* :func:`lint_catalog` — every specification in the catalog.
+* :func:`lint_catalog` — every specification in the catalog;
+* :func:`semantic_fa_report` / :func:`semantic_spec_report` — the
+  language-level passes of :mod:`repro.analysis.semantic` (SEM004 dead
+  transitions; label-flow over an oracle-labeled clustering), the
+  ``cable lint --semantic`` surface.
 
 All of them return :class:`~repro.analysis.diagnostics.LintReport`.
 """
@@ -28,6 +32,7 @@ from repro.analysis.diagnostics import LintReport
 from repro.analysis.fa_passes import run_fa_passes
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace
+from repro.robustness.budget import Budget
 from repro.robustness.errors import InputError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -105,6 +110,68 @@ def lint_catalog(names: Iterable[str] | None = None) -> list[LintReport]:
     return [lint_spec_model(spec) for spec in specs]
 
 
+# --------------------------------------------------------------------- #
+# semantic passes (cable lint --semantic)
+# --------------------------------------------------------------------- #
+
+
+def semantic_fa_report(
+    fa: FA, target: str = "fa", budget: Budget | None = None
+) -> LintReport:
+    """The single-automaton semantic passes (SEM004 dead transitions)."""
+    from repro.analysis.semantic import run_semantic_fa_passes
+
+    return LintReport(target, tuple(run_semantic_fa_passes(fa, budget=budget)))
+
+
+def semantic_spec_report(
+    spec: "SpecModel", budget: Budget | None = None
+) -> LintReport:
+    """Semantic lint of one catalog entry.
+
+    Runs SEM004 over the debugged specification, then clusters the
+    behavior corpus under it and label-flows the *oracle's* maximal
+    uniform concept labels through the lattice.  The oracle assigns one
+    label per trace, so the act log is conflict-free by construction —
+    LBL001 here would mean the lattice itself is inconsistent — while
+    LBL002–LBL004 surface genuine redundancy and unvisitable structure.
+    (Comparing the debugged FA against the ground truth is deliberately
+    *not* part of lint: the debugged spec generalizes, so that diff is
+    expected to differ — it is what ``cable diff`` is for.)
+    """
+    from repro.analysis.semantic import label_flow, oracle_concept_labels
+    from repro.core.trace_clustering import cluster_traces
+
+    fa = spec.debugged_fa()
+    target = f"spec:{spec.name}"
+    diagnostics = list(semantic_fa_report(fa, target, budget=budget))
+    corpus = [behavior.trace() for behavior in spec.behaviors]
+    clustering = cluster_traces(corpus, fa, budget=budget)
+    trace_labels = {
+        o: spec.oracle_label(rep)
+        for o, rep in enumerate(clustering.representatives)
+    }
+    acts = oracle_concept_labels(clustering.lattice, trace_labels)
+    flow = label_flow(
+        clustering.lattice, acts, target=target, budget=budget
+    )
+    diagnostics.extend(flow.report)
+    return LintReport(target, tuple(diagnostics))
+
+
+def semantic_catalog(
+    names: Iterable[str] | None = None, budget: Budget | None = None
+) -> list[LintReport]:
+    """Semantic lint over catalog specifications (all by default)."""
+    from repro.workloads.specs_catalog import SPEC_CATALOG, spec_by_name
+
+    if names is None:
+        specs = list(SPEC_CATALOG)
+    else:
+        specs = [spec_by_name(name) for name in names]
+    return [semantic_spec_report(spec, budget=budget) for spec in specs]
+
+
 __all__ = [
     "lint_catalog",
     "lint_corpus",
@@ -112,4 +179,7 @@ __all__ = [
     "lint_reference",
     "lint_spec_model",
     "raise_on_errors",
+    "semantic_catalog",
+    "semantic_fa_report",
+    "semantic_spec_report",
 ]

@@ -1,0 +1,65 @@
+"""Semantic static analysis: language-level diffs and label-flow.
+
+The lint layer (:mod:`repro.analysis.lint`) checks *syntactic* FA
+health; this package asks the questions that decide whether a spec is
+actually right:
+
+* :mod:`~repro.analysis.semantic.specdiff` — does this FA accept the
+  same language as that one, and if not, what is the shortest trace
+  that tells them apart?  Codes SEM001–SEM006.
+* :mod:`~repro.analysis.semantic.labelflow` — given the user's explicit
+  good/bad labeling acts on lattice concepts, what labels are implied,
+  which acts contradict each other, and which were wasted effort?
+  Codes LBL001–LBL004.
+
+Both families emit the standard :class:`~repro.analysis.diagnostics.
+Diagnostic` records (stable ``CODE@location`` fingerprints, JSON
+round-trip, baseline suppression) and surface through ``cable lint
+--semantic`` and ``cable diff``.
+"""
+
+from repro.analysis.semantic.labelflow import (
+    LabelAct,
+    LabelConflict,
+    LabelFlowResult,
+    label_flow,
+    label_flow_for_session,
+    oracle_concept_labels,
+    polarity,
+    register_strategy_visits,
+    registered_strategies,
+    unvisitable_concepts,
+)
+from repro.analysis.semantic.specdiff import (
+    RELATIONS,
+    SpecDiff,
+    classify_relation,
+    diff_fas,
+    live_alphabet,
+    render_witness,
+    run_semantic_fa_passes,
+    semantically_dead_transitions,
+    shortest_accepting_completion,
+)
+
+__all__ = [
+    "LabelAct",
+    "LabelConflict",
+    "LabelFlowResult",
+    "RELATIONS",
+    "SpecDiff",
+    "classify_relation",
+    "diff_fas",
+    "label_flow",
+    "label_flow_for_session",
+    "live_alphabet",
+    "oracle_concept_labels",
+    "polarity",
+    "register_strategy_visits",
+    "registered_strategies",
+    "render_witness",
+    "run_semantic_fa_passes",
+    "semantically_dead_transitions",
+    "shortest_accepting_completion",
+    "unvisitable_concepts",
+]

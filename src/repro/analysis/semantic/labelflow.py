@@ -1,0 +1,459 @@
+"""Label-flow: fixpoint propagation of good/bad labels over a lattice.
+
+Section 3 of the paper has the user label *concepts*: marking a concept
+good or bad asserts that label for every trace in its extent.  Because
+extents nest along the lattice order, each explicit labeling act implies
+labels elsewhere — a **good** label closes *down-extent* (every
+subconcept's extent is contained in the labeled one, so its traces are
+already known good), while a **bad** label additionally taints
+*up-extent* (any superconcept's extent contains the bad traces, so it
+can never be uniformly good).  The runtime
+:class:`~repro.labels.store.LabelStore` keeps one label per trace and
+silently overwrites on conflict, so a user who labels contradictory
+concepts loses the evidence; this pass replays the *act log* and reports
+what the store cannot.
+
+Codes (documented with examples in ``docs/static-analysis.md``):
+
+====== ======== ==========================================================
+LBL001 error    conflict: some trace is asserted both good and bad, with
+                the two witnessing concepts
+LBL002 warning  redundant explicit label: the concept's extent is already
+                covered by earlier same-polarity acts
+LBL003 info     implied label: an unlabeled subconcept's extent is fully
+                implied by an explicit act on an ancestor
+LBL004 info     concept no registered labeling strategy will ever visit
+====== ======== ==========================================================
+
+Everything is span-instrumented (``semantic.labelflow``) and
+budget-aware: pass a :class:`~repro.robustness.budget.Budget` and the
+closure computation raises
+:class:`~repro.robustness.errors.BudgetExceeded` when it trips.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro import obs
+from repro.analysis.diagnostics import Diagnostic, LintReport, Location
+from repro.core.concepts import ConceptLattice
+from repro.robustness.budget import Budget, BudgetMeter
+from repro.robustness.errors import BudgetExceeded
+
+#: Label prefixes defining the two polarities.  ``good``/``good-setup``
+#: count as good; ``bad``/``bad-interleaving`` as bad; anything else is
+#: neutral and ignored by the flow analysis.
+GOOD_PREFIX = "good"
+BAD_PREFIX = "bad"
+
+
+def polarity(label: str) -> str | None:
+    """``"good"``, ``"bad"`` or ``None`` (neutral) for a label string."""
+    if label.startswith(GOOD_PREFIX):
+        return "good"
+    if label.startswith(BAD_PREFIX):
+        return "bad"
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class LabelAct:
+    """One explicit labeling act: *concept* was labeled *label*."""
+
+    concept: int
+    label: str
+
+    @property
+    def polarity(self) -> str | None:
+        return polarity(self.label)
+
+
+@dataclass(frozen=True, slots=True)
+class LabelConflict:
+    """A trace asserted both good and bad, with the witnessing concepts."""
+
+    obj: int
+    good_concept: int
+    good_label: str
+    bad_concept: int
+    bad_label: str
+
+
+# --------------------------------------------------------------------- #
+# strategy visitability registry (LBL004)
+# --------------------------------------------------------------------- #
+
+#: ``predicate(lattice, concept) -> True`` iff the strategy can, for some
+#: labeling history, present that concept to the user.
+VisitPredicate = Callable[[ConceptLattice, int], bool]
+
+_VISIT_PREDICATES: dict[str, VisitPredicate] = {}
+
+
+def register_strategy_visits(name: str, predicate: VisitPredicate) -> None:
+    """Register (or replace) a strategy's visitability predicate."""
+    _VISIT_PREDICATES[name] = predicate
+
+
+def registered_strategies() -> tuple[str, ...]:
+    return tuple(sorted(_VISIT_PREDICATES))
+
+
+def _labeling_strategies_visit(lattice: ConceptLattice, c: int) -> bool:
+    # Every shipped strategy walks concepts_to_inspect-style frontiers and
+    # skips concepts that start out fully labeled — which is exactly the
+    # empty-extent case (no objects to label).
+    return bool(lattice.extent(c))
+
+
+for _name in ("top-down", "bottom-up", "random", "expert", "optimal"):
+    register_strategy_visits(_name, _labeling_strategies_visit)
+
+
+def unvisitable_concepts(lattice: ConceptLattice) -> dict[int, tuple[str, ...]]:
+    """Concepts no registered strategy can visit (empty dict if all can).
+
+    Returns ``{concept: registered strategy names}`` for each concept
+    where *every* registered predicate answers False.
+    """
+    names = registered_strategies()
+    out: dict[int, tuple[str, ...]] = {}
+    for c in lattice:
+        if not any(_VISIT_PREDICATES[n](lattice, c) for n in names):
+            out[c] = names
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the flow analysis
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class LabelFlowResult:
+    """Everything the label-flow fixpoint learned about one session.
+
+    ``implied_good``/``implied_bad`` map each concept in the down-extent
+    closure of an act to the act concept witnessing the implication
+    (explicit act concepts map to themselves).  ``tainted`` is the
+    up-extent closure of the bad acts — superconcepts that can never be
+    uniformly good.  ``conflicts`` lists traces asserted both ways, and
+    ``report`` carries the LBL diagnostics.
+    """
+
+    target: str
+    acts: tuple[LabelAct, ...]
+    implied_good: Mapping[int, int]
+    implied_bad: Mapping[int, int]
+    tainted: Mapping[int, int]
+    conflicts: tuple[LabelConflict, ...]
+    report: LintReport
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "target": self.target,
+            "acts": [
+                {"concept": a.concept, "label": a.label} for a in self.acts
+            ],
+            "implied_good": {str(k): v for k, v in sorted(self.implied_good.items())},
+            "implied_bad": {str(k): v for k, v in sorted(self.implied_bad.items())},
+            "tainted": {str(k): v for k, v in sorted(self.tainted.items())},
+            "conflicts": [
+                {
+                    "trace": c.obj,
+                    "good_concept": c.good_concept,
+                    "good_label": c.good_label,
+                    "bad_concept": c.bad_concept,
+                    "bad_label": c.bad_label,
+                }
+                for c in self.conflicts
+            ],
+            "report": self.report.to_dict(),
+        }
+
+
+def _closure(
+    lattice: ConceptLattice,
+    seeds: Iterable[tuple[int, int]],
+    step: Callable[[int], Sequence[int]],
+    meter: BudgetMeter | None,
+    direction: str,
+) -> dict[int, int]:
+    """Fixpoint of ``step`` from ``(concept, witness)`` seeds.
+
+    Returns ``{reached concept: witnessing seed concept}``; first witness
+    (in seed order, then BFS order) wins, which keeps diagnostics stable.
+    """
+    out: dict[int, int] = {}
+    queue: deque[tuple[int, int]] = deque()
+    for concept, witness in seeds:
+        if concept not in out:
+            out[concept] = witness
+            queue.append((concept, witness))
+    visited = 0
+    while queue:
+        concept, witness = queue.popleft()
+        visited += 1
+        if meter is not None:
+            violation = meter.violation(num_objects=0, num_concepts=visited)
+            if violation is not None:
+                dimension, limit, value = violation
+                raise BudgetExceeded(
+                    "label-flow closure ran over budget",
+                    checkpoint=out,
+                    dimension=dimension,
+                    limit=limit,
+                    value=value,
+                    direction=direction,
+                )
+        for nxt in step(concept):
+            if nxt not in out:
+                out[nxt] = witness
+                queue.append((nxt, witness))
+    return out
+
+
+def label_flow(
+    lattice: ConceptLattice,
+    acts: Iterable[LabelAct | tuple[int, str]],
+    *,
+    target: str = "labelflow",
+    budget: Budget | None = None,
+) -> LabelFlowResult:
+    """Propagate an act log over the lattice and diagnose it.
+
+    ``acts`` is the chronological log of explicit labeling acts —
+    ``LabelAct`` instances or bare ``(concept, label)`` pairs, e.g. a
+    Cable session's :attr:`~repro.cable.session.CableSession.label_log`.
+    Good labels close down-extent, bad labels close down-extent and
+    taint up-extent; conflicts are detected on the *extents* (a pair of
+    acts of opposite polarity whose extents intersect asserts both
+    labels for every shared trace), which catches partial overlaps the
+    closure maps alone would miss.
+    """
+    normalized = tuple(
+        a if isinstance(a, LabelAct) else LabelAct(*a) for a in acts
+    )
+    meter = budget.meter() if budget is not None else None
+    with obs.span("semantic.labelflow", target=target, acts=len(normalized)) as span:
+        good_acts = [a for a in normalized if a.polarity == "good"]
+        bad_acts = [a for a in normalized if a.polarity == "bad"]
+
+        def down(c: int) -> Sequence[int]:
+            return lattice.children[c]
+
+        def up(c: int) -> Sequence[int]:
+            return lattice.parents[c]
+
+        implied_good = _closure(
+            lattice,
+            ((a.concept, a.concept) for a in good_acts),
+            down,
+            meter,
+            "good-down",
+        )
+        implied_bad = _closure(
+            lattice,
+            ((a.concept, a.concept) for a in bad_acts),
+            down,
+            meter,
+            "bad-down",
+        )
+        tainted = _closure(
+            lattice,
+            (
+                (a.concept, a.concept)
+                for a in bad_acts
+                if lattice.extent(a.concept)
+            ),
+            up,
+            meter,
+            "bad-up",
+        )
+
+        diagnostics: list[Diagnostic] = []
+
+        # LBL001 — conflicts, on extents so partial overlaps are caught.
+        conflicts: list[LabelConflict] = []
+        seen_pairs: set[tuple[int, int]] = set()
+        for g in good_acts:
+            for b in bad_acts:
+                if (g.concept, b.concept) in seen_pairs:
+                    continue
+                shared = lattice.extent(g.concept) & lattice.extent(b.concept)
+                if not shared:
+                    continue
+                seen_pairs.add((g.concept, b.concept))
+                obj = min(shared)
+                conflicts.append(
+                    LabelConflict(
+                        obj=obj,
+                        good_concept=g.concept,
+                        good_label=g.label,
+                        bad_concept=b.concept,
+                        bad_label=b.label,
+                    )
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        code="LBL001",
+                        severity="error",
+                        location=Location.trace(obj),
+                        message=(
+                            f"trace {obj} is asserted {g.label!r} by concept "
+                            f"{g.concept} and {b.label!r} by concept "
+                            f"{b.concept} ({len(shared)} trace(s) in "
+                            "conflict); the label store keeps whichever "
+                            "came last"
+                        ),
+                        suggestion=(
+                            f"re-inspect concepts {g.concept} and "
+                            f"{b.concept}; one of the two labels is wrong"
+                        ),
+                    )
+                )
+
+        # LBL002 — redundant explicit acts (extent covered by earlier
+        # same-polarity acts; exact duplicates are the common case).
+        covered: dict[str, set[int]] = {"good": set(), "bad": set()}
+        for act in normalized:
+            pol = act.polarity
+            if pol is None:
+                continue
+            extent = lattice.extent(act.concept)
+            if extent and extent <= covered[pol]:
+                diagnostics.append(
+                    Diagnostic(
+                        code="LBL002",
+                        severity="warning",
+                        location=Location.concept(act.concept),
+                        message=(
+                            f"explicit label {act.label!r} on concept "
+                            f"{act.concept} is redundant: every trace in its "
+                            "extent was already labeled "
+                            f"{pol} by earlier acts"
+                        ),
+                        suggestion="skip the concept; its label is implied",
+                    )
+                )
+            covered[pol] |= extent
+
+        # LBL003 — implied labels on the *frontier*: immediate children
+        # of act concepts (the full closure lives in implied_good/_bad;
+        # reporting every descendant of a near-top act would be noise).
+        act_concepts = {a.concept for a in normalized}
+        reported: set[tuple[int, str]] = set()
+        for pol, closure in (("good", implied_good), ("bad", implied_bad)):
+            for concept, witness in sorted(closure.items()):
+                if (
+                    concept in act_concepts
+                    or (concept, pol) in reported
+                    or not lattice.extent(concept)
+                    or not any(
+                        p in act_concepts for p in lattice.parents[concept]
+                    )
+                ):
+                    continue
+                reported.add((concept, pol))
+                diagnostics.append(
+                    Diagnostic(
+                        code="LBL003",
+                        severity="info",
+                        location=Location.concept(concept),
+                        message=(
+                            f"concept {concept} is implied {pol}: its extent "
+                            "is contained in explicitly-labeled concept "
+                            f"{witness}"
+                        ),
+                    )
+                )
+
+        # LBL004 — concepts no registered strategy can ever visit.
+        for concept, names in sorted(unvisitable_concepts(lattice).items()):
+            diagnostics.append(
+                Diagnostic(
+                    code="LBL004",
+                    severity="info",
+                    location=Location.concept(concept),
+                    message=(
+                        f"no registered labeling strategy "
+                        f"({', '.join(names)}) will ever visit concept "
+                        f"{concept}: its extent is empty, so there is "
+                        "nothing to label"
+                    ),
+                )
+            )
+
+        span.set(conflicts=len(conflicts), diagnostics=len(diagnostics))
+        obs.inc("semantic.labelflows")
+        obs.inc("semantic.label_conflicts", len(conflicts))
+    return LabelFlowResult(
+        target=target,
+        acts=normalized,
+        implied_good=implied_good,
+        implied_bad=implied_bad,
+        tainted=tainted,
+        conflicts=tuple(conflicts),
+        report=LintReport(target, tuple(diagnostics)),
+    )
+
+
+def label_flow_for_session(
+    session: object, *, budget: Budget | None = None
+) -> LabelFlowResult:
+    """Run :func:`label_flow` on a Cable session's lattice and act log.
+
+    Duck-typed: anything with ``.lattice`` and ``.label_log`` works, so
+    tests can pass a stub and the CLI the real
+    :class:`~repro.cable.session.CableSession`.
+    """
+    lattice = getattr(session, "lattice")
+    log = getattr(session, "label_log")
+    return label_flow(lattice, log, target="session", budget=budget)
+
+
+def oracle_concept_labels(
+    lattice: ConceptLattice, trace_labels: Mapping[int, str]
+) -> list[LabelAct]:
+    """Maximal uniformly-labeled concepts for an oracle trace labeling.
+
+    Given per-trace labels (e.g. the catalog oracle's verdicts), returns
+    acts at the *maximal* concepts whose nonempty extents carry one
+    uniform label — the most economical explicit labeling a perfect user
+    could produce.  Because each trace has exactly one oracle label the
+    acts are conflict-free by construction, which is what makes this the
+    right input for a clean-session semantic lint.
+    """
+    uniform: dict[int, str] = {}
+    for c in lattice:
+        extent = lattice.extent(c)
+        if not extent:
+            continue
+        labels = {trace_labels[o] for o in extent if o in trace_labels}
+        if len(labels) == 1 and all(o in trace_labels for o in extent):
+            uniform[c] = labels.pop()
+    acts = []
+    for c, label in sorted(uniform.items()):
+        if any(uniform.get(p) == label for p in lattice.parents[c]):
+            continue  # a parent already asserts the same label
+        acts.append(LabelAct(c, label))
+    return acts
+
+
+__all__ = [
+    "BAD_PREFIX",
+    "GOOD_PREFIX",
+    "LabelAct",
+    "LabelConflict",
+    "LabelFlowResult",
+    "label_flow",
+    "label_flow_for_session",
+    "oracle_concept_labels",
+    "polarity",
+    "register_strategy_visits",
+    "registered_strategies",
+    "unvisitable_concepts",
+]

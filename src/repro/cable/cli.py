@@ -24,6 +24,8 @@ Commands::
     refine unordered            sharpen the whole lattice in place by
     refine seed SYMBOL          apposing a template FA's distinctions
     rank [N]                    the N most suspicious concepts (deviance)
+    flow                        label-flow analysis of this session's acts
+                                (conflicts, implied/redundant labels)
     addtraces FILE              fold new traces into the session
     undo                        undo the last labeling
     state                       operation counts + labeling progress
@@ -37,7 +39,10 @@ Commands::
 
 ``cable lint ...`` dispatches to the static spec-lint subcommand
 (:mod:`repro.analysis.cli`): lint catalog specifications or FA files
-without running the dynamic pipeline.  ``cable profile ...`` runs one
+without running the dynamic pipeline (``--semantic`` adds the SEM/LBL
+language-level passes).  ``cable diff SPEC-A SPEC-B`` compares two
+specifications at the language level and prints witness traces for each
+disagreement direction (same module).  ``cable profile ...`` runs one
 catalog spec (or the ``animals`` example) under full tracing and prints
 a phase-time/metric table (:mod:`repro.cable.profile`).
 
@@ -150,6 +155,16 @@ class CableCLI:
             self._refine(args)
         elif cmd == "rank":
             self._rank(int(args[0]) if args else 5)
+        elif cmd == "flow":
+            from repro.analysis.semantic import label_flow_for_session
+
+            result = label_flow_for_session(self.session)
+            self.emit(result.report.render_text())
+            if result.conflicts:
+                self.emit(
+                    f"{len(result.conflicts)} labeling conflict(s) — "
+                    "the label store kept whichever act came last"
+                )
         elif cmd == "addtraces":
             self._addtraces(args[0])
         elif cmd == "savesession":
@@ -338,6 +353,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "diff":
+        from repro.analysis.cli import diff_main
+
+        return diff_main(argv[1:])
     if argv and argv[0] == "profile":
         from repro.cable.profile import profile_main
 
@@ -355,7 +374,7 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "usage: cable [--trace F] [--metrics F] [--chrome F] [--jobs N] "
             "TRACE_FILE [FA_FILE]  |  cable --session FILE"
-            "  |  cable lint ...  |  cable profile SPEC ...",
+            "  |  cable lint ...  |  cable diff A B  |  cable profile SPEC ...",
             file=sys.stderr,
         )
         print(__doc__, file=sys.stderr)

@@ -67,6 +67,9 @@ def session_to_dict(session: CableSession) -> dict:
         "reference_fa": fa_to_text(clustering.reference_fa),
         "classes": classes,
         "rejected": [str(t) for t in clustering.rejected],
+        "label_log": [
+            [concept, label] for concept, label in session.label_log
+        ],
         "operations": {
             "inspections": session.ops.inspections,
             "labelings": session.ops.labelings,
@@ -155,6 +158,11 @@ def session_from_dict(data: dict, path: str | None = None) -> CableSession:
             session.labels.assign([o], label)
     session.ops.inspections = data["operations"]["inspections"]
     session.ops.labelings = data["operations"]["labelings"]
+    # Older documents predate the act log; they restore with an empty one.
+    session.label_log = [
+        (int(concept), str(label))
+        for concept, label in data.get("label_log", [])
+    ]
     return session
 
 

@@ -63,6 +63,12 @@ class CableSession:
         self.clustering = clustering
         self.lattice = clustering.lattice
         self.labels = LabelStore(clustering.num_objects)
+        #: Chronological log of explicit labeling acts as ``(concept,
+        #: label)`` pairs.  The label store keeps only the final label per
+        #: trace; the log preserves the acts themselves, which is what the
+        #: label-flow analysis (:mod:`repro.analysis.semantic.labelflow`)
+        #: replays to detect contradictions the store silently resolves.
+        self.label_log: list[tuple[int, str]] = []
         self.ops = OperationCount()
         #: Worker count for the relation fan-out of incremental updates
         #: (``None``/``1`` = serial, ``0`` = one per CPU); the CLI's
@@ -153,6 +159,7 @@ class CableSession:
         obs.inc("cable.labelings")
         obs.inc("cable.traces_labeled", len(selected))
         self.labels.assign(selected, label)
+        self.label_log.append((concept, label))
         return len(selected)
 
     # ------------------------------------------------------------------ #

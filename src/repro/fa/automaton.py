@@ -69,7 +69,28 @@ class FA:
     attribute universe); ``transitions`` likewise — the *index* of a
     transition within :attr:`transitions` is its identity as a concept
     attribute.
+
+    :attr:`version` counts assignments to the language-defining
+    attributes (``states``/``initial``/``accepting``/``transitions``).
+    The class is not meant to be mutated after construction, but nothing
+    prevents a caller from reassigning those attributes — so per-FA
+    caches (:class:`repro.parallel.relation.RelationCache`) key their
+    entries on the version and refuse stale rows instead of silently
+    serving results for a language the FA no longer accepts.
     """
+
+    #: Attributes whose reassignment changes the accepted language (and
+    #: therefore invalidates any cached relation rows).
+    _SEMANTIC_ATTRS = frozenset(
+        {"states", "initial", "accepting", "transitions", "_by_src"}
+    )
+
+    version: int
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        if name in FA._SEMANTIC_ATTRS:
+            self.__dict__["version"] = self.__dict__.get("version", 0) + 1
 
     def __init__(
         self,

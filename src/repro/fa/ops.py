@@ -10,8 +10,12 @@ This module provides the standard constructions on that view:
   partition refinement),
 * :func:`intersect` / :func:`union` (product construction) and
   :func:`symbol_complement`,
-* :func:`language_equal`, :func:`language_subset`, :func:`is_empty`,
-* :func:`accepted_strings_upto` for exhaustive small-language tests.
+* :func:`language_equal`, :func:`language_subset`, :func:`is_empty` —
+  with an optional ``witness=True`` mode returning a shortest
+  counterexample string (the BFS over the product that
+  :mod:`repro.analysis.semantic` turns into witness traces),
+* :func:`accepted_strings_upto` for exhaustive small-language tests
+  (with a result-count cap for dense alphabets).
 
 :class:`SymbolicDFA` is the internal deterministic representation; the
 conversions :func:`dfa_from_fa` / :func:`dfa_to_fa` bridge to
@@ -27,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.fa.automaton import FA
 from repro.lang.events import parse_pattern
+from repro.robustness.errors import BudgetExceeded
 
 
 @dataclass
@@ -269,23 +274,107 @@ def is_empty(fa: FA) -> bool:
     return not dfa.accepting
 
 
-def language_subset(fa1: FA, fa2: FA) -> bool:
-    """True iff L(fa1) ⊆ L(fa2) over the union of their symbolic alphabets."""
-    alphabet = dfa_from_fa(fa1).alphabet() | dfa_from_fa(fa2).alphabet()
-    not_fa2 = symbol_complement(fa2, alphabet)
-    return is_empty(intersect(fa1, not_fa2))
+def shortest_accepted(dfa: SymbolicDFA) -> tuple[str, ...] | None:
+    """A shortest accepted symbol string of ``dfa`` (``None`` if empty).
+
+    BFS from the initial state, so the returned string has minimal
+    length; ties are broken toward the lexicographically smallest symbol
+    at each step (the sorted successor order), making the result
+    deterministic — which is what keeps witness-based diagnostic
+    fingerprints stable across runs.
+    """
+    if dfa.initial in dfa.accepting:
+        return ()
+    succ: dict[int, list[tuple[str, int]]] = {}
+    for (src, sym), dst in sorted(dfa.delta.items()):
+        succ.setdefault(src, []).append((sym, dst))
+    back: dict[int, tuple[int, str]] = {}
+    queue = deque([dfa.initial])
+    seen = {dfa.initial}
+    while queue:
+        state = queue.popleft()
+        for sym, dst in succ.get(state, []):
+            if dst in seen:
+                continue
+            seen.add(dst)
+            back[dst] = (state, sym)
+            if dst in dfa.accepting:
+                symbols: list[str] = []
+                node = dst
+                while node != dfa.initial:
+                    node, sym = back[node]
+                    symbols.append(sym)
+                return tuple(reversed(symbols))
+            queue.append(dst)
+    return None
 
 
-def language_equal(fa1: FA, fa2: FA) -> bool:
-    """True iff the two FAs accept the same symbolic language."""
-    return language_subset(fa1, fa2) and language_subset(fa2, fa1)
+def _difference_dfa(fa1: FA, fa2: FA) -> SymbolicDFA:
+    """DFA for L(fa1) \\ L(fa2) over the union of the two alphabets."""
+    a, b = dfa_from_fa(fa1), dfa_from_fa(fa2)
+    alphabet = a.alphabet() | b.alphabet()
+    return _product(a, b, lambda x, y: x and not y, alphabet)
 
 
-def accepted_strings_upto(fa: FA, max_length: int) -> list[tuple[str, ...]]:
+def subset_counterexample(fa1: FA, fa2: FA) -> tuple[str, ...] | None:
+    """A shortest string in L(fa1) \\ L(fa2), or ``None`` when L(fa1) ⊆ L(fa2).
+
+    The witness half of :func:`language_subset`: BFS over the product of
+    ``fa1`` with the complement of ``fa2``, so the counterexample is as
+    short as the disagreement allows.
+    """
+    return shortest_accepted(_difference_dfa(fa1, fa2).reachable())
+
+
+def language_subset(
+    fa1: FA, fa2: FA, *, witness: bool = False
+) -> bool | tuple[bool, tuple[str, ...] | None]:
+    """True iff L(fa1) ⊆ L(fa2) over the union of their symbolic alphabets.
+
+    With ``witness=True``, returns ``(holds, counterexample)`` instead:
+    ``counterexample`` is a shortest symbol string accepted by ``fa1``
+    but not ``fa2`` (``None`` exactly when the inclusion holds).
+    """
+    if witness:
+        cx = subset_counterexample(fa1, fa2)
+        return (cx is None, cx)
+    diff = _difference_dfa(fa1, fa2).reachable()
+    return not diff.accepting
+
+
+def language_equal(
+    fa1: FA, fa2: FA, *, witness: bool = False
+) -> bool | tuple[bool, tuple[str, ...] | None]:
+    """True iff the two FAs accept the same symbolic language.
+
+    With ``witness=True``, returns ``(equal, counterexample)``:
+    ``counterexample`` is a shortest string in the symmetric difference
+    (accepted by exactly one of the two FAs), ``None`` when equal.
+    """
+    if not witness:
+        return language_subset(fa1, fa2) and language_subset(fa2, fa1)
+    left = subset_counterexample(fa1, fa2)
+    right = subset_counterexample(fa2, fa1)
+    if left is None and right is None:
+        return (True, None)
+    if left is None:
+        return (False, right)
+    if right is None:
+        return (False, left)
+    return (False, left if len(left) <= len(right) else right)
+
+
+def accepted_strings_upto(
+    fa: FA, max_length: int, max_results: int | None = None
+) -> list[tuple[str, ...]]:
     """All accepted symbol strings of length ≤ ``max_length`` (sorted).
 
     Exhaustive over the FA's own alphabet; useful in tests where the
-    expected language is small.
+    expected language is small.  ``max_results`` caps the result count:
+    once more than that many strings are accepted the enumeration stops
+    with :class:`~repro.robustness.errors.BudgetExceeded` (carrying the
+    strings found so far as its checkpoint) instead of materializing an
+    exponentially dense language.
     """
     dfa = dfa_from_fa(fa)
     alphabet = sorted(dfa.alphabet())
@@ -293,5 +382,14 @@ def accepted_strings_upto(fa: FA, max_length: int) -> list[tuple[str, ...]]:
     for length in range(max_length + 1):
         for combo in itertools.product(alphabet, repeat=length):
             if dfa.accepts(combo):
+                if max_results is not None and len(out) >= max_results:
+                    raise BudgetExceeded(
+                        "accepted-string enumeration exceeded the result cap",
+                        checkpoint=out,
+                        dimension="max_results",
+                        limit=max_results,
+                        max_length=max_length,
+                        alphabet_size=len(alphabet),
+                    )
                 out.append(combo)
     return out

@@ -29,6 +29,8 @@ from repro.mining.scenarios import ScenarioExtractor
 
 if TYPE_CHECKING:
     from repro.analysis.diagnostics import LintReport
+    from repro.analysis.semantic import SpecDiff
+    from repro.robustness.budget import Budget
 
 
 @dataclass(frozen=True)
@@ -118,6 +120,32 @@ class Strauss:
         from repro.analysis.lint import lint_reference
 
         return lint_reference(mined.fa, mined.scenarios, target=target)
+
+    def semantic_diff(
+        self,
+        mined: MinedSpecification,
+        template_fa: FA,
+        *,
+        left: str = "mined",
+        right: str = "template",
+        budget: "Budget | None" = None,
+    ) -> "SpecDiff":
+        """Post-mine semantic diff of the mined FA against a template.
+
+        Runs the language-level comparison of
+        :func:`repro.analysis.semantic.diff_fas` — relation verdict,
+        shortest witness trace per disagreement direction, SEM
+        diagnostics.  The typical reading: ``superset`` means the miner
+        generalized beyond the template (expected with sk-strings),
+        while a witness accepted only by the template pinpoints behavior
+        the miner failed to learn.
+        """
+        # Imported here for the same layering reason as ``lint``.
+        from repro.analysis.semantic import diff_fas
+
+        return diff_fas(
+            mined.fa, template_fa, left, right, budget=budget
+        )
 
     def remine(
         self,

@@ -28,6 +28,7 @@ underlying pool.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from functools import partial
@@ -50,22 +51,51 @@ class RelationCache:
 
     Keys are ``trace.key()`` (event tuples).  Thread-safe, so a Cable
     session and a thread-backend fan-out can share one instance.
+
+    When constructed with ``fa=...`` the cache watches that automaton's
+    :attr:`~repro.fa.automaton.FA.version` counter (held via a weak
+    reference so the shared-cache registry can still be keyed weakly):
+    if the FA's language-defining attributes are reassigned after rows
+    were cached, every stale row is dropped on the next access instead
+    of being served for a language the FA no longer accepts.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self, maxsize: int = DEFAULT_CACHE_SIZE, fa: FA | None = None
+    ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self._data: OrderedDict[tuple, RelationResult] = OrderedDict()
         self._lock = threading.Lock()
+        self._fa_ref = weakref.ref(fa) if fa is not None else None
+        self._fa_version = fa.version if fa is not None else None
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+
+    def _refresh_version(self) -> None:
+        """Drop every row if the watched FA mutated since they were cached.
+
+        Called under ``self._lock``.  A dead weak reference (the FA was
+        collected while the cache is still referenced directly) leaves
+        the rows alone — no one can mutate a collected FA.
+        """
+        if self._fa_ref is None:
+            return
+        fa = self._fa_ref()
+        if fa is None or fa.version == self._fa_version:
+            return
+        self._data.clear()
+        self._fa_version = fa.version
+        self.invalidations += 1
 
     def __len__(self) -> int:
         return len(self._data)
 
     def get(self, key: tuple) -> RelationResult | None:
         with self._lock:
+            self._refresh_version()
             result = self._data.get(key)
             if result is None:
                 self.misses += 1
@@ -76,6 +106,7 @@ class RelationCache:
 
     def put(self, key: tuple, result: RelationResult) -> None:
         with self._lock:
+            self._refresh_version()
             self._data[key] = result
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
@@ -88,7 +119,12 @@ class RelationCache:
             self.misses = 0
 
     def stats(self) -> dict[str, int]:
-        return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
+        return {
+            "size": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
 
 
 _caches: "WeakKeyDictionary[FA, RelationCache]" = WeakKeyDictionary()
@@ -100,7 +136,7 @@ def relation_cache(fa: FA) -> RelationCache:
     with _caches_lock:
         cache = _caches.get(fa)
         if cache is None:
-            cache = _caches[fa] = RelationCache()
+            cache = _caches[fa] = RelationCache(fa=fa)
         return cache
 
 

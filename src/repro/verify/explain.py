@@ -43,12 +43,21 @@ class Diagnosis:
     ``trace[prefix_ok]``, otherwise the trace ran out in a
     non-accepting state.  ``expected`` are the transition labels the FA
     could have taken at that point.
+
+    ``completion`` is a *witness trace*: the shortest label sequence
+    that leads from the configurations reached by the accepted prefix
+    to acceptance (``()`` if a reached state already accepts — only
+    possible mid-trace — and ``None`` when no accepting state is
+    reachable, or when the diagnosis predates the semantic layer).  It
+    shows not just the next expected event but a complete way the
+    lifecycle could have ended correctly.
     """
 
     trace: Trace
     prefix_ok: int
     stuck: bool
     expected: tuple[str, ...]
+    completion: tuple[str, ...] | None = None
 
     @property
     def surprise(self) -> Event | None:
@@ -70,6 +79,20 @@ class Diagnosis:
         return self.trace
 
 
+def _accepting_completion(
+    spec: FA, configs: set
+) -> tuple[str, ...] | None:
+    """Shortest witness completion from the live configurations."""
+    # Imported lazily: repro.analysis.semantic imports fa.ops, and verify
+    # must stay importable without the analysis layer in the picture.
+    from repro.analysis.semantic import shortest_accepting_completion
+
+    states = {state for state, _binding in configs}
+    if not states:
+        return None
+    return shortest_accepting_completion(spec, states)
+
+
 def diagnose_rejection(spec: FA, trace: Trace) -> Diagnosis:
     """Structured diagnosis of why ``spec`` rejects ``trace``."""
     layers = spec._forward_layers(trace)
@@ -78,11 +101,19 @@ def diagnose_rejection(spec: FA, trace: Trace) -> Diagnosis:
         position = stuck_at - 1
         expected = _expected_patterns(spec, layers[position])
         return Diagnosis(
-            trace=trace, prefix_ok=position, stuck=True, expected=tuple(expected)
+            trace=trace,
+            prefix_ok=position,
+            stuck=True,
+            expected=tuple(expected),
+            completion=_accepting_completion(spec, layers[position]),
         )
     expected = _expected_patterns(spec, layers[len(trace)])
     return Diagnosis(
-        trace=trace, prefix_ok=len(trace), stuck=False, expected=tuple(expected)
+        trace=trace,
+        prefix_ok=len(trace),
+        stuck=False,
+        expected=tuple(expected),
+        completion=_accepting_completion(spec, layers[len(trace)]),
     )
 
 
@@ -111,6 +142,11 @@ def explain_violation(spec: FA, violation: Violation) -> str:
             lines.append(
                 f"  it could have continued with: {', '.join(diagnosis.expected)}"
             )
+    if diagnosis.completion:
+        lines.append(
+            "  shortest accepting completion: "
+            + "; ".join(diagnosis.completion)
+        )
     return "\n".join(lines)
 
 

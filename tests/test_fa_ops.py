@@ -12,10 +12,13 @@ from repro.fa.ops import (
     language_equal,
     language_subset,
     minimize,
+    shortest_accepted,
+    subset_counterexample,
     symbol_complement,
     union,
 )
 from repro.lang.traces import parse_trace
+from repro.robustness.errors import BudgetExceeded
 
 
 def make(edges, initial, accepting):
@@ -202,3 +205,60 @@ class TestDfaConversion:
         dfa = dfa_from_fa(ab_star)
         assert dfa.accepts(("a", "b"))
         assert not dfa.accepts(("b",))
+
+
+class TestWitnesses:
+    """The ``witness=True`` modes added for the semantic diff layer."""
+
+    def test_subset_counterexample_is_shortest(self, ab_star):
+        ab_once = make([("p", "a", "q"), ("q", "b", "f")], ["p"], ["f"])
+        assert subset_counterexample(ab_once, ab_star) is None
+        cx = subset_counterexample(ab_star, ab_once)
+        # ε is in (ab)* but not in {ab}: the shortest disagreement.
+        assert cx == ()
+
+    def test_language_subset_witness_mode(self, ab_star, a_star):
+        holds, cx = language_subset(ab_star, a_star, witness=True)
+        assert not holds
+        assert dfa_from_fa(ab_star).accepts(cx)
+        assert not dfa_from_fa(a_star).accepts(cx)
+        holds, cx = language_subset(a_star, a_star, witness=True)
+        assert holds and cx is None
+
+    def test_language_equal_witness_picks_shorter_side(self):
+        # L(left) = {a}, L(right) = {ε}: both directions disagree, and
+        # the ε witness (right-only) is shorter than the a witness.
+        left = make([("s", "a", "f")], ["s"], ["f"])
+        right = make([], ["s"], ["s"])
+        equal, cx = language_equal(left, right, witness=True)
+        assert not equal
+        assert cx == ()
+
+    def test_epsilon_witness_when_initial_acceptance_differs(self):
+        accepts_eps = make([("s", "a", "s")], ["s"], ["s"])
+        rejects_eps = make([("s", "a", "f")], ["s"], ["f"])
+        _, cx = language_subset(accepts_eps, rejects_eps, witness=True)
+        assert cx == ()
+
+    def test_witness_deterministic_across_runs(self, ab_star, a_star):
+        first = language_equal(ab_star, a_star, witness=True)
+        second = language_equal(ab_star, a_star, witness=True)
+        assert first == second
+
+    def test_shortest_accepted_none_on_empty_language(self):
+        dfa = dfa_from_fa(make([("s", "a", "dead")], ["s"], []))
+        assert shortest_accepted(dfa.reachable()) is None
+
+
+class TestEnumerationCap:
+    def test_cap_raises_with_checkpoint(self, a_star):
+        # a* has 5 strings of length ≤ 4; a cap of 3 must trip after
+        # collecting exactly 3.
+        with pytest.raises(BudgetExceeded) as info:
+            accepted_strings_upto(a_star, 4, max_results=3)
+        assert len(info.value.checkpoint) == 3
+        assert info.value.context["limit"] == 3
+
+    def test_cap_not_hit_returns_all(self, a_star):
+        strings = accepted_strings_upto(a_star, 2, max_results=10)
+        assert strings == [(), ("a",), ("a", "a")]

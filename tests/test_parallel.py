@@ -167,7 +167,9 @@ class TestRelationCache:
         assert cache.get(t.key()) is None
         cache.put(t.key(), fa.relation(t))
         assert cache.get(t.key()) == fa.relation(t)
-        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "size": 1, "hits": 1, "misses": 1, "invalidations": 0
+        }
 
     def test_lru_eviction(self):
         cache = RelationCache(maxsize=2)
@@ -192,6 +194,43 @@ class TestRelationCache:
         b = parse_trace("open(x)", trace_id="b")
         cache.put(a.key(), fa.relation(a))
         assert cache.get(b.key()) is not None
+
+    def test_mutated_fa_invalidates_rows(self):
+        # Regression: rows cached before the FA's language-defining
+        # attributes are reassigned must not be served afterwards.
+        fa = unordered_fa(["open(X)", "close(X)"])
+        t = parse_trace("open(x); close(x)")
+        cache = RelationCache(fa=fa)
+        stale = fa.relation(t)
+        cache.put(t.key(), stale)
+        assert cache.get(t.key()) == stale
+        fa.accepting = frozenset()  # version bump: language changed
+        assert cache.get(t.key()) is None
+        assert cache.invalidations == 1
+        fresh = fa.relation(t)
+        assert not fresh.accepted
+        cache.put(t.key(), fresh)
+        assert cache.get(t.key()) == fresh  # same version: no re-drop
+        assert cache.invalidations == 1
+
+    def test_shared_cache_survives_mutation(self):
+        fa = unordered_fa(["open(X)"])
+        t = parse_trace("open(x)")
+        assert cached_relation(fa, t).accepted
+        fa.accepting = frozenset()
+        # The shared per-FA cache watches the version, so the stale
+        # accepting row is dropped rather than returned.
+        assert not cached_relation(fa, t).accepted
+        assert relation_cache(fa).invalidations >= 1
+
+    def test_unwatched_cache_keeps_rows(self):
+        # Without fa=..., there is nothing to watch — documented behavior.
+        fa = unordered_fa(["open(X)"])
+        t = parse_trace("open(x)")
+        cache = RelationCache()
+        cache.put(t.key(), fa.relation(t))
+        fa.accepting = frozenset()
+        assert cache.get(t.key()) is not None
 
 
 class TestRelationMap:

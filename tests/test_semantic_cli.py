@@ -1,0 +1,207 @@
+"""End-to-end tests for ``cable diff``, ``cable lint --semantic`` and the
+interactive ``flow`` command (the acceptance criterion path: diffing two
+different catalog specs must exit non-zero and print a witness trace that
+exactly one of the two accepts)."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.cli import diff_main, lint_main
+from repro.cable.cli import CableCLI, main as cable_main
+from repro.cable.session import CableSession
+from repro.core.trace_clustering import cluster_traces
+from repro.fa.ops import dfa_from_fa
+from repro.fa.serialization import fa_to_text
+from repro.lang.traces import parse_trace
+from repro.workloads.specs_catalog import spec_by_name
+
+
+def run_diff(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = diff_main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+def run_lint(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = lint_main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestDiffAcceptance:
+    def test_self_diff_exits_zero(self):
+        code, out, _ = run_diff(["XFreeGC", "XFreeGC"])
+        assert code == 0
+        assert "equal" in out
+
+    def test_different_specs_exit_nonzero_with_witness(self):
+        code, out, _ = run_diff(["XtFree", "XFreeGC"])
+        assert code == 1
+        assert "accepted only by" in out
+        # The printed witness must be accepted by exactly one side.
+        left = dfa_from_fa(spec_by_name("XtFree").debugged_fa())
+        right = dfa_from_fa(spec_by_name("XFreeGC").debugged_fa())
+        witness_line = next(
+            line for line in out.splitlines() if "accepted only by" in line
+        )
+        witness = tuple(
+            s.strip() for s in witness_line.split(":", 1)[1].split(";")
+        )
+        assert left.accepts(witness) != right.accepts(witness)
+
+    def test_file_operand(self, tmp_path):
+        path = tmp_path / "xfreegc.fa"
+        path.write_text(fa_to_text(spec_by_name("XFreeGC").debugged_fa()))
+        code, _, _ = run_diff(["XFreeGC", str(path)])
+        assert code == 0
+
+    def test_unknown_operand_exits_2(self):
+        code, _, err = run_diff(["XFreeGC", "NoSuchSpecOrFile"])
+        assert code == 2
+        assert "NoSuchSpecOrFile" in err
+
+    def test_usage_error_exits_2(self):
+        code, _, _ = run_diff(["XFreeGC"])
+        assert code == 2
+
+    def test_json_mode(self):
+        code, out, _ = run_diff(
+            ["XtFree", "XFreeGC", "--format", "json"]
+        )
+        assert code == 1
+        document = json.loads(out)
+        assert document["version"] == 1
+        assert document["diff"]["relation"] in (
+            "subset", "superset", "incomparable"
+        )
+        codes = {
+            d["code"] for d in document["diff"]["report"]["diagnostics"]
+        }
+        assert codes & {"SEM001", "SEM002"}
+        assert document["summary"]["new_errors"] >= 1
+
+    def test_cable_dispatches_diff_subcommand(self):
+        assert cable_main(["diff", "XFreeGC", "XFreeGC"]) == 0
+        assert cable_main(["diff", "XtFree", "XFreeGC"]) == 1
+
+
+class TestDiffBaseline:
+    def test_family_wildcard_suppresses(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": {"diff:XtFree..XFreeGC": ["SEM*"]},
+                }
+            )
+        )
+        code, out, _ = run_diff(
+            ["XtFree", "XFreeGC", "--baseline", str(baseline)]
+        )
+        assert code == 0
+
+    def test_exact_code_suppresses_both_directions(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": {
+                        "diff:XtFree..XFreeGC": ["SEM001", "SEM002"]
+                    },
+                }
+            )
+        )
+        code, _, _ = run_diff(
+            ["XtFree", "XFreeGC", "--baseline", str(baseline)]
+        )
+        assert code == 0
+
+
+class TestSemanticLint:
+    def test_catalog_semantic_exits_zero(self):
+        code, out, _ = run_lint(["--catalog", "--semantic"])
+        assert code == 0
+
+    def test_single_spec_semantic(self):
+        code, out, _ = run_lint(["XFreeGC", "--semantic"])
+        assert code == 0
+        assert "spec:XFreeGC" in out
+
+    def test_semantic_adds_lbl_family(self):
+        plain_code, plain_out, _ = run_lint(
+            ["XFreeGC", "--format", "json"]
+        )
+        sem_code, sem_out, _ = run_lint(
+            ["XFreeGC", "--semantic", "--format", "json"]
+        )
+        assert plain_code == sem_code == 0
+        plain = {
+            d["code"]
+            for r in json.loads(plain_out)["reports"]
+            for d in r["diagnostics"]
+        }
+        semantic = {
+            d["code"]
+            for r in json.loads(sem_out)["reports"]
+            for d in r["diagnostics"]
+        }
+        assert not any(c.startswith("LBL") for c in plain)
+        assert plain <= semantic
+
+
+class TestFlowCommand:
+    @pytest.fixture
+    def cli(self, stdio_traces, stdio_reference):
+        session = CableSession(
+            cluster_traces(stdio_traces, stdio_reference)
+        )
+        return CableCLI(session, out=io.StringIO())
+
+    def test_flow_reports_conflict(self, cli):
+        lat = cli.session.lattice
+        child = next(
+            c
+            for c in lat
+            if c != lat.top and lat.extent(c) and lat.extent(c) < lat.extent(lat.top)
+        )
+        cli.run_line(f"label {lat.top} good all")
+        cli.run_line(f"label {child} bad all")
+        cli.run_line("flow")
+        out = cli.out.getvalue()
+        assert "LBL001" in out
+        assert "labeling conflict" in out
+
+    def test_flow_clean_session(self, cli):
+        cli.run_line(f"label {cli.session.lattice.top} good all")
+        cli.run_line("flow")
+        out = cli.out.getvalue()
+        assert "LBL001" not in out
+        assert "labeling conflict" not in out
+
+    def test_flow_in_help(self, cli):
+        cli.run_line("help")
+        assert "flow" in cli.out.getvalue()
+
+
+def test_parse_trace_sessions_survive_flow(stdio_reference):
+    # A freshly built conflicting session exercises the full path the
+    # acceptance criterion describes: label, flow, both concepts named.
+    traces = [
+        parse_trace("fopen(f); fclose(f)", trace_id="t0"),
+        parse_trace("fopen(g); fread(g); fclose(g)", trace_id="t1"),
+    ]
+    session = CableSession(cluster_traces(traces, stdio_reference))
+    lat = session.lattice
+    child = next(
+        c for c in lat if c != lat.top and len(lat.extent(c)) == 1
+    )
+    session.label_traces(lat.top, "good", "all")
+    session.label_traces(child, "bad", "all")
+    cli = CableCLI(session, out=io.StringIO())
+    cli.run_line("flow")
+    out = cli.out.getvalue()
+    assert str(lat.top) in out and str(child) in out

@@ -127,6 +127,44 @@ class TestExplain:
         text = explain_violation(stdio_fixed, violation)
         assert "after accepting: popen(X)" in text
 
+    def test_premature_end_has_accepting_completion(
+        self, stdio_fixed, fixed_checker
+    ):
+        from repro.verify.explain import diagnose_rejection, explain_violation
+
+        trace = parse_trace("fopen(a); fread(a)")
+        (violation,) = fixed_checker.check(trace)
+        diagnosis = diagnose_rejection(stdio_fixed, trace)
+        # One fclose finishes the stdio lifecycle from here.
+        assert diagnosis.completion == ("fclose(X)",)
+        text = explain_violation(stdio_fixed, violation)
+        assert "shortest accepting completion: fclose(X)" in text
+
+    def test_stuck_diagnosis_completes_from_accepted_prefix(
+        self, stdio_fixed, fixed_checker
+    ):
+        from repro.verify.explain import diagnose_rejection
+
+        trace = parse_trace("fopen(a); fread(a); pclose(a)")
+        diagnosis = diagnose_rejection(stdio_fixed, trace)
+        assert diagnosis.stuck
+        # The completion continues from the configurations reached by
+        # the accepted prefix (fopen; fread), not from the stuck event.
+        assert diagnosis.completion == ("fclose(X)",)
+
+    def test_no_completion_when_no_accepting_state_reachable(self):
+        from repro.fa.automaton import FA
+        from repro.verify.explain import diagnose_rejection
+
+        dead_end = FA.from_edges(
+            [("s0", "open(X)", "s1"), ("s1", "trap(X)", "s2")],
+            initial=["s0"],
+            accepting=["s1"],
+        )
+        trace = parse_trace("open(a); trap(a); trap(a)")
+        diagnosis = diagnose_rejection(dead_end, trace)
+        assert diagnosis.completion is None
+
     def test_explain_all_joins(self, stdio_fixed, fixed_checker):
         from repro.verify.explain import explain_all
 

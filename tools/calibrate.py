@@ -53,6 +53,24 @@ def _print_parallel_delta(doc):
               f"({delta:+.1f}% vs serial)")
 
 
+def _print_semantic_delta(doc, baseline_doc=None):
+    """The per-spec semantic-layer costs from BENCH_semantic.json
+    (written by benchmarks/bench_semantic.py)."""
+    if not doc or not doc.get("specs"):
+        return
+    diff_total = doc.get("diff_ms_total", 0.0)
+    flow_total = doc.get("flow_ms_total", 0.0)
+    slowest = max(doc["specs"], key=lambda r: r.get("diff_ms", 0.0))
+    print(f"\nsemantic layer, {len(doc['specs'])} spec(s): "
+          f"diff {diff_total:8.1f}ms total, flow {flow_total:6.1f}ms total "
+          f"(slowest diff: {slowest.get('spec', '?')} "
+          f"{slowest.get('diff_ms', 0.0):.1f}ms)")
+    if baseline_doc and baseline_doc.get("diff_ms_total"):
+        base = baseline_doc["diff_ms_total"]
+        delta = 100.0 * (diff_total - base) / base
+        print(f"  diff total vs baseline: {base:8.1f}ms ({delta:+.1f}%)")
+
+
 def bench_main(argv):
     current = _load_bench(RESULTS_DIR)
     if not current:
@@ -79,6 +97,9 @@ def bench_main(argv):
             delta = f"{100.0 * (seconds - base) / base:+7.1f}%" if base else "-"
         print(f"{name:40s} {seconds:10.4f} {base_s:>10s} {delta:>8s}")
     _print_parallel_delta(current.get("scalability"))
+    _print_semantic_delta(
+        current.get("semantic"), baseline.get("semantic")
+    )
     if not baseline:
         print("\n(no baseline; save one with: python tools/calibrate.py"
               " --bench --save-baseline)")
