@@ -299,7 +299,11 @@ class CableCLI:
 
 
 def build_session(
-    trace_path: str, fa_path: str | None, jobs: int | None = None
+    trace_path: str,
+    fa_path: str | None,
+    jobs: int | None = None,
+    retries: int | None = None,
+    on_fault: str = "raise",
 ) -> CableSession:
     """Load traces (and optionally a reference FA) and build a session.
 
@@ -307,7 +311,10 @@ def build_session(
     the miner front end and the verifier both do, so traces differing
     only in concrete object ids form one class.  ``jobs`` fans the
     clustering relation phase out over a process pool and sticks to the
-    session for later ``addtraces`` updates.
+    session for later ``addtraces`` updates; ``retries``/``on_fault``
+    supervise those fan-outs (``on_fault="quarantine"`` keeps the
+    session alive when a relation evaluation is poisoned — the class
+    lands in the rejected set with its exception chain).
     """
     with open(trace_path) as fh:
         texts = [line.strip() for line in fh if line.strip()]
@@ -318,21 +325,34 @@ def build_session(
             reference = fa_from_text(fh.read())
     else:
         reference = learn_sk_strings(list(traces), k=2, s=1.0).fa
-    clustering = cluster_traces(list(traces), reference, jobs=jobs)
-    return CableSession(clustering, jobs=jobs)
+    clustering = cluster_traces(
+        list(traces), reference, jobs=jobs, retry=retries, on_fault=on_fault
+    )
+    if clustering.fault_report is not None:
+        print(
+            f"warning: {len(clustering.fault_report)} trace class(es) "
+            "quarantined — evaluation failed; re-run with more --retries "
+            "or inspect the worker traceback",
+            file=sys.stderr,
+        )
+    return CableSession(clustering, jobs=jobs, retries=retries, on_fault=on_fault)
 
 
 def _pop_global_options(
     argv: list[str],
-) -> tuple[list[str], dict[str, str], int | None]:
-    """Strip leading ``--trace/--metrics/--chrome FILE`` and ``--jobs N``
-    option pairs; returns ``(rest, obs_paths, jobs)``."""
+) -> tuple[list[str], dict[str, str], int | None, int | None, str]:
+    """Strip leading ``--trace/--metrics/--chrome FILE``, ``--jobs N``,
+    ``--retries N``, and ``--on-fault MODE`` option pairs; returns
+    ``(rest, obs_paths, jobs, retries, on_fault)``."""
     paths: dict[str, str] = {}
     jobs: int | None = None
+    retries: int | None = None
+    on_fault = "raise"
     rest = list(argv)
     option_keys = {"--trace": "trace_path", "--metrics": "metrics_path",
                    "--chrome": "chrome_path"}
-    while len(rest) >= 2 and (rest[0] in option_keys or rest[0] == "--jobs"):
+    flags = ("--jobs", "--retries", "--on-fault")
+    while len(rest) >= 2 and (rest[0] in option_keys or rest[0] in flags):
         if rest[0] == "--jobs":
             try:
                 jobs = int(rest[1])
@@ -341,10 +361,29 @@ def _pop_global_options(
                     "--jobs expects an integer (0 = one worker per CPU)",
                     value=rest[1],
                 ) from None
+        elif rest[0] == "--retries":
+            try:
+                retries = int(rest[1])
+            except ValueError:
+                raise InputError(
+                    "--retries expects an integer (extra attempts per task)",
+                    value=rest[1],
+                ) from None
+            if retries < 0:
+                raise InputError("--retries must be >= 0", value=retries)
+        elif rest[0] == "--on-fault":
+            from repro.parallel.pool import FAULT_MODES
+
+            if rest[1] not in FAULT_MODES:
+                raise InputError(
+                    "--on-fault expects one of: " + ", ".join(FAULT_MODES),
+                    value=rest[1],
+                )
+            on_fault = rest[1]
         else:
             paths[option_keys[rest[0]]] = rest[1]
         del rest[:2]
-    return rest, paths, jobs
+    return rest, paths, jobs, retries, on_fault
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -362,7 +401,7 @@ def main(argv: list[str] | None = None) -> int:
 
         return profile_main(argv[1:])
     try:
-        argv, obs_paths, jobs = _pop_global_options(argv)
+        argv, obs_paths, jobs, retries, on_fault = _pop_global_options(argv)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -373,6 +412,7 @@ def main(argv: list[str] | None = None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(
             "usage: cable [--trace F] [--metrics F] [--chrome F] [--jobs N] "
+            "[--retries N] [--on-fault raise|quarantine] "
             "TRACE_FILE [FA_FILE]  |  cable --session FILE"
             "  |  cable lint ...  |  cable diff A B  |  cable profile SPEC ...",
             file=sys.stderr,
@@ -387,9 +427,15 @@ def main(argv: list[str] | None = None) -> int:
             for warning in recovery_warnings:
                 print(f"warning: {warning}", file=sys.stderr)
             session.jobs = jobs
+            session.retries = retries
+            session.on_fault = on_fault
         else:
             session = build_session(
-                argv[0], argv[1] if len(argv) > 1 else None, jobs=jobs
+                argv[0],
+                argv[1] if len(argv) > 1 else None,
+                jobs=jobs,
+                retries=retries,
+                on_fault=on_fault,
             )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

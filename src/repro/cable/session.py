@@ -59,6 +59,8 @@ class CableSession:
         clustering: TraceClustering,
         learner: Callable[[Sequence[Trace]], FA] | None = None,
         jobs: int | None = None,
+        retries: int | None = None,
+        on_fault: str = "raise",
     ) -> None:
         self.clustering = clustering
         self.lattice = clustering.lattice
@@ -74,6 +76,11 @@ class CableSession:
         #: (``None``/``1`` = serial, ``0`` = one per CPU); the CLI's
         #: ``--jobs`` lands here.
         self.jobs = jobs
+        #: Supervision knobs for those fan-outs — ``--retries`` /
+        #: ``--on-fault`` from the CLI (see
+        #: :mod:`repro.robustness.supervise`).
+        self.retries = retries
+        self.on_fault = on_fault
         self._learner = learner or (
             lambda traces: learn_sk_strings(traces, k=2, s=1.0).fa
         )
@@ -208,13 +215,19 @@ class CableSession:
         insertion and start Unlabeled.  Returns the number of new
         classes.  Concept *indices are preserved* for existing concepts,
         so a user's mental map of the lattice survives the update.
+        The session's ``retries``/``on_fault`` knobs supervise the
+        relation fan-out.
         """
         from repro.core.trace_clustering import extend_clustering
 
         with obs.span("cable.add_traces", traces=len(traces)) as span:
             before = self.clustering.num_objects
             self.clustering = extend_clustering(
-                self.clustering, traces, jobs=self.jobs
+                self.clustering,
+                traces,
+                jobs=self.jobs,
+                retry=self.retries,
+                on_fault=self.on_fault,
             )
             self.lattice = self.clustering.lattice
             self.labels.grow(self.clustering.num_objects)

@@ -23,7 +23,14 @@ resume all rely on that.
 
 The relation phase is evaluated through
 :func:`repro.parallel.relation_map`: cached per FA, and fanned out over
-a worker pool when ``jobs > 1``.
+a worker pool when ``jobs > 1``.  The supervision knobs ride along:
+``retry=`` re-attempts transient relation failures,
+``task_timeout=`` bounds one evaluation's wall time, and
+``on_fault="quarantine"`` completes the clustering on the survivors —
+poisoned classes land in ``rejected`` *and* in the clustering's
+``fault_report`` (a :class:`~repro.robustness.quarantine.RejectedReport`
+whose entries carry the exhausted exception chains instead of FA
+diagnoses).
 """
 
 from __future__ import annotations
@@ -38,9 +45,11 @@ from repro.core.context import FormalContext
 from repro.core.godin import GodinLatticeBuilder, build_lattice_godin
 from repro.fa.automaton import FA
 from repro.lang.traces import DedupResult, Trace, dedup_traces
-from repro.parallel.relation import relation_map
+from repro.parallel.relation import RelationMapResult, relation_map
 from repro.robustness.budget import Budget
 from repro.robustness.errors import ClusteringError
+from repro.robustness.quarantine import RejectedReport
+from repro.robustness.supervise import RetryPolicy
 
 if TYPE_CHECKING:
     from repro.analysis.diagnostics import LintReport
@@ -87,6 +96,11 @@ class TraceClustering:
     class_members: tuple[tuple[Trace, ...], ...]
     rejected: tuple[Trace, ...]
     lint_report: "LintReport | None" = None
+    #: Execution faults quarantined under ``on_fault="quarantine"``:
+    #: traces whose relation evaluation was poisoned (their members also
+    #: appear in ``rejected``).  ``None`` when no faults occurred or the
+    #: run was fail-fast.
+    fault_report: RejectedReport | None = None
 
     @property
     def num_objects(self) -> int:
@@ -106,21 +120,40 @@ def build_trace_context(
     reference_fa: FA,
     jobs: int | None = None,
     backend: str = "process",
+    *,
+    retry: "RetryPolicy | int | None" = None,
+    task_timeout: float | None = None,
+    on_fault: str = "raise",
 ) -> tuple[FormalContext, list[Trace]]:
     """Build the Section 3.2 formal context for accepted traces.
 
     Returns the context plus the list of traces the reference FA rejects
     (which cannot be clustered under it — the caller decides whether that
     is an error or whether those traces go to a different session).
-    ``jobs``/``backend`` fan the relation phase out over a worker pool
-    (see :mod:`repro.parallel`).
+    ``jobs``/``backend``/``retry``/``task_timeout``/``on_fault`` fan the
+    relation phase out over a supervised worker pool (see
+    :mod:`repro.parallel`); under ``on_fault="quarantine"`` traces whose
+    evaluation was poisoned land in the rejected list alongside the
+    semantically rejected ones.
     """
     accepted: list[Trace] = []
     rows: list[frozenset[int]] = []
     rejected: list[Trace] = []
-    relations = relation_map(reference_fa, traces, jobs=jobs, backend=backend)
+    relations = relation_map(
+        reference_fa,
+        traces,
+        jobs=jobs,
+        backend=backend,
+        retry=retry,
+        task_timeout=task_timeout,
+        on_fault=on_fault,
+    )
+    if isinstance(relations, RelationMapResult):
+        relations = relations.results
     for trace, rel in zip(traces, relations):
-        if rel.accepted:
+        if rel is None:
+            rejected.append(trace)
+        elif rel.accepted:
             accepted.append(trace)
             rows.append(rel.executed)
         else:
@@ -141,6 +174,9 @@ def extend_clustering(
     budget: Budget | None = None,
     jobs: int | None = None,
     backend: str = "process",
+    retry: "RetryPolicy | int | None" = None,
+    task_timeout: float | None = None,
+    on_fault: str = "raise",
 ) -> TraceClustering:
     """Add traces to an existing clustering, incrementally.
 
@@ -156,7 +192,10 @@ def extend_clustering(
     ``rejected`` with all their members, or raise
     :class:`~repro.robustness.errors.ClusteringError` under
     ``strict=True``; a ``budget`` bounds both the relation fan-out and
-    the incremental lattice insertions.
+    the incremental lattice insertions.  ``retry``/``task_timeout``/
+    ``on_fault`` supervise the relation fan-out; under
+    ``on_fault="quarantine"`` poisoned classes join ``rejected`` and the
+    returned clustering's ``fault_report`` (merged with any prior one).
     """
     reference_fa = clustering.reference_fa
     by_key = {
@@ -191,11 +230,25 @@ def extend_clustering(
             jobs=jobs,
             backend=backend,
             budget=budget,
+            retry=retry,
+            task_timeout=task_timeout,
+            on_fault=on_fault,
         )
+        if isinstance(relations, RelationMapResult):
+            fault_errors = dict(relations.failures)
+            relations = relations.results
+        else:
+            fault_errors = {}
         fresh: list[tuple[Trace, frozenset[int]]] = []
         newly_rejected: list[Trace] = []
-        for (key, group), rel in zip(candidates.items(), relations):
-            if rel.accepted:
+        fault_failures: list[tuple[Trace, BaseException]] = []
+        for j, ((key, group), rel) in enumerate(
+            zip(candidates.items(), relations)
+        ):
+            if rel is None:
+                rejected_keys.add(key)
+                fault_failures.extend((t, fault_errors[j]) for t in group)
+            elif rel.accepted:
                 by_key[key] = len(representatives)
                 representatives.append(group[0])
                 counts.append(len(group))
@@ -208,6 +261,7 @@ def extend_clustering(
             classes=len(candidates),
             rejected=len(newly_rejected),
             rejected_dups=skipped_rejected,
+            faults=len(fault_failures),
         )
 
     if strict and newly_rejected:
@@ -217,6 +271,15 @@ def extend_clustering(
             trace_ids=[t.trace_id or str(t) for t in newly_rejected[:10]],
         )
     rejected.extend(newly_rejected)
+    rejected.extend(t for t, _ in fault_failures)
+    fault_report = clustering.fault_report
+    if fault_failures:
+        batch_report = RejectedReport.from_failures(fault_failures)
+        fault_report = (
+            batch_report
+            if fault_report is None
+            else fault_report.merge(batch_report)
+        )
 
     if not fresh:
         lattice = clustering.lattice
@@ -253,6 +316,7 @@ def extend_clustering(
         class_members=tuple(tuple(m) for m in members),
         rejected=tuple(rejected),
         lint_report=clustering.lint_report,
+        fault_report=fault_report,
     )
 
 
@@ -266,6 +330,9 @@ def cluster_traces(
     lint: bool = False,
     jobs: int | None = None,
     backend: str = "process",
+    retry: "RetryPolicy | int | None" = None,
+    task_timeout: float | None = None,
+    on_fault: str = "raise",
 ) -> TraceClustering:
     """Cluster ``traces`` with respect to ``reference_fa``.
 
@@ -286,6 +353,11 @@ def cluster_traces(
     ``None`` = serial, ``0`` = one worker per CPU) with the given
     ``backend`` (``"process"`` by default — the work is CPU-bound);
     results are bit-identical to serial whatever the setting.
+    ``retry``/``task_timeout``/``on_fault`` supervise the fan-out (see
+    :func:`repro.parallel.parallel_map`): under ``on_fault="quarantine"``
+    a poisoned relation evaluation does not abort the clustering —
+    the class's members land in ``rejected`` and the exhausted
+    exception chains in ``fault_report``.
 
     ``lint=True`` runs the static spec-lint passes
     (:func:`repro.analysis.lint.lint_reference`) over ``reference_fa``
@@ -315,18 +387,39 @@ def cluster_traces(
             members = [(t,) for t in pool]
 
         relations = relation_map(
-            reference_fa, pool, jobs=jobs, backend=backend, budget=budget
+            reference_fa,
+            pool,
+            jobs=jobs,
+            backend=backend,
+            budget=budget,
+            retry=retry,
+            task_timeout=task_timeout,
+            on_fault=on_fault,
         )
+        if isinstance(relations, RelationMapResult):
+            fault_errors = dict(relations.failures)
+            relations = relations.results
+        else:
+            fault_errors = {}
         accepted_idx: list[int] = []
         rejected: list[Trace] = []
         rows: list[frozenset[int]] = []
+        fault_failures: list[tuple[Trace, BaseException]] = []
         for i, rel in enumerate(relations):
-            if rel.accepted:
+            if rel is None:
+                fault_failures.extend(
+                    (t, fault_errors[i]) for t in members[i]
+                )
+            elif rel.accepted:
                 accepted_idx.append(i)
                 rows.append(rel.executed)
             else:
                 rejected.extend(members[i])
-        relation_span.set(classes=len(pool), rejected=len(rejected))
+        relation_span.set(
+            classes=len(pool),
+            rejected=len(rejected),
+            faults=len(fault_failures),
+        )
 
     if strict and rejected:
         raise ClusteringError(
@@ -334,6 +427,12 @@ def cluster_traces(
             num_rejected=len(rejected),
             trace_ids=[t.trace_id or str(t) for t in rejected[:10]],
         )
+    rejected.extend(t for t, _ in fault_failures)
+    fault_report = (
+        RejectedReport.from_failures(fault_failures)
+        if fault_failures
+        else None
+    )
 
     representatives = tuple(pool[i] for i in accepted_idx)
     context = FormalContext(
@@ -353,4 +452,5 @@ def cluster_traces(
         class_members=tuple(members[i] for i in accepted_idx),
         rejected=tuple(rejected),
         lint_report=lint_report,
+        fault_report=fault_report,
     )

@@ -19,8 +19,16 @@ written into the cache before :class:`BudgetExceeded` propagates, so the
 checkpoint it carries is trivially resumable: call again and only the
 genuinely missing traces are re-run.
 
+Supervision (see :mod:`repro.parallel.pool`): ``retry=`` re-attempts
+transient per-trace failures, ``task_timeout=`` bounds one task's wall
+time, and ``on_fault="quarantine"`` completes with the survivors,
+returning a :class:`RelationMapResult` whose ``failures`` name the
+poisoned trace positions with their exception chains — the clustering
+layer routes those into the
+:class:`~repro.robustness.quarantine.RejectedReport` machinery.
+
 Observability: span ``relation.map`` (attrs ``traces``/``hits``/
-``misses``/``jobs``), counters ``relation.cache.hits`` and
+``misses``/``jobs``/``faults``), counters ``relation.cache.hits`` and
 ``relation.cache.misses``, plus the ``parallel.*`` span/counters of the
 underlying pool.
 """
@@ -31,6 +39,7 @@ import threading
 import weakref
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 from functools import partial
 from weakref import WeakKeyDictionary
 
@@ -39,7 +48,12 @@ from repro.fa.automaton import FA, RelationResult
 from repro.lang.traces import Trace
 from repro.parallel.pool import MapCheckpoint, parallel_map, resolve_jobs
 from repro.robustness.budget import Budget
-from repro.robustness.errors import BudgetExceeded
+from repro.robustness.errors import BudgetExceeded, TaskError
+from repro.robustness.supervise import (
+    BackendDowngrade,
+    PartialMapResult,
+    RetryPolicy,
+)
 
 #: Default per-FA cache capacity (relation rows are tiny — a bool and a
 #: small frozenset — so this is a few hundred KB at worst).
@@ -127,6 +141,33 @@ class RelationCache:
         }
 
 
+@dataclass(frozen=True)
+class RelationMapResult:
+    """A relation fan-out that completed with survivors.
+
+    Returned by :func:`relation_map` under ``on_fault="quarantine"``.
+    ``results`` aligns with the input traces (``None`` where the
+    evaluation was poisoned); ``failures`` lists every failed position
+    with its :class:`~repro.robustness.errors.TaskError` — duplicate
+    traces of one failed evaluation each get an entry, so callers can
+    quarantine whole identical-event classes.
+    """
+
+    results: tuple[RelationResult | None, ...]
+    failures: tuple[tuple[int, TaskError], ...] = ()
+    retries: int = 0
+    timeouts: int = 0
+    downgrades: tuple[BackendDowngrade, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failed_indices(self) -> tuple[int, ...]:
+        return tuple(i for i, _ in self.failures)
+
+
 _caches: "WeakKeyDictionary[FA, RelationCache]" = WeakKeyDictionary()
 _caches_lock = threading.Lock()
 
@@ -169,14 +210,21 @@ def relation_map(
     budget: Budget | None = None,
     cache: RelationCache | bool | None = True,
     clock: Callable[[], float] | None = None,
-) -> list[RelationResult]:
+    retry: RetryPolicy | int | None = None,
+    task_timeout: float | None = None,
+    on_fault: str = "raise",
+) -> "list[RelationResult] | RelationMapResult":
     """The relation rows for a whole corpus, in trace order.
 
     ``cache=True`` (default) uses the shared per-FA cache; pass a
     :class:`RelationCache` to use your own, or ``False``/``None`` to
     bypass caching entirely.  ``jobs``/``backend``/``chunk_size``/
-    ``budget``/``clock`` are the :func:`~repro.parallel.pool.parallel_map`
-    knobs; only distinct cache-missing traces are fanned out.
+    ``budget``/``clock``/``retry``/``task_timeout``/``on_fault`` are
+    the :func:`~repro.parallel.pool.parallel_map` knobs; only distinct
+    cache-missing traces are fanned out.  Under
+    ``on_fault="quarantine"`` the return value is a
+    :class:`RelationMapResult` (survivors plus per-position failures)
+    instead of a plain list.
     """
     traces = list(traces)
     if cache is True:
@@ -214,6 +262,9 @@ def relation_map(
                 chunk_size=chunk_size,
                 budget=budget,
                 clock=clock,
+                retry=retry,
+                task_timeout=task_timeout,
+                on_fault=on_fault,
             )
         except BudgetExceeded as exc:
             # Bank the chunks that finished so the retry only pays for
@@ -222,6 +273,36 @@ def relation_map(
                 for j, result in exc.checkpoint.completed.items():
                     store.put(todo[j].key(), result)
             raise
+        if isinstance(computed, PartialMapResult):
+            # Quarantine mode: fan survivors out to their duplicate
+            # positions and charge each failed distinct key to *every*
+            # position that needed it.
+            failed: dict[int, TaskError] = {
+                f.index: f.error for f in computed.failures
+            }
+            failures: list[tuple[int, TaskError]] = []
+            for j, (key, positions) in enumerate(pending.items()):
+                if j in failed:
+                    failures.extend((i, failed[j]) for i in positions)
+                    continue
+                result = computed.completed[j]
+                if store is not None:
+                    store.put(key, result)
+                for i in positions:
+                    results[i] = result
+            failures.sort(key=lambda pair: pair[0])
+            span.set(
+                hits=hits, misses=len(todo), faults=len(failures)
+            )
+            obs.inc("relation.cache.hits", hits)
+            obs.inc("relation.cache.misses", len(todo))
+            return RelationMapResult(
+                results=tuple(results),
+                failures=tuple(failures),
+                retries=computed.retries,
+                timeouts=computed.timeouts,
+                downgrades=computed.downgrades,
+            )
         for (key, positions), result in zip(pending.items(), computed):
             if store is not None:
                 store.put(key, result)

@@ -3,8 +3,12 @@
 Everything the pipeline needs to fail *safely*: the structured error
 taxonomy (:mod:`~repro.robustness.errors`), resource budgets for
 lattice construction (:mod:`~repro.robustness.budget`), quarantine
-reports for rejected traces (:mod:`~repro.robustness.quarantine`), and
-crash-safe file writes (:mod:`~repro.robustness.atomicio`).
+reports for rejected traces (:mod:`~repro.robustness.quarantine`),
+crash-safe file writes (:mod:`~repro.robustness.atomicio`), supervised
+execution policies — retries, timeouts, graceful backend degradation
+(:mod:`~repro.robustness.supervise`) — and the deterministic fault
+vocabulary that keeps all of it testable
+(:mod:`~repro.robustness.faults`, :mod:`~repro.robustness.chaos`).
 """
 
 from repro.robustness.atomicio import (
@@ -21,22 +25,44 @@ from repro.robustness.errors import (
     LookupInputError,
     ReproError,
     SessionCorrupt,
+    TaskError,
+    TaskTimeout,
 )
 from repro.robustness.quarantine import QuarantinedTrace, RejectedReport
+from repro.robustness.supervise import (
+    DEGRADATION_LADDER,
+    BackendDowngrade,
+    PartialMapResult,
+    RetryPolicy,
+    TaskFailure,
+    default_retryable,
+    next_backend,
+    normalize_retry,
+)
 
 __all__ = [
     "Budget",
     "BudgetExceeded",
     "BudgetMeter",
+    "BackendDowngrade",
     "ClusteringError",
+    "DEGRADATION_LADDER",
     "InputError",
     "LookupInputError",
+    "PartialMapResult",
     "QuarantinedTrace",
     "RejectedReport",
     "ReproError",
+    "RetryPolicy",
     "SessionCorrupt",
+    "TaskError",
+    "TaskFailure",
+    "TaskTimeout",
     "atomic_write_text",
     "backup_paths",
     "checksum_text",
+    "default_retryable",
+    "next_backend",
+    "normalize_retry",
     "rotate_backups",
 ]

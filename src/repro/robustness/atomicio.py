@@ -21,7 +21,15 @@ from __future__ import annotations
 
 import hashlib
 import os
+from collections.abc import Callable
 from pathlib import Path
+
+#: Optional fault-injection seam: called with the final path after every
+#: completed atomic write.  ``None`` in production; the chaos layer
+#: (:mod:`repro.robustness.chaos`) installs a hook that corrupts a
+#: deterministic fraction of writes so the checksum/backup recovery path
+#: stays honest.
+POST_WRITE_HOOK: Callable[[Path], None] | None = None
 
 
 def checksum_text(text: str) -> str:
@@ -86,3 +94,5 @@ def atomic_write_text(path: str | Path, text: str, backups: int = 2) -> None:
     rotate_backups(path, backups)
     os.replace(tmp, path)
     _fsync_directory(path.parent)
+    if POST_WRITE_HOOK is not None:
+        POST_WRITE_HOOK(path)

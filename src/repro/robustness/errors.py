@@ -15,6 +15,8 @@ Taxonomy::
     │   └── LookupInputError (also KeyError)    a failed keyed lookup
     ├── ClusteringError     (also RuntimeError) clustering failed in strict mode
     ├── BudgetExceeded                          resource budget hit mid-build
+    ├── TaskError           (also RuntimeError) a supervised worker task failed
+    │   └── TaskTimeout                         ... by exceeding its wall timeout
     └── SessionCorrupt      (also ValueError)   a persisted session is damaged
 
 ``InputError`` and ``SessionCorrupt`` double as :class:`ValueError`,
@@ -95,6 +97,74 @@ class BudgetExceeded(ReproError):
     ) -> None:
         self.checkpoint = checkpoint
         super().__init__(message, **context)
+
+
+def _rebuild_task_error(
+    cls: type, message: str, transient: bool, remote_traceback: str | None,
+    context: dict,
+) -> "TaskError":
+    """Unpickle helper for :class:`TaskError` (module-level so it pickles)."""
+    return cls(
+        message,
+        transient=transient,
+        remote_traceback=remote_traceback,
+        **context,
+    )
+
+
+class TaskError(ReproError, RuntimeError):
+    """A supervised worker task failed on one item.
+
+    Raised (or quarantined) by :func:`repro.parallel.pool.parallel_map`
+    in place of the bare worker exception, so the caller learns *which*
+    item of a 100k-trace corpus was responsible.  Typical context keys:
+    ``item_index``, ``item`` (a repr excerpt), ``attempts``, ``backend``.
+
+    ``transient`` is the retry classification the supervisor uses
+    (see :func:`repro.robustness.supervise.default_retryable`);
+    ``remote_traceback`` carries the worker-side formatted traceback,
+    which survives the pickle boundary that the real ``__cause__``
+    cannot cross.  Also a :class:`RuntimeError` so pre-taxonomy callers
+    catching the builtin type keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        transient: bool = False,
+        remote_traceback: str | None = None,
+        **context: Any,
+    ) -> None:
+        self.transient = transient
+        self.remote_traceback = remote_traceback
+        super().__init__(message, **context)
+
+    def __reduce__(self):
+        # Exceptions pickle via ``args`` by default, which would lose
+        # the keyword-only fields; rebuild explicitly (the live
+        # ``__cause__`` stays behind — ``remote_traceback`` is its
+        # pickle-safe stand-in).
+        return (
+            _rebuild_task_error,
+            (
+                type(self),
+                self.message,
+                self.transient,
+                self.remote_traceback,
+                dict(self.context),
+            ),
+        )
+
+
+class TaskTimeout(TaskError):
+    """A supervised task exceeded its per-task wall timeout.
+
+    Not transient by default: retrying a hung task on the same backend
+    would burn the budget again, and the serial fallback could not
+    preempt it at all.  Typical context keys: ``item_index``, ``item``,
+    ``timeout_seconds``, ``backend``.
+    """
 
 
 class SessionCorrupt(ReproError, ValueError):

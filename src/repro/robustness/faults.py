@@ -1,0 +1,86 @@
+"""Fault-injection primitives: the failure vocabulary of a real deployment.
+
+Simulates what production sees: files truncated by a full disk, bits
+flipped by a bad sector, and the process being killed at arbitrary
+points of an atomic save.  Crashes are injected by patching the
+:mod:`os` primitives :mod:`repro.robustness.atomicio` uses, so the code
+under test runs unmodified.
+
+Promoted from the test suite so the chaos harness
+(:mod:`repro.robustness.chaos`), the robustness tests, and external
+users share one vocabulary; ``tests/faults.py`` re-exports everything
+here for older imports.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from unittest import mock
+
+from repro.robustness import atomicio
+
+__all__ = [
+    "SimulatedCrash",
+    "crash_on_fsync",
+    "crash_on_replace",
+    "flip_bit",
+    "truncate_file",
+]
+
+
+class SimulatedCrash(Exception):
+    """Stands in for the process dying (kill -9, power loss)."""
+
+
+def truncate_file(path: str | Path, keep_bytes: int) -> None:
+    """Cut ``path`` down to its first ``keep_bytes`` bytes."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[:keep_bytes])
+
+
+def flip_bit(path: str | Path, byte_index: int | None = None, bit: int = 0) -> None:
+    """Flip one bit of ``path`` (the middle byte by default)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot flip a bit of empty file {path}")
+    if byte_index is None:
+        byte_index = len(data) // 2
+    data[byte_index] ^= 1 << bit
+    path.write_bytes(bytes(data))
+
+
+@contextmanager
+def crash_on_fsync():
+    """Die while the temp file is being made durable — before any
+    rename touches the previously saved state."""
+
+    def exploding_fsync(fd: int) -> None:
+        raise SimulatedCrash("killed during fsync")
+
+    with mock.patch.object(atomicio.os, "fsync", exploding_fsync):
+        yield
+
+
+@contextmanager
+def crash_on_replace(allowed_calls: int = 0):
+    """Die at the ``allowed_calls``-th :func:`os.replace` of a save.
+
+    ``0`` crashes the first rename (backup rotation, when a previous
+    file exists); higher values let the rotation succeed and kill the
+    final rename-into-place instead.
+    """
+    real_replace = os.replace
+    remaining = [allowed_calls]
+
+    def counting_replace(src, dst):
+        if remaining[0] <= 0:
+            raise SimulatedCrash(f"killed during replace {src} -> {dst}")
+        remaining[0] -= 1
+        return real_replace(src, dst)
+
+    with mock.patch.object(atomicio.os, "replace", counting_replace):
+        yield

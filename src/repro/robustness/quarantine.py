@@ -26,25 +26,41 @@ from repro.verify.explain import Diagnosis, diagnose_rejection
 
 @dataclass(frozen=True)
 class QuarantinedTrace:
-    """One rejected trace with its diagnosis and repair suggestion."""
+    """One quarantined trace: semantic rejection *or* execution fault.
+
+    Semantic entries (the FA rejects the trace) carry a ``diagnosis``
+    and repair ``suggestion``; fault entries (a poisoned relation
+    evaluation the supervisor gave up on) carry the exhausted
+    ``error``'s rendered chain instead — the trace never reached the
+    FA, so there is nothing to diagnose.
+    """
 
     trace: Trace
-    diagnosis: Diagnosis
-    suggestion: str
+    diagnosis: Diagnosis | None = None
+    suggestion: str = ""
+    error: str | None = None
 
     @property
     def trace_id(self) -> str:
         return self.trace.trace_id
 
     @property
-    def failing_prefix(self) -> Trace:
-        """The shortest prefix of the trace that the FA already rejects."""
+    def failing_prefix(self) -> Trace | None:
+        """The shortest prefix of the trace that the FA already rejects
+        (``None`` for fault entries — the evaluation never finished)."""
+        if self.diagnosis is None:
+            return None
         return self.diagnosis.failing_prefix
 
     def render(self) -> str:
-        d = self.diagnosis
         label = self.trace_id or str(self.trace)
         lines = [f"quarantined[{label}] {self.trace}"]
+        if self.diagnosis is None:
+            lines.append(f"  evaluation failed: {self.error or 'unknown fault'}")
+            if self.suggestion:
+                lines.append(f"  suggestion: {self.suggestion}")
+            return "\n".join(lines)
+        d = self.diagnosis
         prefix = "; ".join(str(e) for e in d.failing_prefix) or "(empty)"
         lines.append(f"  failing prefix: {prefix}")
         if d.stuck and d.surprise is not None:
@@ -107,6 +123,46 @@ class RejectedReport:
             )
         return cls(spec_name=spec_name, entries=tuple(entries))
 
+    @classmethod
+    def from_failures(
+        cls,
+        failures: Sequence[tuple[Trace, BaseException]],
+        spec_name: str = "",
+    ) -> "RejectedReport":
+        """Quarantine traces whose relation evaluation was poisoned.
+
+        ``failures`` pairs each trace with the exhausted exception the
+        supervisor recorded (usually a
+        :class:`~repro.robustness.errors.TaskError` carrying the item
+        context and remote traceback).  The rendered exception chain
+        lands in the entry's ``error`` field.
+        """
+        entries = []
+        for trace, exc in failures:
+            chain = f"{type(exc).__name__}: {exc}"
+            cause = exc.__cause__
+            if cause is not None and not str(chain).endswith(str(cause)):
+                chain += f" (caused by {type(cause).__name__}: {cause})"
+            entries.append(
+                QuarantinedTrace(
+                    trace=trace,
+                    error=chain,
+                    suggestion=(
+                        "re-run with more retries, or inspect the worker "
+                        "traceback if the failure is deterministic"
+                    ),
+                )
+            )
+        return cls(spec_name=spec_name, entries=tuple(entries))
+
+    def merge(self, other: "RejectedReport") -> "RejectedReport":
+        """This report plus ``other``'s entries (``spec_name`` from self,
+        falling back to ``other``'s)."""
+        return RejectedReport(
+            spec_name=self.spec_name or other.spec_name,
+            entries=self.entries + other.entries,
+        )
+
     def __len__(self) -> int:
         return len(self.entries)
 
@@ -135,15 +191,24 @@ class RejectedReport:
             "spec": self.spec_name,
             "num_quarantined": len(self.entries),
             "entries": [
-                {
-                    "trace_id": e.trace_id,
-                    "trace": str(e.trace),
-                    "failing_prefix": str(e.failing_prefix),
-                    "stuck": e.diagnosis.stuck,
-                    "prefix_ok": e.diagnosis.prefix_ok,
-                    "expected": list(e.diagnosis.expected),
-                    "suggestion": e.suggestion,
-                }
+                (
+                    {
+                        "trace_id": e.trace_id,
+                        "trace": str(e.trace),
+                        "error": e.error,
+                        "suggestion": e.suggestion,
+                    }
+                    if e.diagnosis is None
+                    else {
+                        "trace_id": e.trace_id,
+                        "trace": str(e.trace),
+                        "failing_prefix": str(e.failing_prefix),
+                        "stuck": e.diagnosis.stuck,
+                        "prefix_ok": e.diagnosis.prefix_ok,
+                        "expected": list(e.diagnosis.expected),
+                        "suggestion": e.suggestion,
+                    }
+                )
                 for e in self.entries
             ],
         }

@@ -130,21 +130,34 @@ class TemporalChecker:
         traces: Iterable[Trace],
         jobs: int | None = None,
         backend: str = "process",
+        *,
+        retry=None,
+        task_timeout: float | None = None,
+        on_fault: str = "raise",
     ) -> list[Violation]:
         """All violations across a set of program traces.
 
         Per-trace checks are independent, so ``jobs > 1`` fans them out
         over a :func:`repro.parallel.parallel_map` worker pool (``0`` =
         one worker per CPU); violation order is identical to serial.
+        ``retry``/``task_timeout``/``on_fault`` supervise the fan-out;
+        under ``on_fault="quarantine"`` traces whose check was poisoned
+        are skipped (their violations simply do not appear) after the
+        supervisor exhausts retries — the obs counter
+        ``parallel.quarantined`` records how many.
         """
         from repro.parallel import parallel_map, resolve_jobs
+        from repro.robustness.supervise import PartialMapResult
 
         trace_list = list(traces)
         njobs = resolve_jobs(jobs)
         with obs.span(
             "verify.check_all", traces=len(trace_list), jobs=njobs
         ) as span:
-            if njobs <= 1 or len(trace_list) <= 1:
+            faults = 0
+            if (
+                njobs <= 1 or len(trace_list) <= 1
+            ) and retry is None and on_fault == "raise":
                 out: list[Violation] = []
                 for trace in trace_list:
                     out.extend(self.check(trace))
@@ -153,11 +166,17 @@ class TemporalChecker:
                     self.check,
                     trace_list,
                     jobs=njobs,
-                    backend=backend,
+                    backend=backend if njobs > 1 else "serial",
+                    retry=retry,
+                    task_timeout=task_timeout,
+                    on_fault=on_fault,
                     span_name="verify.fanout",
                 )
+                if isinstance(per_trace, PartialMapResult):
+                    faults = len(per_trace.failures)
+                    per_trace = per_trace.results
                 out = [v for vs in per_trace for v in vs]
-            span.set(violations=len(out))
+            span.set(violations=len(out), faults=faults)
             obs.inc("verify.traces", len(trace_list))
             obs.inc("verify.violations", len(out))
             return out
@@ -169,8 +188,17 @@ def check_traces(
     creation_args: Mapping[str, int],
     jobs: int | None = None,
     backend: str = "process",
+    *,
+    retry=None,
+    task_timeout: float | None = None,
+    on_fault: str = "raise",
 ) -> list[Violation]:
     """Convenience wrapper: check ``traces`` against ``spec``."""
     return TemporalChecker(spec, creation_args).check_all(
-        traces, jobs=jobs, backend=backend
+        traces,
+        jobs=jobs,
+        backend=backend,
+        retry=retry,
+        task_timeout=task_timeout,
+        on_fault=on_fault,
     )

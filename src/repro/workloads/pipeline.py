@@ -144,6 +144,9 @@ def run_spec(
     budget: Budget | None = None,
     lint: bool = False,
     jobs: int | None = None,
+    retry=None,
+    task_timeout: float | None = None,
+    on_fault: str = "raise",
 ) -> SpecRun:
     """Run the full pipeline for ``spec`` (a model or a catalogue name).
 
@@ -162,7 +165,10 @@ def run_spec(
 
     ``jobs`` fans the clustering relation phase out over a process pool
     (``1``/``None`` = serial, ``0`` = one worker per CPU); results are
-    bit-identical whatever the setting.
+    bit-identical whatever the setting.  ``retry``/``task_timeout``/
+    ``on_fault`` supervise that fan-out: under ``on_fault="quarantine"``
+    poisoned relation evaluations are quarantined like FA-rejected
+    traces, their exception chains merged into ``rejected_report``.
     """
     if isinstance(spec, str):
         spec = spec_by_name(spec)
@@ -191,23 +197,43 @@ def run_spec(
 
         with clock.phase("cluster"):
             clustering = cluster_traces(
-                scenarios, reference, budget=budget, jobs=jobs
+                scenarios,
+                reference,
+                budget=budget,
+                jobs=jobs,
+                retry=retry,
+                task_timeout=task_timeout,
+                on_fault=on_fault,
             )
-        if clustering.rejected:
+        # Faulted traces (poisoned relation evaluations under
+        # ``on_fault="quarantine"``) sit in ``rejected`` too, but were
+        # never judged by the FA — diagnose only the semantic rejections
+        # and merge the fault entries verbatim.
+        faulted_keys = (
+            {e.trace.key() for e in clustering.fault_report}
+            if clustering.fault_report is not None
+            else set()
+        )
+        semantic_rejected = [
+            t for t in clustering.rejected if t.key() not in faulted_keys
+        ]
+        if semantic_rejected:
             if strict:
                 raise ClusteringError(
                     "reference FA rejected scenario trace(s) in strict mode",
                     spec=spec.name,
-                    num_rejected=len(clustering.rejected),
+                    num_rejected=len(semantic_rejected),
                     trace_ids=[
-                        t.trace_id or str(t) for t in clustering.rejected[:10]
+                        t.trace_id or str(t) for t in semantic_rejected[:10]
                     ],
                 )
             rejected_report = RejectedReport.from_traces(
-                clustering.rejected, reference, spec_name=spec.name
+                semantic_rejected, reference, spec_name=spec.name
             )
         else:
             rejected_report = RejectedReport(spec_name=spec.name)
+        if clustering.fault_report is not None:
+            rejected_report = rejected_report.merge(clustering.fault_report)
         obs.inc("quarantine.rejected", len(clustering.rejected))
 
         with clock.phase("label"):
