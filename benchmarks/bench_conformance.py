@@ -1,0 +1,75 @@
+"""Cost of ``cable selfcheck``: project-model load and per-pass wall time.
+
+The conformance gate runs on every CI push, so its latency is a tracked
+number: the table splits model construction (parse + import resolution
+for the whole ``src/repro`` tree) from each CC pass's scan, and the
+autouse obs fixture writes ``BENCH_test_bench_conformance.json`` next
+to the other trajectories (compare runs with ``python
+tools/calibrate.py --bench``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import repro
+from benchmarks.conftest import RESULTS_DIR, report
+from repro.analysis.conformance import ProjectModel, run_conformance
+from repro.analysis.conformance.engine import all_passes
+from repro.util.tables import format_table
+
+
+def test_bench_conformance(benchmark):
+    """Wall time of the full selfcheck, per pass."""
+    root = Path(repro.__file__).resolve().parent
+
+    def measure():
+        start = time.perf_counter()
+        project = ProjectModel.load(root)
+        load_seconds = time.perf_counter() - start
+
+        rows = []
+        for check in all_passes():
+            start = time.perf_counter()
+            reports = run_conformance(project, codes=[check.code])
+            seconds = time.perf_counter() - start
+            rows.append(
+                {
+                    "code": check.code,
+                    "findings": sum(len(r.diagnostics) for r in reports),
+                    "ms": seconds * 1000,
+                }
+            )
+        return project, load_seconds, rows
+
+    project, load_seconds, rows = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    text = format_table(
+        ["pass", "findings", "ms"],
+        [[r["code"], r["findings"], f"{r['ms']:.1f}"] for r in rows]
+        + [["model load", len(project), f"{load_seconds * 1000:.1f}"]],
+        title=f"conformance selfcheck cost ({len(project)} modules)",
+    )
+    report("conformance_costs", text)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    scan_seconds = sum(r["ms"] for r in rows) / 1000
+    doc = {
+        "name": "conformance",
+        "modules": len(project),
+        "seconds": load_seconds + scan_seconds,
+        "load_ms": load_seconds * 1000,
+        "passes": rows,
+        "scan_ms_total": scan_seconds * 1000,
+    }
+    (RESULTS_DIR / "BENCH_conformance.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+
+    # The gate must stay interactive: a selfcheck that takes tens of
+    # seconds would get skipped locally and rot.
+    assert load_seconds + sum(r["ms"] for r in rows) / 1000 < 30
+    # Every pass ran over the whole tree.
+    assert [r["code"] for r in rows] == [p.code for p in all_passes()]

@@ -1,10 +1,12 @@
-"""Baseline (suppression) files for the spec-lint CI gate.
+"""Baseline (suppression) files for the lint and selfcheck CI gates.
 
-A baseline records the *accepted* findings of a spec catalog so CI can
+A baseline records the *accepted* findings of a lint target so CI can
 fail only on regressions: pre-existing diagnostics are suppressed by
 their stable fingerprint (``CODE@location``, per target), new ones fail
-the build.  The file is plain JSON, checked in next to the catalog it
-describes, and regenerated with ``cable lint --update-baseline``.
+the build.  The files live under ``tools/baselines/`` (one per gate:
+``spec_lint.json`` for ``cable lint``, ``conformance.json`` for
+``cable selfcheck``) and are regenerated with the respective
+``--update-baseline`` flags.
 
 Format (version 1)::
 
@@ -12,21 +14,35 @@ Format (version 1)::
       "version": 1,
       "suppressions": {
         "spec:XtFree": ["FA006@state:0", ...],
-        ...
+        "repro/parallel/relation.py": [
+          {"fingerprint": "CC003@code:clear_relation_caches",
+           "reason": "bench helper, not a hot path"},
+          ...
+        ]
       }
     }
 
-Besides exact fingerprints, an entry may suppress a whole code or code
-family for its target: ``SEM001`` (equivalently ``SEM001@*``) accepts
-every SEM001 finding wherever it points, and ``SEM*`` accepts the whole
-SEM family.  Family entries exist for the semantic passes, whose
-witness locations legitimately move when either spec changes; exact
-fingerprints remain the right default for the positional FA passes.
+An entry is either a bare fingerprint string or an object with a
+``fingerprint`` and a one-line ``reason`` — the reason is documentation
+(it rides along in the file, next to the decision it justifies) and is
+ignored by matching.  Besides exact fingerprints, an entry may suppress
+a whole code or code family for its target: ``SEM001`` (equivalently
+``SEM001@*``) accepts every SEM001 finding wherever it points, and
+``SEM*`` accepts the whole SEM family.  Family entries exist for the
+semantic passes, whose witness locations legitimately move when either
+spec changes; exact fingerprints remain the right default for the
+positional FA and conformance passes.
+
+:func:`load_baseline` is the shared loader: it resolves the historical
+pre-consolidation paths (``tools/spec_lint_baseline.json``) to their
+``tools/baselines/`` successors with a deprecation warning, so older CI
+invocations and scripts keep working.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,12 +52,25 @@ from repro.robustness.errors import InputError
 
 BASELINE_VERSION = 1
 
+#: Pre-consolidation file names -> their path under ``tools/baselines/``
+#: (relative to the legacy file's own directory).
+LEGACY_BASELINE_NAMES: dict[str, str] = {
+    "spec_lint_baseline.json": "baselines/spec_lint.json",
+    "conformance_baseline.json": "baselines/conformance.json",
+}
+
 
 @dataclass(frozen=True)
 class Baseline:
-    """Suppressed fingerprints, keyed by lint target."""
+    """Suppressed fingerprints, keyed by lint target.
+
+    ``reasons`` carries the optional one-line justifications from
+    object-form entries (``target -> fingerprint -> reason``); it is
+    round-tripped by :meth:`to_json` but never consulted by matching.
+    """
 
     suppressions: Mapping[str, frozenset[str]] = field(default_factory=dict)
+    reasons: Mapping[str, Mapping[str, str]] = field(default_factory=dict)
 
     @classmethod
     def empty(cls) -> "Baseline":
@@ -101,18 +130,42 @@ class Baseline:
                 "lists",
                 path=str(path),
             )
-        return cls(
-            {target: frozenset(map(str, fps)) for target, fps in raw.items()}
-        )
+        suppressions: dict[str, frozenset[str]] = {}
+        reasons: dict[str, dict[str, str]] = {}
+        for target, entries in raw.items():
+            fingerprints: set[str] = set()
+            for entry in entries:
+                if isinstance(entry, str):
+                    fingerprints.add(entry)
+                elif isinstance(entry, dict) and "fingerprint" in entry:
+                    fingerprint = str(entry["fingerprint"])
+                    fingerprints.add(fingerprint)
+                    if entry.get("reason"):
+                        reasons.setdefault(target, {})[fingerprint] = str(
+                            entry["reason"]
+                        )
+                else:
+                    raise InputError(
+                        "baseline entries must be fingerprint strings or "
+                        "{'fingerprint', 'reason'} objects",
+                        path=str(path),
+                        target=target,
+                        entry=repr(entry),
+                    )
+            suppressions[target] = frozenset(fingerprints)
+        return cls(suppressions, reasons)
 
     def to_json(self) -> str:
-        document = {
-            "version": BASELINE_VERSION,
-            "suppressions": {
-                target: sorted(fps)
-                for target, fps in sorted(self.suppressions.items())
-            },
-        }
+        table: dict[str, list[object]] = {}
+        for target, fps in sorted(self.suppressions.items()):
+            target_reasons = self.reasons.get(target, {})
+            table[target] = [
+                {"fingerprint": fp, "reason": target_reasons[fp]}
+                if fp in target_reasons
+                else fp
+                for fp in sorted(fps)
+            ]
+        document = {"version": BASELINE_VERSION, "suppressions": table}
         return json.dumps(document, indent=2) + "\n"
 
     def save(self, path: str | Path) -> None:
@@ -138,11 +191,50 @@ class Baseline:
 
     def new_errors(self, report: LintReport) -> list[Diagnostic]:
         """Error-severity diagnostics not covered by this baseline."""
+        return self.new_findings(report, severities=("error",))
+
+    def new_findings(
+        self, report: LintReport, severities: Iterable[str] = ("error",)
+    ) -> list[Diagnostic]:
+        """Diagnostics of the given severities not covered by this
+        baseline.  The selfcheck gate passes ``("error", "warning")`` —
+        its contract is "every finding fixed or baselined", not just the
+        errors."""
+        wanted = frozenset(severities)
         return [
             d
-            for d in report.errors
-            if not self.is_suppressed(report.target, d)
+            for d in report.diagnostics
+            if d.severity in wanted and not self.is_suppressed(report.target, d)
         ]
 
 
-__all__ = ["BASELINE_VERSION", "Baseline"]
+def load_baseline(path: str | Path, *, missing_ok: bool = False) -> Baseline:
+    """Shared loader for every gate's ``--baseline`` flag.
+
+    Resolves pre-consolidation paths: when ``path`` does not exist (or
+    is one of the legacy names) but its ``tools/baselines/`` successor
+    does, the successor is read and a ``DeprecationWarning`` tells the
+    caller to update the flag.  Conversely, a legacy file that still
+    exists is read as-is so half-migrated checkouts keep working.
+
+    With ``missing_ok`` a path that resolves to no file at all yields
+    :meth:`Baseline.empty` — the CLI convention for "gate on everything".
+    """
+    path = Path(path)
+    successor = LEGACY_BASELINE_NAMES.get(path.name)
+    if successor is not None:
+        replacement = path.parent / successor
+        if replacement.exists() and not path.exists():
+            warnings.warn(
+                f"baseline path {path} has moved to {replacement}; "
+                "update the --baseline flag",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return Baseline.load(replacement)
+    if missing_ok and not path.exists():
+        return Baseline.empty()
+    return Baseline.load(path)
+
+
+__all__ = ["BASELINE_VERSION", "Baseline", "LEGACY_BASELINE_NAMES", "load_baseline"]

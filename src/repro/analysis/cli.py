@@ -10,7 +10,7 @@ so CI fails only on *new* errors::
     cable lint spec.fa --traces traces.txt # + corpus compatibility passes
     cable lint --catalog --semantic        # + SEM/LBL semantic passes
     cable lint --catalog --format json     # machine-readable output
-    cable lint --catalog --baseline tools/spec_lint_baseline.json
+    cable lint --catalog --baseline tools/baselines/spec_lint.json
     cable lint --catalog --baseline B --update-baseline   # accept current
 
 ``cable diff`` compares two specifications at the *language* level
@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import IO
 
 from repro import obs
-from repro.analysis.baseline import Baseline
+from repro.analysis.baseline import Baseline, load_baseline
 from repro.analysis.diagnostics import SEVERITIES, LintReport
 from repro.analysis.lint import (
     lint_fa,
@@ -163,8 +163,8 @@ def lint_main(
         with obs.span("lint.targets"):
             reports = _lint_targets(args)
         baseline = (
-            Baseline.load(args.baseline)
-            if args.baseline and Path(args.baseline).exists()
+            load_baseline(args.baseline, missing_ok=True)
+            if args.baseline
             else Baseline.empty()
         )
         if args.update_baseline:
@@ -287,8 +287,8 @@ def diff_main(
         left_fa = _resolve_spec(args.left)
         right_fa = _resolve_spec(args.right)
         baseline = (
-            Baseline.load(args.baseline)
-            if args.baseline and Path(args.baseline).exists()
+            load_baseline(args.baseline, missing_ok=True)
+            if args.baseline
             else Baseline.empty()
         )
         diff = diff_fas(

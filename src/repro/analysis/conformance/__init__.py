@@ -1,0 +1,56 @@
+"""Conformance codelint: the repo's static analysis turned on itself.
+
+The paper's thesis is that structured analysis beats eyeballing for
+finding specification bugs; this package applies the same philosophy to
+the codebase's *own* recurring defect classes.  Each pass mechanically
+enforces one architectural invariant that earlier work paid for by hand:
+
+==========  ==========================================================
+``CC001``   FA cache-staleness: language-defining attribute writes that
+            bypass the ``version``-bumping ``__setattr__`` path
+``CC002``   shared-state races and unpicklable captures in functions
+            handed to the parallel map entry points
+``CC003``   observability coverage of the declared hot-path modules
+``CC004``   ``budget=``/``strict=``/supervision parameters accepted but
+            not forwarded to a callee that takes them
+``CC005``   error-taxonomy conformance (``raise Exception``, bare
+            ``except``, swallowed ``ReproError`` subclasses)
+``CC006``   lock discipline: writes to ``_lock``-guarded state outside
+            a ``with <lock>`` block
+==========  ==========================================================
+
+Run it as ``cable selfcheck`` (text/JSON, exit-code gate, baseline file
+under ``tools/baselines/conformance.json``); programmatic entry points
+are :func:`run_conformance` and :class:`ProjectModel`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.conformance.engine import (
+    ConformancePass,
+    all_passes,
+    pass_by_code,
+    register_pass,
+    run_conformance,
+)
+from repro.analysis.conformance.model import ModuleInfo, ProjectModel
+
+# Importing the pass modules registers them with the engine.
+from repro.analysis.conformance import (  # noqa: F401  (registration)
+    cc001_staleness,
+    cc002_race,
+    cc003_obs,
+    cc004_plumbing,
+    cc005_errors,
+    cc006_locks,
+)
+
+__all__ = [
+    "ConformancePass",
+    "ModuleInfo",
+    "ProjectModel",
+    "all_passes",
+    "pass_by_code",
+    "register_pass",
+    "run_conformance",
+]

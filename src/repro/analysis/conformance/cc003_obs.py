@@ -1,0 +1,202 @@
+"""CC003 — observability coverage of the declared hot-path modules.
+
+PR 3 instrumented the pipeline end to end; ROADMAP's vectorization and
+async-server work will rewire exactly those paths, and an uninstrumented
+rewrite silently disappears from ``cable profile`` and the benchmark
+harness.  This pass checks that every *public* function or method in a
+hot-path module is observable: its body uses :mod:`repro.obs` directly
+(``obs.span``/``obs.inc``/...), or it calls — possibly transitively —
+a project function that does.
+
+Exemptions, to keep the signal honest:
+
+* private names, dunders, ``@property``-likes;
+* trivial functions: no loops and no calls to other project-defined
+  functions (pure accessors and arithmetic helpers cost nothing worth
+  a span).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.conformance.engine import ConformancePass, register_pass
+from repro.analysis.conformance.model import (
+    FunctionNode,
+    ModuleInfo,
+    ProjectModel,
+    walk_scope,
+)
+from repro.analysis.diagnostics import Diagnostic
+
+#: Repo-relative paths (under the scan root) that constitute the hot
+#: path: the modules whose wall time the paper's tables measure.
+HOT_PATH_MODULES = (
+    "repro/core/godin.py",
+    "repro/core/nextclosure.py",
+    "repro/parallel/pool.py",
+    "repro/parallel/relation.py",
+    "repro/verify/checker.py",
+    "repro/mining/strauss.py",
+    "repro/workloads/pipeline.py",
+)
+
+#: Decorators that make a def an attribute access, not an operation.
+PROPERTY_DECORATORS = frozenset({"property", "cached_property"})
+
+#: The repro.obs entry points that count as instrumentation.
+OBS_CALLS = frozenset(
+    {"span", "inc", "event", "gauge", "observe", "configure"}
+)
+
+
+def _is_property(fn: FunctionNode) -> bool:
+    for dec in fn.decorator_list:
+        dotted = ProjectModel.dotted_name(dec) or ""
+        if dotted.split(".")[-1] in PROPERTY_DECORATORS or dotted.endswith(
+            ".setter"
+        ):
+            return True
+    return False
+
+
+def _uses_obs(
+    fn: FunctionNode, module: ModuleInfo, project: ProjectModel
+) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in OBS_CALLS:
+                base = ProjectModel.dotted_name(node.func.value)
+                if base is not None:
+                    resolved = module.imports.get(base, base)
+                    if resolved == "repro.obs" or resolved.startswith(
+                        "repro.obs."
+                    ):
+                        return True
+    return False
+
+
+def _project_calls(
+    fn: FunctionNode,
+    module: ModuleInfo,
+    project: ProjectModel,
+    class_name: str | None,
+) -> set[str]:
+    """Qualified names of project *functions* this body calls.
+
+    ``self.method(...)`` resolves against ``class_name``; constructors
+    (resolved names that are classes) are not counted — building an
+    object is not an operation worth a span by itself.
+    """
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ProjectModel.dotted_name(node.func)
+        if dotted is None:
+            continue
+        if dotted.startswith("self.") and class_name is not None:
+            parts = dotted.split(".")
+            if len(parts) == 2:
+                candidate = f"{module.name}.{class_name}.{parts[1]}"
+                if project.function(candidate) is not None:
+                    out.add(project.chase(candidate))
+            continue
+        resolved = project.resolve(module, node.func)
+        if resolved is None:
+            continue
+        info = project.function(resolved)
+        if info is not None:
+            out.add(info.qualname)
+    return out
+
+
+@register_pass
+class ObsCoveragePass(ConformancePass):
+    code = "CC003"
+    severity = "warning"
+    summary = (
+        "public hot-path functions with no obs.span/counter, directly or "
+        "transitively"
+    )
+
+    def __init__(self) -> None:
+        self._covered: set[str] | None = None
+        self._calls: dict[str, set[str]] = {}
+
+    def _class_of(self, qualname: str) -> str | None:
+        parts = qualname.split(".")
+        if len(parts) >= 2 and parts[-2].lstrip("_")[:1].isupper():
+            return parts[-2]
+        return None
+
+    def _compute_coverage(self, project: ProjectModel) -> set[str]:
+        """Fixpoint: a function is covered if it uses obs or calls one
+        that is (anywhere in the project, so hot-path wrappers of
+        instrumented core functions count)."""
+        covered: set[str] = set()
+        calls: dict[str, set[str]] = {}
+        for qual, info in project.functions.items():
+            mod = project.modules[info.module]
+            class_name = self._class_of(qual)
+            if _uses_obs(info.node, mod, project):
+                covered.add(qual)
+            calls[qual] = _project_calls(info.node, mod, project, class_name)
+        changed = True
+        while changed:
+            changed = False
+            for qual, callees in calls.items():
+                if qual not in covered and callees & covered:
+                    covered.add(qual)
+                    changed = True
+        self._calls = calls
+        return covered
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        if module.relpath not in HOT_PATH_MODULES:
+            return
+        if self._covered is None:
+            self._covered = self._compute_coverage(project)
+        for qual, info in project.functions.items():
+            if info.module != module.name:
+                continue
+            if "<locals>" in qual:
+                continue
+            name = info.name
+            if name.startswith("_"):
+                continue
+            if _is_property(info.node):
+                continue
+            class_name = self._class_of(qual)
+            if class_name is not None and class_name.startswith("_"):
+                continue
+            if qual in self._covered:
+                continue
+            if self._is_trivial(info.node, qual):
+                continue
+            local = qual[len(module.name) + 1 :]
+            yield self.finding(
+                module,
+                local,
+                info.node,
+                f"public hot-path function {name!r} has no obs.span or "
+                "counter, directly or via anything it calls — it will be "
+                "invisible to `cable profile` and the bench harness",
+                suggestion=(
+                    "wrap the work in obs.span(...) or record an obs.inc "
+                    "counter"
+                ),
+            )
+
+    def _is_trivial(self, fn: FunctionNode, qual: str) -> bool:
+        has_loop = any(
+            isinstance(n, (ast.For, ast.While, ast.comprehension))
+            for n in ast.walk(fn)
+        )
+        return not has_loop and not self._calls.get(qual)
+
+
+__all__ = ["HOT_PATH_MODULES", "ObsCoveragePass"]

@@ -1,0 +1,115 @@
+"""CC004 — supervision/budget parameters accepted but not forwarded.
+
+PR 4 and PR 6 threaded ``budget=``, ``strict=``, ``retry=``,
+``task_timeout=`` and ``on_fault=`` through every layer between the CLI
+and the worker pool.  The failure mode is always the same: a caller
+grows the parameter, a callee already takes it, and one call site in
+the middle silently drops it — budgets stop tripping, quarantine stops
+quarantining, and nothing fails loudly.
+
+For every function that *accepts* one of the plumbed parameters, this
+pass inspects each call to a resolvable project function whose
+signature accepts the same parameter: if the call passes it neither by
+keyword nor positionally (and does not splat ``**kwargs``), that is a
+dropped forward.  Passing an explicit different value is fine — the
+author made a decision; absence is the bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.conformance.engine import ConformancePass, register_pass
+from repro.analysis.conformance.model import (
+    ModuleInfo,
+    ProjectModel,
+    enclosing_functions,
+    walk_scope,
+)
+from repro.analysis.diagnostics import Diagnostic
+
+#: The parameters the robustness/parallel layers plumb end to end.
+PLUMBED_PARAMS = ("budget", "strict", "on_fault", "retry", "task_timeout")
+
+
+def _call_passes_param(
+    call: ast.Call, param: str, callee_params: tuple[str, ...]
+) -> bool:
+    """True when ``call`` provides ``param`` explicitly (or may, via **)."""
+    for kw in call.keywords:
+        if kw.arg == param:
+            return True
+        if kw.arg is None:  # **kwargs splat — assume it carries everything
+            return True
+    try:
+        position = callee_params.index(param)
+    except ValueError:
+        return False
+    # Positional coverage: a plain arg at the parameter's position, or a
+    # *args splat (which may reach it).
+    consumed = 0
+    for arg in call.args:
+        if isinstance(arg, ast.Starred):
+            return True
+        if consumed == position:
+            return True
+        consumed += 1
+    return False
+
+
+@register_pass
+class PlumbingPass(ConformancePass):
+    code = "CC004"
+    severity = "error"
+    summary = (
+        "budget=/strict=/on_fault=/retry=/task_timeout= accepted but not "
+        "forwarded to a callee that takes it"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        for qualname, fn in enclosing_functions(module.tree):
+            params, _ = _own_params(fn)
+            held = [p for p in PLUMBED_PARAMS if p in params]
+            if not held:
+                continue
+            for node in walk_scope(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = project.resolve(module, node.func)
+                if resolved is None:
+                    continue
+                info = project.function(resolved)
+                if info is None or project.is_class(resolved):
+                    continue
+                # Skip self-recursion through a different binding? No —
+                # recursion must forward too.
+                callee_local = info.qualname.rsplit(".", 1)[-1]
+                for param in held:
+                    if param not in info.params:
+                        continue
+                    if _call_passes_param(node, param, info.params):
+                        continue
+                    yield self.finding(
+                        module,
+                        qualname,
+                        node,
+                        f"accepts {param}= but calls {callee_local}() — "
+                        f"which also takes {param}= — without forwarding "
+                        "it; the setting silently stops applying below "
+                        "this frame",
+                        suggestion=f"pass {param}={param} through the call",
+                    )
+
+
+def _own_params(fn: ast.AST) -> tuple[tuple[str, ...], bool]:
+    args = fn.args  # type: ignore[attr-defined]
+    names = [a.arg for a in args.posonlyargs]
+    names += [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    return tuple(names), args.kwarg is not None
+
+
+__all__ = ["PLUMBED_PARAMS", "PlumbingPass"]

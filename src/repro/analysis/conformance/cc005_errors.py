@@ -1,0 +1,140 @@
+"""CC005 — error-taxonomy conformance.
+
+PR 1 established the :class:`~repro.robustness.errors.ReproError`
+taxonomy so callers can catch precisely; PR 6 added the supervision
+boundary that is *allowed* to catch everything (the worker envelope must
+turn any exception into data).  This pass enforces the boundary:
+
+* ``raise Exception(...)`` / ``raise BaseException(...)`` — untyped
+  raises that no taxonomy-aware handler can distinguish;
+* bare ``except:`` — swallows ``KeyboardInterrupt`` along with
+  everything else;
+* ``except Exception`` (or ``BaseException``) handlers whose body never
+  re-raises — they swallow ``ReproError`` subclasses, so budget trips,
+  quarantine diagnoses and input errors vanish instead of propagating.
+
+The allow-listed supervision boundary (``parallel/pool.py`` and
+``robustness/supervise.py``) is exempt: catching everything there is
+the design.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.conformance.engine import ConformancePass, register_pass
+from repro.analysis.conformance.model import (
+    ModuleInfo,
+    ProjectModel,
+    enclosing_functions,
+    walk_scope,
+)
+from repro.analysis.diagnostics import Diagnostic
+
+#: Files allowed to catch Exception wholesale: the supervision boundary.
+ALLOWED_BOUNDARY = (
+    "repro/parallel/pool.py",
+    "repro/robustness/supervise.py",
+)
+
+BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _exception_names(node: ast.expr | None) -> set[str]:
+    """Leaf names of the exception type expression (handles tuples)."""
+    if node is None:
+        return set()
+    if isinstance(node, ast.Tuple):
+        out: set[str] = set()
+        for element in node.elts:
+            out |= _exception_names(element)
+        return out
+    dotted = ProjectModel.dotted_name(node)
+    return {dotted.split(".")[-1]} if dotted else set()
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+@register_pass
+class ErrorTaxonomyPass(ConformancePass):
+    code = "CC005"
+    severity = "error"
+    summary = (
+        "raise Exception, bare except, and Exception handlers that "
+        "swallow ReproError outside the supervision boundary"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        if module.relpath in ALLOWED_BOUNDARY:
+            return
+        for qualname, fn in [
+            ("<module>", module.tree),
+            *enclosing_functions(module.tree),
+        ]:
+            for node in walk_scope(fn):
+                if isinstance(node, ast.Raise):
+                    yield from self._check_raise(module, qualname, node)
+                elif isinstance(node, ast.ExceptHandler):
+                    yield from self._check_handler(module, qualname, node)
+
+    def _check_raise(
+        self, module: ModuleInfo, qualname: str, node: ast.Raise
+    ) -> Iterator[Diagnostic]:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if exc is None:
+            return  # bare re-raise is exactly what we want to see
+        dotted = ProjectModel.dotted_name(exc)
+        if dotted and dotted.split(".")[-1] in BROAD_TYPES:
+            yield self.finding(
+                module,
+                qualname,
+                node,
+                f"raise {dotted}: untyped exceptions defeat the ReproError "
+                "taxonomy — no caller can catch this precisely",
+                suggestion=(
+                    "raise the matching ReproError subclass "
+                    "(InputError, ClusteringError, ...)"
+                ),
+            )
+
+    def _check_handler(
+        self, module: ModuleInfo, qualname: str, node: ast.ExceptHandler
+    ) -> Iterator[Diagnostic]:
+        if node.type is None:
+            yield self.finding(
+                module,
+                qualname,
+                node,
+                "bare except: swallows everything, including "
+                "KeyboardInterrupt and SystemExit",
+                suggestion="catch the narrowest exception type that applies",
+            )
+            return
+        names = _exception_names(node.type)
+        if names & BROAD_TYPES and not _handler_reraises(node):
+            caught = ", ".join(sorted(names & BROAD_TYPES))
+            yield self.finding(
+                module,
+                qualname,
+                node,
+                f"except {caught} without a re-raise swallows ReproError "
+                "subclasses — budget trips and quarantine diagnoses "
+                "disappear here",
+                suggestion=(
+                    "catch ReproError (or a subclass) explicitly, or "
+                    "re-raise what you cannot handle"
+                ),
+            )
+
+
+__all__ = ["ALLOWED_BOUNDARY", "ErrorTaxonomyPass"]

@@ -1,0 +1,242 @@
+"""CC006 — lock discipline for ``_lock``-guarded classes.
+
+A class that constructs a ``self._lock`` in ``__init__`` (RelationCache,
+MetricsRegistry, ...) has declared its instance state shared; every
+write to that state must then happen inside a ``with self._lock`` block,
+or the lock is decoration.  The PR 6 pool-shutdown deadlock and the
+PR 5 cache bug both started as "one write path that didn't take the
+lock everybody else takes".
+
+The pass understands the repo's *lock-held helper* convention: a private
+method whose every call site (within the class) sits inside a locked
+region — like ``RelationCache._refresh_version`` — is analyzed as if
+locked, so documenting "called under self._lock" keeps working without
+a suppression.
+
+``__init__`` is exempt (no other thread can hold an object mid-
+construction), as are reads — the GIL makes the repo's counter reads
+safe enough, and flagging them would bury the writes that matter.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.conformance.engine import ConformancePass, register_pass
+from repro.analysis.conformance.model import (
+    FunctionNode,
+    ModuleInfo,
+    ProjectModel,
+)
+from repro.analysis.diagnostics import Diagnostic
+
+CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "clear",
+        "pop",
+        "popitem",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "move_to_end",
+        "appendleft",
+        "extendleft",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Names of ``self.<attr> = ...Lock()``-style fields set in __init__."""
+    out: set[str] = set()
+    for method in cls.body:
+        if (
+            isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and method.name in CONSTRUCTORS
+        ):
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and (
+                                target.attr == "_lock"
+                                or target.attr.endswith("_lock")
+                            )
+                        ):
+                            out.add(target.attr)
+    return out
+
+
+def _is_self_attr(node: ast.expr, attrs: set[str] | None = None) -> str | None:
+    """``attr`` when node is ``self.<attr>`` (optionally restricted)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        if attrs is None or node.attr in attrs:
+            return node.attr
+    return None
+
+
+def _locked_with(node: ast.With | ast.AsyncWith, locks: set[str]) -> bool:
+    for item in node.items:
+        if _is_self_attr(item.context_expr, locks):
+            return True
+    return False
+
+
+class _MethodScan:
+    """Per-method walk: which writes happen outside locked regions, and
+    which ``self.<method>()`` calls happen inside them."""
+
+    def __init__(self, method: FunctionNode, locks: set[str]) -> None:
+        self.method = method
+        self.locks = locks
+        #: (node, attr, kind) for self-attribute writes outside any lock.
+        self.unlocked_writes: list[tuple[ast.AST, str, str]] = []
+        #: Method names called while holding the lock / not holding it.
+        self.locked_calls: set[str] = set()
+        self.unlocked_calls: set[str] = set()
+        self._walk(method, locked=False)
+
+    def _walk(self, node: ast.AST, locked: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested scopes are out of this method's story
+            child_locked = locked
+            if isinstance(child, (ast.With, ast.AsyncWith)) and _locked_with(
+                child, self.locks
+            ):
+                child_locked = True
+            self._note(child, locked)
+            self._walk(child, child_locked)
+
+    def _note(self, node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = _is_self_attr(target)
+                if attr is not None and attr not in self.locks:
+                    if not locked:
+                        kind = (
+                            "augmented assignment"
+                            if isinstance(node, ast.AugAssign)
+                            else "assignment"
+                        )
+                        self.unlocked_writes.append((node, attr, kind))
+                elif isinstance(target, ast.Subscript):
+                    base_attr = _is_self_attr(target.value)
+                    if base_attr is not None and not locked:
+                        self.unlocked_writes.append(
+                            (node, base_attr, "subscript store")
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _is_self_attr(target)
+                if attr is not None and not locked:
+                    self.unlocked_writes.append((node, attr, "delete"))
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute):
+                # self.helper(...)
+                called = _is_self_attr(node.func)
+                if called is not None:
+                    (self.locked_calls if locked else self.unlocked_calls).add(
+                        called
+                    )
+                # self.attr.mutator(...)
+                elif node.func.attr in MUTATING_METHODS:
+                    base_attr = _is_self_attr(node.func.value)
+                    if base_attr is not None and not locked:
+                        self.unlocked_writes.append(
+                            (node, base_attr, f".{node.func.attr}() call")
+                        )
+
+
+@register_pass
+class LockDisciplinePass(ConformancePass):
+    code = "CC006"
+    severity = "error"
+    summary = (
+        "writes to _lock-guarded instance state outside a with-lock block"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        locks = _lock_attrs(cls)
+        if not locks:
+            return
+        methods = {
+            m.name: m
+            for m in cls.body
+            if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        scans = {
+            name: _MethodScan(m, locks)
+            for name, m in methods.items()
+            if name not in CONSTRUCTORS
+        }
+        # Lock-held helpers: private methods only ever called from locked
+        # regions (or from other lock-held helpers) — fixpoint.
+        lock_held: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, method in methods.items():
+                if name in lock_held or not name.startswith("_"):
+                    continue
+                callers_locked = [
+                    name in scan.locked_calls for scan in scans.values()
+                ]
+                callers_unlocked = [
+                    name in scan.unlocked_calls
+                    and caller not in lock_held
+                    for caller, scan in scans.items()
+                ]
+                if any(callers_locked) and not any(callers_unlocked):
+                    lock_held.add(name)
+                    changed = True
+        lock_name = sorted(locks)[0]
+        for name, scan in scans.items():
+            if name in lock_held:
+                continue
+            for node, attr, kind in scan.unlocked_writes:
+                yield self.finding(
+                    module,
+                    f"{cls.name}.{name}",
+                    node,
+                    f"{kind} to self.{attr} outside `with self.{lock_name}` "
+                    f"— {cls.name} declared its state lock-guarded",
+                    suggestion=(
+                        f"move the write under `with self.{lock_name}:` "
+                        "(or document the method as lock-held by calling "
+                        "it only from locked regions)"
+                    ),
+                )
+
+
+__all__ = ["LockDisciplinePass"]

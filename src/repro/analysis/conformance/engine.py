@@ -1,0 +1,175 @@
+"""The conformance pass registry and runner.
+
+A pass is a small class with a stable ``code`` (``CC001``), a default
+``severity``, and a ``check_module`` hook that yields
+:class:`~repro.analysis.diagnostics.Diagnostic` records.  Passes
+register themselves via :func:`register_pass` when their module is
+imported (:mod:`repro.analysis.conformance` imports all six), and the
+runner groups findings into one
+:class:`~repro.analysis.diagnostics.LintReport` per *file* — the report
+target is the repo-relative path, which is also the baseline key.
+
+Fingerprints follow the spec-lint convention (``CODE@location``) with
+``Location.code(<qualname>)`` refs: a finding is identified by the
+function it sits in, not its line number, so unrelated edits above it do
+not churn the baseline.  When one function holds several findings of
+the same code, later ones get a ``#2``/``#3`` suffix in source order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+from typing import ClassVar
+
+from repro import obs
+from repro.analysis.conformance.model import ModuleInfo, ProjectModel
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    sort_diagnostics,
+)
+from repro.robustness.errors import InputError
+
+
+class ConformancePass:
+    """Base class: one invariant, one stable diagnostic code."""
+
+    #: Stable code, ``CC0xx``; documented in docs/static-analysis.md.
+    code: ClassVar[str] = ""
+    #: Default severity for this pass's findings.
+    severity: ClassVar[str] = "error"
+    #: One-line summary shown by ``cable selfcheck --list``.
+    summary: ClassVar[str] = ""
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        """Yield this pass's findings for one module."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by the concrete passes
+    # ------------------------------------------------------------------ #
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        node: object,
+        message: str,
+        *,
+        severity: str | None = None,
+        suggestion: str = "",
+    ) -> Diagnostic:
+        """A diagnostic anchored at ``qualname`` with a witness snippet."""
+        import ast
+
+        witness = (
+            module.witness(node) if isinstance(node, ast.AST) else str(node)
+        )
+        return Diagnostic(
+            code=self.code,
+            severity=severity or self.severity,
+            location=Location.code(qualname or "<module>"),
+            message=message,
+            witness=witness,
+        )
+
+
+_REGISTRY: dict[str, type[ConformancePass]] = {}
+
+
+def register_pass(cls: type[ConformancePass]) -> type[ConformancePass]:
+    """Class decorator: add a pass to the registry (keyed by code)."""
+    if not cls.code:
+        raise InputError("conformance pass has no code", cls=cls.__name__)
+    if cls.code in _REGISTRY and _REGISTRY[cls.code] is not cls:
+        raise InputError("duplicate conformance pass code", code=cls.code)
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_passes() -> list[ConformancePass]:
+    """One instance of every registered pass, in code order."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def pass_by_code(code: str) -> ConformancePass:
+    if code not in _REGISTRY:
+        raise InputError(
+            "unknown conformance pass", code=code, known=sorted(_REGISTRY)
+        )
+    return _REGISTRY[code]()
+
+
+def _dedup_fingerprints(diagnostics: Sequence[Diagnostic]) -> list[Diagnostic]:
+    """Disambiguate repeated ``code@location`` pairs with ``#N`` suffixes.
+
+    Findings are already in source order (passes walk the AST top to
+    bottom), so the suffix is stable for a given file state.
+    """
+    seen: Counter[str] = Counter()
+    out: list[Diagnostic] = []
+    for diag in diagnostics:
+        seen[diag.fingerprint] += 1
+        n = seen[diag.fingerprint]
+        if n > 1:
+            diag = Diagnostic(
+                code=diag.code,
+                severity=diag.severity,
+                location=Location(
+                    diag.location.kind, f"{diag.location.ref}#{n}"
+                ),
+                message=diag.message,
+                suggestion=diag.suggestion,
+                witness=diag.witness,
+            )
+        out.append(diag)
+    return out
+
+
+def run_conformance(
+    project: ProjectModel,
+    codes: Iterable[str] | None = None,
+) -> list[LintReport]:
+    """Run the (selected) passes over every module of ``project``.
+
+    Returns one report per module **with findings**, target = the
+    module's repo-relative path; modules that come back clean produce no
+    report.  Reports are ordered by path.
+    """
+    passes = (
+        [pass_by_code(c) for c in codes] if codes is not None else all_passes()
+    )
+    reports: list[LintReport] = []
+    with obs.span(
+        "conformance.run", modules=len(project), passes=len(passes)
+    ) as span:
+        total = 0
+        for module in sorted(project, key=lambda m: m.relpath):
+            found: list[Diagnostic] = []
+            for check in passes:
+                found.extend(check.check_module(module, project))
+            if found:
+                found = _dedup_fingerprints(
+                    sorted(found, key=lambda d: (d.code, d.location.ref))
+                )
+                reports.append(
+                    LintReport(module.relpath, tuple(sort_diagnostics(found)))
+                )
+                total += len(found)
+        span.set(findings=total)
+        obs.inc("conformance.findings", total)
+    return reports
+
+
+__all__ = [
+    "ConformancePass",
+    "all_passes",
+    "pass_by_code",
+    "register_pass",
+    "run_conformance",
+]

@@ -30,7 +30,10 @@ class Location:
     """Where a diagnostic points: a kind plus an optional reference.
 
     ``kind`` is one of ``fa``, ``state``, ``transition``, ``symbol``,
-    ``variable``, ``concept``, ``corpus``, ``trace`` or ``witness``;
+    ``variable``, ``concept``, ``corpus``, ``trace``, ``witness`` or
+    ``code`` (a function/method qualname, used by the conformance
+    self-analysis — line numbers deliberately stay out of the ref so the
+    fingerprint survives unrelated edits);
     ``ref`` is the index or name within that kind (the transition index,
     the symbol, ...), rendered as ``kind:ref``.  Transition and state references are *indices* into
     ``FA.transitions`` / ``FA.states`` — the same identity the formal
@@ -70,6 +73,11 @@ class Location:
         return cls("witness", side)
 
     @classmethod
+    def code(cls, qualname: str) -> "Location":
+        """A source construct, referenced by its enclosing qualname."""
+        return cls("code", qualname)
+
+    @classmethod
     def whole_fa(cls) -> "Location":
         return cls("fa")
 
@@ -91,6 +99,10 @@ class Diagnostic:
     location: Location
     message: str
     suggestion: str = ""
+    #: Optional evidence snippet — for code-level diagnostics this is the
+    #: offending source line prefixed ``path:line:``, so reports stay
+    #: readable while the fingerprint stays line-number independent.
+    witness: str = ""
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -102,8 +114,10 @@ class Diagnostic:
         return f"{self.code}@{self.location}"
 
     def render(self) -> str:
-        """One- or two-line human rendering."""
+        """One- to three-line human rendering."""
         line = f"{self.severity} {self.code} @ {self.location}: {self.message}"
+        if self.witness:
+            line += f"\n    witness: {self.witness}"
         if self.suggestion:
             line += f"\n    suggestion: {self.suggestion}"
         return line
@@ -116,6 +130,8 @@ class Diagnostic:
             "location": {"kind": self.location.kind, "ref": self.location.ref},
             "message": self.message,
         }
+        if self.witness:
+            out["witness"] = self.witness
         if self.suggestion:
             out["suggestion"] = self.suggestion
         return out

@@ -44,7 +44,11 @@ language-level passes).  ``cable diff SPEC-A SPEC-B`` compares two
 specifications at the language level and prints witness traces for each
 disagreement direction (same module).  ``cable profile ...`` runs one
 catalog spec (or the ``animals`` example) under full tracing and prints
-a phase-time/metric table (:mod:`repro.cable.profile`).
+a phase-time/metric table (:mod:`repro.cable.profile`).  ``cable
+selfcheck`` turns the linter on the repo itself: the CC conformance
+passes (:mod:`repro.analysis.conformance`) scan the source tree for the
+staleness/race/plumbing bug classes and gate on
+``tools/baselines/conformance.json``.
 
 Observability: ``--trace FILE`` / ``--metrics FILE`` / ``--chrome FILE``
 before the positional arguments enable :mod:`repro.obs` for the whole
@@ -400,6 +404,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cable.profile import profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "selfcheck":
+        from repro.analysis.conformance.cli import selfcheck_main
+
+        return selfcheck_main(argv[1:])
     try:
         argv, obs_paths, jobs, retries, on_fault = _pop_global_options(argv)
     except ReproError as exc:
@@ -414,7 +422,8 @@ def main(argv: list[str] | None = None) -> int:
             "usage: cable [--trace F] [--metrics F] [--chrome F] [--jobs N] "
             "[--retries N] [--on-fault raise|quarantine] "
             "TRACE_FILE [FA_FILE]  |  cable --session FILE"
-            "  |  cable lint ...  |  cable diff A B  |  cable profile SPEC ...",
+            "  |  cable lint ...  |  cable diff A B  |  cable profile SPEC ..."
+            "  |  cable selfcheck ...",
             file=sys.stderr,
         )
         print(__doc__, file=sys.stderr)

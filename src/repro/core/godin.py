@@ -105,6 +105,7 @@ class GodinLatticeBuilder:
         builder._children = [set(c) for c in lattice.children]
         builder._all_attrs = lattice.context.all_attributes
         builder._num_objects = lattice.context.num_objects
+        obs.inc("godin.resumes")
         return builder
 
     @classmethod
@@ -123,10 +124,12 @@ class GodinLatticeBuilder:
         builder._children = [set(c) for c in checkpoint.children]
         builder._all_attrs = checkpoint.all_attrs
         builder._num_objects = checkpoint.num_objects
+        obs.inc("godin.resumes")
         return builder
 
     def snapshot(self) -> LatticeCheckpoint:
         """A consistent, immutable copy of the current partial lattice."""
+        obs.inc("godin.snapshots")
         return LatticeCheckpoint(
             extents=tuple(frozenset(e) for e in self._extents),
             intents=tuple(self._intents),
@@ -311,16 +314,17 @@ class GodinLatticeBuilder:
 
     def build(self, context: FormalContext) -> ConceptLattice:
         """Freeze the builder into a :class:`ConceptLattice` for ``context``."""
-        concepts = [
-            Concept(frozenset(extent), intent)
-            for extent, intent in zip(self._extents, self._intents)
-        ]
-        return ConceptLattice(
-            context,
-            concepts,
-            [frozenset(p) for p in self._parents],
-            [frozenset(c) for c in self._children],
-        )
+        with obs.span("godin.freeze", concepts=len(self._intents)):
+            concepts = [
+                Concept(frozenset(extent), intent)
+                for extent, intent in zip(self._extents, self._intents)
+            ]
+            return ConceptLattice(
+                context,
+                concepts,
+                [frozenset(p) for p in self._parents],
+                [frozenset(c) for c in self._children],
+            )
 
 
 def build_lattice_godin(

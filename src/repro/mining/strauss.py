@@ -119,7 +119,10 @@ class Strauss:
         # Imported here: repro.analysis imports repro.fa, keep mining light.
         from repro.analysis.lint import lint_reference
 
-        return lint_reference(mined.fa, mined.scenarios, target=target)
+        with obs.span("strauss.lint", target=target) as span:
+            report = lint_reference(mined.fa, mined.scenarios, target=target)
+            span.set(findings=len(report.diagnostics))
+            return report
 
     def semantic_diff(
         self,

@@ -184,6 +184,7 @@ def relation_cache(fa: FA) -> RelationCache:
 def clear_relation_caches() -> None:
     """Drop every per-FA cache (benchmarks want cold-path numbers)."""
     with _caches_lock:
+        obs.event("relation.cache.cleared", caches=len(_caches))
         for cache in _caches.values():
             cache.clear()
         _caches.clear()
@@ -197,6 +198,9 @@ def cached_relation(fa: FA, trace: Trace) -> RelationResult:
     if result is None:
         result = fa.relation(trace)
         cache.put(key, result)
+        obs.inc("relation.cache.misses")
+    else:
+        obs.inc("relation.cache.hits")
     return result
 
 

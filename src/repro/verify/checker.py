@@ -112,6 +112,7 @@ class TemporalChecker:
     def check(self, trace: Trace) -> list[Violation]:
         """All violations of one program trace."""
         violations = []
+        obs.inc("verify.checks")
         for name, start in self.tracked_objects(trace):
             projected = self.projection(trace, name, start)
             if not self.spec.accepts(projected):

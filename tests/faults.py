@@ -1,8 +1,11 @@
 """Back-compat shim: the fault vocabulary now ships as
 :mod:`repro.robustness.faults` (shared with the chaos harness); this
-module re-exports it for the suite's older imports."""
+module re-exports it for the suite's older imports and warns so the
+stragglers surface in ``-W error`` runs."""
 
 from __future__ import annotations
+
+import warnings
 
 from repro.robustness.faults import (
     SimulatedCrash,
@@ -10,6 +13,12 @@ from repro.robustness.faults import (
     crash_on_replace,
     flip_bit,
     truncate_file,
+)
+
+warnings.warn(
+    "tests.faults is deprecated; import from repro.robustness.faults",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

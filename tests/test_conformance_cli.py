@@ -1,0 +1,173 @@
+"""``cable selfcheck``: formats, gating, baseline round-trips, and the
+shared baseline loader's legacy-path redirect."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.conformance.cli import selfcheck_main
+from repro.cable.cli import main as cable_main
+
+BAD_MODULE = (
+    "def f(x):\n"
+    "    try:\n"
+    "        return x()\n"
+    "    except Exception:\n"
+    "        return None\n"
+)
+
+
+@pytest.fixture
+def dirty_root(tmp_path):
+    """A tiny package with one CC005 finding."""
+    root = tmp_path / "repro"
+    root.mkdir()
+    (root / "leaf.py").write_text(BAD_MODULE)
+    return root
+
+
+def run(argv):
+    out, err = io.StringIO(), io.StringIO()
+    status = selfcheck_main(argv, out=out, err=err)
+    return status, out.getvalue(), err.getvalue()
+
+
+class TestSelfcheckCLI:
+    def test_list_passes(self):
+        status, out, _ = run(["--list"])
+        assert status == 0
+        for code in ("CC001", "CC002", "CC003", "CC004", "CC005", "CC006"):
+            assert code in out
+
+    def test_findings_gate_text(self, dirty_root):
+        status, out, _ = run(["--root", str(dirty_root)])
+        assert status == 1
+        assert "CC005" in out
+        assert "witness" in out
+        assert "(1 new)" in out
+
+    def test_findings_gate_json(self, dirty_root):
+        status, out, _ = run(["--root", str(dirty_root), "--format", "json"])
+        assert status == 1
+        document = json.loads(out)
+        assert document["summary"]["new_findings"] == 1
+        [report] = document["reports"]
+        assert report["target"] == "repro/leaf.py"
+        [diag] = report["diagnostics"]
+        assert diag["code"] == "CC005"
+        assert diag["witness"].startswith("repro/leaf.py:")
+
+    def test_codes_subset(self, dirty_root):
+        status, _, _ = run(["--root", str(dirty_root), "--codes", "CC001"])
+        assert status == 0  # CC005 finding invisible to a CC001-only run
+
+    def test_unknown_code_is_usage_error(self, dirty_root):
+        status, _, err = run(["--root", str(dirty_root), "--codes", "CC999"])
+        assert status == 2
+        assert "CC999" in err
+
+    def test_update_baseline_roundtrip(self, dirty_root, tmp_path):
+        baseline_path = tmp_path / "conformance.json"
+        status, out, _ = run(
+            [
+                "--root",
+                str(dirty_root),
+                "--baseline",
+                str(baseline_path),
+                "--update-baseline",
+            ]
+        )
+        assert status == 0 and baseline_path.exists()
+        status, out, _ = run(
+            ["--root", str(dirty_root), "--baseline", str(baseline_path)]
+        )
+        assert status == 0
+        assert "(0 new)" in out and "1 baselined" in out
+
+    def test_update_baseline_requires_path(self, dirty_root):
+        status, _, err = run(["--root", str(dirty_root), "--update-baseline"])
+        assert status == 2
+        assert "--baseline" in err
+
+    def test_update_baseline_keeps_reasons(self, dirty_root, tmp_path):
+        baseline_path = tmp_path / "conformance.json"
+        Baseline(
+            {"repro/leaf.py": frozenset({"CC005@code:f"})},
+            {"repro/leaf.py": {"CC005@code:f": "legacy envelope"}},
+        ).save(baseline_path)
+        status, _, _ = run(
+            [
+                "--root",
+                str(dirty_root),
+                "--baseline",
+                str(baseline_path),
+                "--update-baseline",
+            ]
+        )
+        assert status == 0
+        reloaded = Baseline.load(baseline_path)
+        assert reloaded.reasons["repro/leaf.py"]["CC005@code:f"] == (
+            "legacy envelope"
+        )
+
+    def test_cable_dispatch(self, capsys):
+        assert cable_main(["selfcheck", "--list"]) == 0
+        assert "CC006" in capsys.readouterr().out
+
+
+class TestBaselineLoader:
+    def test_reason_entries_suppress_and_roundtrip(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": {
+                        "t": [
+                            {"fingerprint": "CC001@code:f", "reason": "why"},
+                            "CC002@code:g",
+                        ]
+                    },
+                }
+            )
+        )
+        baseline = Baseline.load(path)
+        assert baseline.suppressions["t"] == frozenset(
+            {"CC001@code:f", "CC002@code:g"}
+        )
+        assert baseline.reasons["t"]["CC001@code:f"] == "why"
+        reloaded = Baseline.load(tmp_path / "b.json")
+        assert json.loads(baseline.to_json()) == json.loads(reloaded.to_json())
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        from repro.robustness.errors import InputError
+
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"version": 1, "suppressions": {"t": [42]}})
+        )
+        with pytest.raises(InputError):
+            Baseline.load(path)
+
+    def test_legacy_path_redirects_with_warning(self, tmp_path):
+        new_dir = tmp_path / "baselines"
+        new_dir.mkdir()
+        Baseline({"t": frozenset({"X@y"})}).save(new_dir / "spec_lint.json")
+        legacy = tmp_path / "spec_lint_baseline.json"
+        with pytest.warns(DeprecationWarning, match="has moved"):
+            baseline = load_baseline(legacy)
+        assert baseline.suppressions["t"] == frozenset({"X@y"})
+
+    def test_existing_legacy_file_read_as_is(self, tmp_path):
+        legacy = tmp_path / "spec_lint_baseline.json"
+        Baseline({"t": frozenset({"A@b"})}).save(legacy)
+        baseline = load_baseline(legacy)
+        assert baseline.suppressions["t"] == frozenset({"A@b"})
+
+    def test_missing_ok_yields_empty(self, tmp_path):
+        baseline = load_baseline(tmp_path / "nope.json", missing_ok=True)
+        assert baseline.suppressions == {}

@@ -1,0 +1,78 @@
+"""FA.version: every language-defining attribute assignment must bump
+the counter, and a bump must invalidate cached relation rows.
+
+This pins the contract the CC001 conformance pass protects statically:
+writes that bypass ``FA.__setattr__`` (``obj.__dict__[...]``,
+``object.__setattr__``) would serve stale cache rows — the PR 5 bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fa.automaton import FA, Transition
+from repro.lang.events import parse_pattern
+from repro.lang.traces import parse_trace
+from repro.parallel.relation import cached_relation, relation_cache
+
+
+def tiny_fa() -> FA:
+    return FA(
+        states=(0, 1),
+        initial=(0,),
+        accepting=(1,),
+        transitions=(Transition(0, parse_pattern("a(X)"), 1),),
+    )
+
+
+SEMANTIC_ATTRS = sorted(FA._SEMANTIC_ATTRS)
+
+
+@pytest.mark.parametrize("attr", SEMANTIC_ATTRS)
+def test_semantic_attr_assignment_bumps_version(attr):
+    fa = tiny_fa()
+    before = fa.version
+    setattr(fa, attr, getattr(fa, attr))  # same value: still a reassignment
+    assert fa.version == before + 1
+
+
+def test_semantic_attrs_is_exactly_the_language_surface():
+    # A new language-defining attribute must be added to _SEMANTIC_ATTRS;
+    # this test fails loudly if the constructor grows one.
+    fa = tiny_fa()
+    language_state = {
+        name
+        for name in vars(fa)
+        if name not in ("version",)
+    }
+    assert language_state == set(FA._SEMANTIC_ATTRS)
+
+
+def test_non_semantic_attr_does_not_bump_version():
+    fa = tiny_fa()
+    before = fa.version
+    fa.some_annotation = "note"
+    assert fa.version == before
+
+
+@pytest.mark.parametrize("attr", SEMANTIC_ATTRS)
+def test_version_bump_invalidates_relation_cache(attr):
+    fa = tiny_fa()
+    trace = parse_trace("a(1)")
+    first = cached_relation(fa, trace)
+    cache = relation_cache(fa)
+    assert len(cache) == 1
+    setattr(fa, attr, getattr(fa, attr))
+    invalidations_before = cache.invalidations
+    again = cached_relation(fa, trace)
+    assert again == first  # recomputed, same language
+    assert cache.invalidations == invalidations_before + 1
+
+
+def test_stale_write_through_dict_is_invisible_to_the_cache():
+    # The CC001 bug class: a __dict__ write skips __setattr__, the
+    # version stays put, and the cache would keep serving old rows.
+    fa = tiny_fa()
+    before = fa.version
+    fa.__dict__["transitions"] = fa.transitions
+    assert fa.version == before  # this is WHY such writes are banned

@@ -15,7 +15,7 @@ from repro.cable.session import CableSession
 from repro.core.trace_clustering import cluster_traces
 from repro.robustness import SessionCorrupt
 from repro.robustness.atomicio import atomic_write_text, backup_paths
-from tests.faults import (
+from repro.robustness.faults import (
     SimulatedCrash,
     crash_on_fsync,
     crash_on_replace,
@@ -190,3 +190,14 @@ class TestValidation:
         with pytest.raises(SessionCorrupt) as info:
             session_from_dict(data)
         assert "checksum" in str(info.value)
+
+
+def test_tests_faults_shim_warns_on_import():
+    """The back-compat shim still re-exports, but deprecated now."""
+    import importlib
+    import sys
+
+    sys.modules.pop("tests.faults", None)
+    with pytest.warns(DeprecationWarning, match="repro.robustness.faults"):
+        shim = importlib.import_module("tests.faults")
+    assert shim.SimulatedCrash is SimulatedCrash
