@@ -86,7 +86,7 @@ def test_spec_lint_vs_pipeline(benchmark):
     report(
         "spec_lint_catalog",
         "spec-lint findings for the shipped catalog\n"
-        "(errors gate CI against tools/spec_lint_baseline.json)\n\n"
+        "(errors gate CI against tools/baselines/spec_lint.json)\n\n"
         f"{findings}\n\n"
         f"totals: {summary['error']} error(s), {summary['warning']} "
         f"warning(s), {summary['info']} info(s) "

@@ -33,16 +33,13 @@ semantic passes, whose witness locations legitimately move when either
 spec changes; exact fingerprints remain the right default for the
 positional FA and conformance passes.
 
-:func:`load_baseline` is the shared loader: it resolves the historical
-pre-consolidation paths (``tools/spec_lint_baseline.json``) to their
-``tools/baselines/`` successors with a deprecation warning, so older CI
-invocations and scripts keep working.
+:func:`load_baseline` is the shared loader behind every gate's
+``--baseline`` flag.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,13 +48,6 @@ from repro.analysis.diagnostics import Diagnostic, LintReport
 from repro.robustness.errors import InputError
 
 BASELINE_VERSION = 1
-
-#: Pre-consolidation file names -> their path under ``tools/baselines/``
-#: (relative to the legacy file's own directory).
-LEGACY_BASELINE_NAMES: dict[str, str] = {
-    "spec_lint_baseline.json": "baselines/spec_lint.json",
-    "conformance_baseline.json": "baselines/conformance.json",
-}
 
 
 @dataclass(frozen=True)
@@ -211,30 +201,13 @@ class Baseline:
 def load_baseline(path: str | Path, *, missing_ok: bool = False) -> Baseline:
     """Shared loader for every gate's ``--baseline`` flag.
 
-    Resolves pre-consolidation paths: when ``path`` does not exist (or
-    is one of the legacy names) but its ``tools/baselines/`` successor
-    does, the successor is read and a ``DeprecationWarning`` tells the
-    caller to update the flag.  Conversely, a legacy file that still
-    exists is read as-is so half-migrated checkouts keep working.
-
-    With ``missing_ok`` a path that resolves to no file at all yields
+    With ``missing_ok`` a path that does not exist yields
     :meth:`Baseline.empty` — the CLI convention for "gate on everything".
     """
     path = Path(path)
-    successor = LEGACY_BASELINE_NAMES.get(path.name)
-    if successor is not None:
-        replacement = path.parent / successor
-        if replacement.exists() and not path.exists():
-            warnings.warn(
-                f"baseline path {path} has moved to {replacement}; "
-                "update the --baseline flag",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return Baseline.load(replacement)
     if missing_ok and not path.exists():
         return Baseline.empty()
     return Baseline.load(path)
 
 
-__all__ = ["BASELINE_VERSION", "Baseline", "LEGACY_BASELINE_NAMES", "load_baseline"]
+__all__ = ["BASELINE_VERSION", "Baseline", "load_baseline"]

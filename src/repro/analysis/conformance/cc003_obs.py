@@ -40,6 +40,8 @@ HOT_PATH_MODULES = (
     "repro/verify/checker.py",
     "repro/mining/strauss.py",
     "repro/workloads/pipeline.py",
+    "repro/service/manager.py",
+    "repro/service/server.py",
 )
 
 #: Decorators that make a def an attribute access, not an operation.

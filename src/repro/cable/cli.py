@@ -48,7 +48,12 @@ a phase-time/metric table (:mod:`repro.cable.profile`).  ``cable
 selfcheck`` turns the linter on the repo itself: the CC conformance
 passes (:mod:`repro.analysis.conformance`) scan the source tree for the
 staleness/race/plumbing bug classes and gate on
-``tools/baselines/conformance.json``.
+``tools/baselines/conformance.json``.  ``cable serve`` boots the
+multi-tenant HTTP server (:mod:`repro.service`).
+
+``--json`` (before the positional arguments) makes the startup banner —
+including any backup-recovery warnings from ``--session FILE`` — a
+single machine-readable JSON line on stdout.
 
 Observability: ``--trace FILE`` / ``--metrics FILE`` / ``--chrome FILE``
 before the positional arguments enable :mod:`repro.obs` for the whole
@@ -344,19 +349,28 @@ def build_session(
 
 def _pop_global_options(
     argv: list[str],
-) -> tuple[list[str], dict[str, str], int | None, int | None, str]:
+) -> tuple[list[str], dict[str, str], int | None, int | None, str, bool]:
     """Strip leading ``--trace/--metrics/--chrome FILE``, ``--jobs N``,
-    ``--retries N``, and ``--on-fault MODE`` option pairs; returns
-    ``(rest, obs_paths, jobs, retries, on_fault)``."""
+    ``--retries N``, ``--on-fault MODE`` option pairs and the bare
+    ``--json`` flag; returns ``(rest, obs_paths, jobs, retries,
+    on_fault, json_mode)``."""
     paths: dict[str, str] = {}
     jobs: int | None = None
     retries: int | None = None
     on_fault = "raise"
+    json_mode = False
     rest = list(argv)
     option_keys = {"--trace": "trace_path", "--metrics": "metrics_path",
                    "--chrome": "chrome_path"}
     flags = ("--jobs", "--retries", "--on-fault")
-    while len(rest) >= 2 and (rest[0] in option_keys or rest[0] in flags):
+    while rest and (
+        rest[0] == "--json"
+        or (len(rest) >= 2 and (rest[0] in option_keys or rest[0] in flags))
+    ):
+        if rest[0] == "--json":
+            json_mode = True
+            del rest[:1]
+            continue
         if rest[0] == "--jobs":
             try:
                 jobs = int(rest[1])
@@ -387,7 +401,7 @@ def _pop_global_options(
         else:
             paths[option_keys[rest[0]]] = rest[1]
         del rest[:2]
-    return rest, paths, jobs, retries, on_fault
+    return rest, paths, jobs, retries, on_fault, json_mode
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -408,8 +422,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.conformance.cli import selfcheck_main
 
         return selfcheck_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
     try:
-        argv, obs_paths, jobs, retries, on_fault = _pop_global_options(argv)
+        argv, obs_paths, jobs, retries, on_fault, json_mode = (
+            _pop_global_options(argv)
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -419,22 +439,29 @@ def main(argv: list[str] | None = None) -> int:
         obs.configure(**obs_paths)
     if not argv or argv[0] in ("-h", "--help"):
         print(
-            "usage: cable [--trace F] [--metrics F] [--chrome F] [--jobs N] "
-            "[--retries N] [--on-fault raise|quarantine] "
+            "usage: cable [--json] [--trace F] [--metrics F] [--chrome F] "
+            "[--jobs N] [--retries N] [--on-fault raise|quarantine] "
             "TRACE_FILE [FA_FILE]  |  cable --session FILE"
             "  |  cable lint ...  |  cable diff A B  |  cable profile SPEC ..."
-            "  |  cable selfcheck ...",
+            "  |  cable selfcheck ...  |  cable serve ...",
             file=sys.stderr,
         )
         print(__doc__, file=sys.stderr)
         return 0 if argv else 2
+    restored_from: str | None = None
+    recovery_warnings: list[str] = []
     try:
         if argv[0] == "--session":
             from repro.cable.persist import load_session_with_recovery
 
             session, recovery_warnings = load_session_with_recovery(argv[1])
-            for warning in recovery_warnings:
-                print(f"warning: {warning}", file=sys.stderr)
+            restored_from = argv[1]
+            if not json_mode:
+                # JSON mode reports the warnings in the startup document
+                # below — a machine attaching a session must see them on
+                # stdout, not on a stderr nobody parses.
+                for warning in recovery_warnings:
+                    print(f"warning: {warning}", file=sys.stderr)
             session.jobs = jobs
             session.retries = retries
             session.on_fault = on_fault
@@ -450,10 +477,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     cli = CableCLI(session)
-    cli.emit(
-        f"cable: {session.clustering.num_objects} trace classes, "
-        f"{len(session.lattice)} concepts; type 'help' for commands"
-    )
+    if json_mode:
+        import json as _json
+
+        cli.emit(
+            _json.dumps(
+                {
+                    "classes": session.clustering.num_objects,
+                    "concepts": len(session.lattice),
+                    "restored_from": restored_from,
+                    "warnings": recovery_warnings,
+                }
+            )
+        )
+    else:
+        cli.emit(
+            f"cable: {session.clustering.num_objects} trace classes, "
+            f"{len(session.lattice)} concepts; type 'help' for commands"
+        )
     try:
         cli.run(iter(sys.stdin.readline, ""))
     except KeyboardInterrupt:

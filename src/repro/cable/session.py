@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.cable.labels import LabelStore
@@ -29,6 +30,9 @@ from repro.core.trace_clustering import TraceClustering
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace
 from repro.learners.sk_strings import learn_sk_strings
+
+if TYPE_CHECKING:
+    from repro.robustness.budget import Budget
 
 #: A selection of a concept's traces: "all", "unlabeled", or
 #: ("label", <label>) for the traces currently carrying <label>.
@@ -207,7 +211,14 @@ class CableSession:
     # incremental updates
     # ------------------------------------------------------------------ #
 
-    def add_traces(self, traces: Sequence[Trace]) -> int:
+    def add_traces(
+        self,
+        traces: Sequence[Trace],
+        *,
+        budget: "Budget | None" = None,
+        task_timeout: float | None = None,
+        on_fault: str | None = None,
+    ) -> int:
         """Fold freshly reported traces into the open session.
 
         Traces identical to an existing class join it (and keep its
@@ -216,7 +227,8 @@ class CableSession:
         classes.  Concept *indices are preserved* for existing concepts,
         so a user's mental map of the lattice survives the update.
         The session's ``retries``/``on_fault`` knobs supervise the
-        relation fan-out.
+        relation fan-out; ``budget``/``task_timeout``/``on_fault``
+        override per call (the served session passes the request's).
         """
         from repro.core.trace_clustering import extend_clustering
 
@@ -225,9 +237,11 @@ class CableSession:
             self.clustering = extend_clustering(
                 self.clustering,
                 traces,
+                budget=budget,
                 jobs=self.jobs,
                 retry=self.retries,
-                on_fault=self.on_fault,
+                task_timeout=task_timeout,
+                on_fault=on_fault if on_fault is not None else self.on_fault,
             )
             self.lattice = self.clustering.lattice
             self.labels.grow(self.clustering.num_objects)

@@ -15,12 +15,22 @@ A crash before step 3 leaves the previous file (or its backup) intact;
 a crash during rotation leaves the previous content reachable as a
 backup.  :func:`backup_paths` enumerates the fallback chain newest
 first for loaders that verify-and-recover.
+
+Concurrent savers are safe too: each write stages through a uniquely
+named temp file (pid + thread id + a process-wide counter), so two
+threads — or two processes — racing through a save of the same path
+never share a staging file; the last rename wins and both outcomes are
+complete, checksum-valid documents.  Backup rotation tolerates a rival
+rotating the same chain concurrently (a source vanishing between the
+existence check and the rename is the rival's rotation, not an error).
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
+import threading
 from collections.abc import Callable
 from pathlib import Path
 
@@ -63,7 +73,12 @@ def _fsync_directory(directory: Path) -> None:
 
 
 def rotate_backups(path: str | Path, backups: int = 2) -> None:
-    """Shift ``path`` into the head of its backup chain (if it exists)."""
+    """Shift ``path`` into the head of its backup chain (if it exists).
+
+    Tolerates a concurrent rotation of the same chain: a source that
+    disappears between the existence check and the rename was simply
+    rotated (or promoted) by the rival first.
+    """
     path = Path(path)
     if backups < 1 or not path.exists():
         return
@@ -71,7 +86,23 @@ def rotate_backups(path: str | Path, backups: int = 2) -> None:
     for i in range(len(chain) - 1, 0, -1):
         src, dst = chain[i - 1], chain[i]
         if src.exists():
-            os.replace(src, dst)
+            try:
+                os.replace(src, dst)
+            except FileNotFoundError:
+                continue
+
+
+#: Process-wide staging-file serial; with pid + thread id it makes every
+#: in-flight write's temp name unique, so concurrent saves never clobber
+#: each other's staging file.
+_STAGING_SERIAL = itertools.count()
+
+
+def _staging_path(path: Path) -> Path:
+    return path.with_name(
+        f"{path.name}.tmp.{os.getpid()}.{threading.get_native_id()}."
+        f"{next(_STAGING_SERIAL)}"
+    )
 
 
 def atomic_write_text(path: str | Path, text: str, backups: int = 2) -> None:
@@ -79,9 +110,12 @@ def atomic_write_text(path: str | Path, text: str, backups: int = 2) -> None:
 
     The previous content (when any) survives as ``<path>.bak``; up to
     ``backups`` generations are kept.  ``backups=0`` skips rotation.
+    Safe under concurrent writers to the same path: each racer stages
+    through its own uniquely named temp file, so the survivor is always
+    one racer's complete document, never an interleaving.
     """
     path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = _staging_path(path)
     fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:

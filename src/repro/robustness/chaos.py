@@ -35,6 +35,7 @@ the checksum/backup recovery path.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import zlib
 from collections.abc import Callable
@@ -181,6 +182,7 @@ def from_env(environ: "os._Environ[str] | dict[str, str] | None" = None) -> (
 _profile: ChaosProfile | None = None
 _configured = False
 _write_counts: dict[str, int] = {}
+_write_counts_lock = threading.Lock()
 
 
 def _corrupt_hook(path: Any) -> None:
@@ -188,15 +190,24 @@ def _corrupt_hook(path: Any) -> None:
 
     Keyed by ``(path, per-path write ordinal)`` so repeated saves of the
     same session file are independent decisions, deterministically.
+    The ordinal counter is lock-guarded — concurrent savers of one path
+    are exactly the scenario the corruption tests race.
     """
     profile = active()
     if profile is None or profile.corrupt_rate <= 0.0:
         return
     name = str(path)
-    ordinal = _write_counts.get(name, 0)
-    _write_counts[name] = ordinal + 1
+    with _write_counts_lock:
+        ordinal = _write_counts.get(name, 0)
+        _write_counts[name] = ordinal + 1
     if profile.decides("corrupt", f"{name}:{ordinal}", profile.corrupt_rate):
-        flip_bit(path)
+        try:
+            flip_bit(path)
+        except (FileNotFoundError, ValueError):
+            # A rival writer rotated the file away — or a rival hook is
+            # mid-rewrite, so it read back empty — between our rename
+            # and this hook; the chaos layer must not add its own crash.
+            pass
 
 
 def configure(

@@ -8,8 +8,7 @@ under test runs unmodified.
 
 Promoted from the test suite so the chaos harness
 (:mod:`repro.robustness.chaos`), the robustness tests, and external
-users share one vocabulary; ``tests/faults.py`` re-exports everything
-here for older imports.
+users share one vocabulary.
 """
 
 from __future__ import annotations

@@ -1,0 +1,41 @@
+"""repro.service — the multi-tenant Cable debugging server.
+
+The paper's Cable is one analyst at one terminal; this package serves
+many concurrent debugging sessions from one process (ROADMAP item 2):
+
+* :mod:`repro.service.lifecycle` — the session state machine
+  (spawning → active ⇄ suspended → dead, zombies reaped);
+* :mod:`repro.service.manager` — the bounded session store: LRU/idle
+  eviction to disk, transparent resume, per-session serialization;
+* :mod:`repro.service.api` — the Cable verb set over JSON payloads;
+* :mod:`repro.service.server` — the stdlib HTTP layer + ``/metrics``;
+* :mod:`repro.service.client` — the thin client the tests drive;
+* :mod:`repro.service.cli` — ``cable serve``.
+
+See ``docs/service.md``.
+"""
+
+from repro.service.api import SessionService
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.lifecycle import (
+    LifecycleError,
+    SessionBusy,
+    SessionRecord,
+    SessionState,
+    StoreFull,
+)
+from repro.service.manager import SessionManager
+from repro.service.server import CableServer
+
+__all__ = [
+    "CableServer",
+    "LifecycleError",
+    "ServiceClient",
+    "ServiceError",
+    "SessionBusy",
+    "SessionManager",
+    "SessionRecord",
+    "SessionService",
+    "SessionState",
+    "StoreFull",
+]

@@ -1,0 +1,171 @@
+"""``cable serve`` — boot the multi-tenant Cable debugging server.
+
+Usage::
+
+    cable serve --port 8765 --store ./sessions \\
+        --max-sessions 16 --idle-ttl 300 --budget-wall 30
+
+The process serves until interrupted; ``--port 0`` binds an ephemeral
+port (printed on startup) for scripts and tests.  ``--budget-wall`` /
+``--task-timeout`` / ``--on-fault`` set the *server-wide* supervision
+defaults — individual requests can still send their own ``budget`` /
+``task_timeout`` / ``on_fault`` fields, which win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import obs
+from repro.robustness.budget import Budget
+from repro.robustness.errors import ReproError
+from repro.service.manager import (
+    DEFAULT_IDLE_TTL,
+    DEFAULT_LOCK_TIMEOUT,
+    DEFAULT_MAX_SESSIONS,
+    DEFAULT_ZOMBIE_AFTER,
+    SessionManager,
+)
+from repro.service.server import CableServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cable serve",
+        description="serve the Cable debugger over HTTP (JSON/REST)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    parser.add_argument(
+        "--store",
+        default="./cable-sessions",
+        help="directory for suspended-session files",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=DEFAULT_MAX_SESSIONS,
+        help="bound on in-memory sessions before LRU eviction",
+    )
+    parser.add_argument(
+        "--idle-ttl",
+        type=float,
+        default=DEFAULT_IDLE_TTL,
+        help="seconds of idleness before a session is suspended to disk",
+    )
+    parser.add_argument(
+        "--zombie-after",
+        type=float,
+        default=DEFAULT_ZOMBIE_AFTER,
+        help="seconds a request may hold a session before it is declared "
+        "a zombie",
+    )
+    parser.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=DEFAULT_LOCK_TIMEOUT,
+        help="seconds a request waits for a busy session before 503",
+    )
+    parser.add_argument(
+        "--maintenance-interval",
+        type=float,
+        default=30.0,
+        help="seconds between eviction/reaping sweeps",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool width for clustering fan-outs (0 = per CPU)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, help="retries per worker task"
+    )
+    parser.add_argument(
+        "--on-fault",
+        choices=("raise", "quarantine"),
+        default="raise",
+        help="default fault mode for clustering fan-outs",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="default per-task wall timeout (seconds)",
+    )
+    parser.add_argument(
+        "--budget-wall",
+        type=float,
+        default=None,
+        help="default per-request wall budget (seconds)",
+    )
+    parser.add_argument(
+        "--budget-concepts",
+        type=int,
+        default=None,
+        help="default per-request concept budget",
+    )
+    return parser
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point behind ``cable serve``."""
+    args = build_parser().parse_args(argv)
+    budget = None
+    if args.budget_wall is not None or args.budget_concepts is not None:
+        budget = Budget(
+            wall_seconds=args.budget_wall,
+            max_concepts=args.budget_concepts,
+        )
+    with obs.span("service.main", port=args.port):
+        try:
+            manager = SessionManager(
+                args.store,
+                max_sessions=args.max_sessions,
+                idle_ttl=args.idle_ttl,
+                zombie_after=args.zombie_after,
+                lock_timeout=args.lock_timeout,
+                jobs=args.jobs,
+                retries=args.retries,
+                on_fault=args.on_fault,
+                task_timeout=args.task_timeout,
+                budget=budget,
+            )
+            server = CableServer(
+                manager,
+                host=args.host,
+                port=args.port,
+                maintenance_interval=args.maintenance_interval,
+            )
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # Machine-readable banner: smoke scripts scrape the bound port.
+        print(
+            json.dumps(
+                {
+                    "serving": server.url,
+                    "store": str(manager.store_dir),
+                    "max_sessions": manager.max_sessions,
+                    "idle_ttl": manager.idle_ttl,
+                }
+            ),
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+        return 0
+
+
+__all__ = ["build_parser", "serve_main"]

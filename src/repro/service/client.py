@@ -1,0 +1,147 @@
+"""A thin, dependency-free client for the Cable debugging server.
+
+One :class:`ServiceClient` method per route; each call opens a fresh
+``http.client`` connection, so one client object is safe to share
+across threads (the end-to-end test drives N threads through a single
+instance).  Error responses re-raise as :class:`ServiceError` carrying
+the HTTP status and the server's taxonomy context — a client sees the
+same ``BudgetExceeded`` context a local caller would.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.robustness.errors import ReproError
+
+#: Default per-request socket timeout (seconds).
+DEFAULT_TIMEOUT = 60.0
+
+
+class ServiceError(ReproError):
+    """The server answered with an error document.
+
+    ``context["status"]`` is the HTTP status; the rest is the server's
+    error context, verbatim.
+    """
+
+
+class ServiceClient:
+    """JSON-over-HTTP access to one :class:`~repro.service.server.
+    CableServer`."""
+
+    def __init__(self, url: str, *, timeout: float = DEFAULT_TIMEOUT) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ServiceError(
+                "only http:// service URLs are supported", url=url
+            )
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    def request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> Any:
+        """One round trip; raises :class:`ServiceError` on error status."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                kind, message, context = _error_parts(raw)
+                raise ServiceError(
+                    f"{method} {path} -> {response.status}: {message}",
+                    status=response.status,
+                    server_error=kind,
+                    **context,
+                )
+            content_type = response.getheader("Content-Type") or ""
+            if content_type.startswith("application/json"):
+                return json.loads(raw.decode("utf-8"))
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/health")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text."""
+        return self.request("GET", "/metrics")
+
+    def create(
+        self, traces: list[str], fa: str | None = None, **options: Any
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"traces": traces, **options}
+        if fa is not None:
+            payload["fa"] = fa
+        return self.request("POST", "/sessions", payload)
+
+    def attach(self, path: str, **options: Any) -> dict[str, Any]:
+        return self.request(
+            "POST", "/sessions/attach", {"path": path, **options}
+        )
+
+    def sessions(self) -> list[dict[str, Any]]:
+        return self.request("GET", "/sessions")["sessions"]
+
+    def info(self, session: str) -> dict[str, Any]:
+        return self.request("GET", f"/sessions/{session}")
+
+    def kill(self, session: str) -> dict[str, Any]:
+        return self.request("DELETE", f"/sessions/{session}")
+
+    def verb(
+        self, session: str, verb: str, **payload: Any
+    ) -> dict[str, Any]:
+        """One Cable verb (``label``, ``focus``, ``addtraces``, ...)."""
+        return self.request("POST", f"/sessions/{session}/{verb}", payload)
+
+    def diff(self, **payload: Any) -> dict[str, Any]:
+        return self.request("POST", "/diff", payload)
+
+
+#: Context keys that would collide with ServiceError's own kwargs.
+_RESERVED = frozenset({"status", "server_error"})
+
+
+def _error_parts(raw: bytes) -> tuple[str, str, dict[str, Any]]:
+    """``(error_class, message, context)`` from an error body,
+    tolerating non-JSON responses."""
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return ("", raw[:200].decode("utf-8", "replace"), {})
+    error = document.get("error") if isinstance(document, dict) else None
+    if not isinstance(error, dict):
+        return ("", str(document)[:200], {})
+    context = error.get("context")
+    safe = (
+        {str(k): v for k, v in context.items() if k not in _RESERVED}
+        if isinstance(context, dict)
+        else {}
+    )
+    return (str(error.get("error", "")), str(error.get("message", "")), safe)
+
+
+__all__ = ["DEFAULT_TIMEOUT", "ServiceClient", "ServiceError"]

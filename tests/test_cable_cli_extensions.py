@@ -87,6 +87,54 @@ class TestSessionPersistence:
         captured = capsys.readouterr()
         assert "unlabeled" in captured.out
 
+    def test_main_json_banner(self, cli, tmp_path, monkeypatch, capsys):
+        import json
+
+        path = tmp_path / "session.json"
+        cli.run_line(f"savesession {path}")
+        monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
+        assert main(["--json", "--session", str(path)]) == 0
+        banner = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert banner["restored_from"] == str(path)
+        assert banner["warnings"] == []
+        assert banner["classes"] >= 1
+
+    def test_main_json_reports_recovery_warnings(
+        self, cli, tmp_path, monkeypatch, capsys
+    ):
+        """Backup-restore warnings reach JSON output too, not just the
+        text path's stderr — a machine attaching a session must see
+        them on stdout."""
+        import json
+
+        from repro.robustness.faults import flip_bit
+
+        path = tmp_path / "session.json"
+        cli.run_line(f"savesession {path}")
+        cli.run_line(f"savesession {path}")  # rotates a good backup
+        flip_bit(path)
+        monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
+        assert main(["--json", "--session", str(path)]) == 0
+        captured = capsys.readouterr()
+        banner = json.loads(captured.out.splitlines()[0])
+        assert banner["warnings"]
+        assert any("backup" in w for w in banner["warnings"])
+        # The text-mode warning channel stays quiet in JSON mode.
+        assert "warning:" not in captured.err
+
+    def test_main_text_recovery_warnings_on_stderr(
+        self, cli, tmp_path, monkeypatch, capsys
+    ):
+        from repro.robustness.faults import flip_bit
+
+        path = tmp_path / "session.json"
+        cli.run_line(f"savesession {path}")
+        cli.run_line(f"savesession {path}")
+        flip_bit(path)
+        monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
+        assert main(["--session", str(path)]) == 0
+        assert "warning:" in capsys.readouterr().err
+
     def test_main_usage(self, capsys):
         assert main(["--help"]) == 0
         assert main([]) == 2

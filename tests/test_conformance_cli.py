@@ -153,21 +153,6 @@ class TestBaselineLoader:
         with pytest.raises(InputError):
             Baseline.load(path)
 
-    def test_legacy_path_redirects_with_warning(self, tmp_path):
-        new_dir = tmp_path / "baselines"
-        new_dir.mkdir()
-        Baseline({"t": frozenset({"X@y"})}).save(new_dir / "spec_lint.json")
-        legacy = tmp_path / "spec_lint_baseline.json"
-        with pytest.warns(DeprecationWarning, match="has moved"):
-            baseline = load_baseline(legacy)
-        assert baseline.suppressions["t"] == frozenset({"X@y"})
-
-    def test_existing_legacy_file_read_as_is(self, tmp_path):
-        legacy = tmp_path / "spec_lint_baseline.json"
-        Baseline({"t": frozenset({"A@b"})}).save(legacy)
-        baseline = load_baseline(legacy)
-        assert baseline.suppressions["t"] == frozenset({"A@b"})
-
     def test_missing_ok_yields_empty(self, tmp_path):
         baseline = load_baseline(tmp_path / "nope.json", missing_ok=True)
         assert baseline.suppressions == {}

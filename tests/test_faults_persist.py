@@ -192,12 +192,3 @@ class TestValidation:
         assert "checksum" in str(info.value)
 
 
-def test_tests_faults_shim_warns_on_import():
-    """The back-compat shim still re-exports, but deprecated now."""
-    import importlib
-    import sys
-
-    sys.modules.pop("tests.faults", None)
-    with pytest.warns(DeprecationWarning, match="repro.robustness.faults"):
-        shim = importlib.import_module("tests.faults")
-    assert shim.SimulatedCrash is SimulatedCrash

@@ -1,0 +1,320 @@
+"""Unit tests for the session lifecycle machine and the bounded store."""
+
+import threading
+
+import pytest
+
+from repro.robustness.errors import InputError, LookupInputError
+from repro.service.lifecycle import (
+    LifecycleError,
+    SessionBusy,
+    SessionRecord,
+    SessionState,
+    StoreFull,
+    advance,
+)
+from repro.service.manager import SessionManager
+
+TRACES = [
+    "open(X); read(X); close(X)",
+    "open(Y); write(Y); close(Y)",
+    "open(Z); close(Z)",
+]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def manager(tmp_path, clock):
+    return SessionManager(
+        tmp_path / "store",
+        max_sessions=2,
+        idle_ttl=10.0,
+        zombie_after=30.0,
+        lock_timeout=0.2,
+        clock=clock,
+    )
+
+
+class TestLifecycleMachine:
+    def test_legal_path(self, tmp_path):
+        record = SessionRecord("s", tmp_path / "s.json")
+        advance(record, SessionState.ACTIVE)
+        advance(record, SessionState.SUSPENDED)
+        advance(record, SessionState.ACTIVE)
+        advance(record, SessionState.ZOMBIE)
+        advance(record, SessionState.ACTIVE)
+        advance(record, SessionState.DEAD)
+
+    @pytest.mark.parametrize(
+        "start,to",
+        [
+            (SessionState.SPAWNING, SessionState.SUSPENDED),
+            (SessionState.SPAWNING, SessionState.ZOMBIE),
+            (SessionState.SUSPENDED, SessionState.ZOMBIE),
+            (SessionState.DEAD, SessionState.ACTIVE),
+            (SessionState.DEAD, SessionState.SPAWNING),
+        ],
+    )
+    def test_illegal_hops_raise(self, tmp_path, start, to):
+        record = SessionRecord("s", tmp_path / "s.json", state=start)
+        with pytest.raises(LifecycleError):
+            advance(record, to)
+
+    def test_non_resident_record_has_no_session(self, tmp_path):
+        record = SessionRecord("s", tmp_path / "s.json")
+        with pytest.raises(LifecycleError):
+            record.session
+
+
+class TestSessionStore:
+    def test_create_and_run(self, manager):
+        record = manager.create(TRACES)
+        assert record.state is SessionState.ACTIVE
+        classes = manager.run(
+            record.session_id,
+            lambda r: r.session.clustering.num_objects,
+        )
+        assert classes >= 1
+        assert manager.info(record.session_id)["requests"] == 1
+
+    def test_session_id_validation(self, manager):
+        with pytest.raises(InputError):
+            manager.create(TRACES, session_id="../escape")
+        with pytest.raises(InputError):
+            manager.create(TRACES, session_id="")
+        record = manager.create(TRACES, session_id="good-id.1")
+        with pytest.raises(InputError):
+            manager.create(TRACES, session_id="good-id.1")
+
+    def test_unknown_session(self, manager):
+        with pytest.raises(LookupInputError):
+            manager.run("nope", lambda r: None)
+
+    def test_failed_spawn_is_buried(self, manager):
+        with pytest.raises(InputError):
+            manager.create([])
+        assert len(manager) == 0
+
+    def test_lru_eviction_on_overflow(self, manager, clock):
+        a = manager.create(TRACES, session_id="a")
+        clock.tick(1)
+        b = manager.create(TRACES, session_id="b")
+        clock.tick(1)
+        c = manager.create(TRACES, session_id="c")  # evicts a (LRU)
+        assert a.state is SessionState.SUSPENDED
+        assert a.path.exists()
+        assert b.state is SessionState.ACTIVE
+        assert c.state is SessionState.ACTIVE
+
+    def test_transparent_resume(self, manager, clock):
+        manager.create(TRACES, session_id="a")
+        clock.tick(1)
+        manager.create(TRACES, session_id="b")
+        clock.tick(1)
+        manager.create(TRACES, session_id="c")
+        # "a" is suspended on disk; touching it resumes it (and evicts
+        # the new LRU victim, "b").
+        classes = manager.run(
+            "a", lambda r: r.session.clustering.num_objects
+        )
+        assert classes >= 1
+        assert manager.info("a")["state"] == "active"
+        assert manager.info("b")["state"] == "suspended"
+
+    def test_store_full_when_everything_busy(self, manager):
+        entered = threading.Barrier(3, timeout=5.0)
+        release = threading.Event()
+        done = threading.Barrier(3, timeout=10.0)
+
+        def hold(sid: str) -> None:
+            def fn(record):
+                entered.wait()
+                release.wait(timeout=10.0)
+
+            manager.run(sid, fn)
+            done.wait()
+
+        manager.create(TRACES, session_id="a")
+        manager.create(TRACES, session_id="b")
+        threads = [
+            threading.Thread(target=hold, args=(sid,)) for sid in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        entered.wait()  # both sessions are mid-request: nothing evictable
+        try:
+            with pytest.raises(StoreFull):
+                manager.create(TRACES, session_id="c")
+        finally:
+            release.set()
+            done.wait()
+            for t in threads:
+                t.join()
+
+    def test_idle_ttl_sweep_suspends(self, manager, clock):
+        manager.create(TRACES, session_id="a")
+        clock.tick(11.0)  # > idle_ttl=10
+        swept = manager.maintain()
+        assert swept["suspended"] == 1
+        assert manager.info("a")["state"] == "suspended"
+
+    def test_zombie_detection_and_reaping(self, manager, clock):
+        manager.create(TRACES, session_id="a")
+        entered = threading.Event()
+        release = threading.Event()
+
+        def fn(record):
+            entered.set()
+            release.wait(timeout=10.0)
+
+        wedged = threading.Thread(target=manager.run, args=("a", fn))
+        wedged.start()
+        try:
+            assert entered.wait(timeout=5.0)
+            clock.tick(31.0)  # > zombie_after=30
+            swept = manager.maintain()
+            assert swept["zombies"] == 1
+            assert manager.info("a")["state"] == "zombie"
+            # A zombie refuses new requests (its lock is held).
+            with pytest.raises(SessionBusy):
+                manager.run("a", lambda r: None)
+            swept = manager.maintain()
+            assert swept["reaped"] == 1
+            with pytest.raises(LookupInputError):
+                manager.info("a")
+        finally:
+            release.set()
+            wedged.join()
+
+    def test_zombie_rehabilitates_if_request_finishes(self, manager, clock):
+        manager.create(TRACES, session_id="a")
+        entered = threading.Event()
+        release = threading.Event()
+
+        def fn(record):
+            entered.set()
+            release.wait(timeout=10.0)
+
+        wedged = threading.Thread(target=manager.run, args=("a", fn))
+        wedged.start()
+        assert entered.wait(timeout=5.0)
+        clock.tick(31.0)
+        manager.maintain()
+        assert manager.info("a")["state"] == "zombie"
+        release.set()  # the "wedged" request finishes after all
+        wedged.join()
+        manager.run("a", lambda r: None)  # rehabilitates
+        assert manager.info("a")["state"] == "active"
+
+    def test_kill_is_terminal(self, manager):
+        manager.create(TRACES, session_id="a")
+        manager.kill("a")
+        with pytest.raises(LookupInputError):
+            manager.run("a", lambda r: None)
+
+    def test_focused_session_not_evictable(self, manager, clock, tmp_path):
+        from repro.fa.templates import unordered_fa
+
+        a = manager.create(TRACES, session_id="a")
+
+        def open_focus(record):
+            session = record.session
+            symbols = sorted(
+                {str(e) for t in session.show_traces(session.lattice.top) for e in t}
+            )
+            record.stack.append(
+                session.focus(session.lattice.top, unordered_fa(symbols))
+            )
+
+        manager.run("a", open_focus)
+        clock.tick(1)
+        manager.create(TRACES, session_id="b")
+        clock.tick(1)
+        # The store is full and "a" (the LRU) is focused: "b" must be
+        # the victim instead.
+        manager.create(TRACES, session_id="c")
+        assert manager.info("a")["state"] == "active"
+        assert manager.info("b")["state"] == "suspended"
+
+    def test_same_session_serializes(self, manager):
+        manager.create(TRACES, session_id="a")
+        state = {"in_critical": False, "violation": False, "busy": False}
+        entered = threading.Event()
+        release = threading.Event()
+
+        def first(record):
+            state["in_critical"] = True
+            entered.set()
+            release.wait(timeout=10.0)
+            state["in_critical"] = False
+
+        def second(record):
+            # Runs only once the first request fully left the session.
+            if state["in_critical"]:
+                state["violation"] = True
+
+        t1 = threading.Thread(target=manager.run, args=("a", first))
+        t1.start()
+        assert entered.wait(timeout=5.0)
+
+        def try_second():
+            try:
+                manager.run("a", second)
+            except SessionBusy:
+                # Equally valid serialization outcome: the 0.2 s lock
+                # timeout expired while the first request held the lock.
+                state["busy"] = True
+
+        t2 = threading.Thread(target=try_second)
+        t2.start()
+        t2.join(timeout=1.0)
+        release.set()
+        t1.join()
+        t2.join()
+        assert not state["violation"]
+
+    def test_distinct_sessions_parallel(self, manager):
+        manager.create(TRACES, session_id="a")
+        manager.create(TRACES, session_id="b")
+        both_inside = threading.Barrier(2, timeout=5.0)
+
+        def fn(record):
+            both_inside.wait()  # passes only if both run concurrently
+
+        threads = [
+            threading.Thread(target=manager.run, args=(sid, fn))
+            for sid in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert both_inside.broken is False
+
+    def test_attach_returns_recovery_warnings(self, manager, tmp_path):
+        from repro.cable.persist import save_session
+        from repro.robustness.faults import flip_bit
+
+        record = manager.create(TRACES, session_id="a")
+        external = tmp_path / "external.session.json"
+        manager.run("a", lambda r: save_session(r.session, external))
+        save_session(record.session, external)  # rotate a good backup
+        flip_bit(external)
+        attached = manager.attach(external, session_id="re")
+        assert attached.warnings
+        assert any("backup" in w for w in attached.warnings)
