@@ -116,6 +116,21 @@ def _supervision(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _session_id(payload: dict[str, Any]) -> str | None:
+    """The optional ``session`` id from a payload, type-checked.
+
+    Anything non-string would otherwise surface as a ``TypeError``
+    deep in the manager's id validation — outside the error taxonomy,
+    so the connection would drop with no HTTP response at all.
+    """
+    session = payload.get("session")
+    if session is not None and not isinstance(session, str):
+        raise InputError(
+            "'session' must be a string id", session=repr(session)
+        )
+    return session
+
+
 def _concept(payload: dict[str, Any]) -> int:
     concept = payload.get("concept")
     if not isinstance(concept, int) or isinstance(concept, bool):
@@ -144,10 +159,15 @@ class SessionService:
             raise InputError(
                 "create needs 'traces': a list of trace strings"
             )
+        fa_text = payload.get("fa")
+        if fa_text is not None and not isinstance(fa_text, str):
+            raise InputError(
+                "create 'fa' must be FA text (a string)", fa=repr(fa_text)
+            )
         record = self.manager.create(
             traces,
-            payload.get("fa"),
-            session_id=payload.get("session"),
+            fa_text,
+            session_id=_session_id(payload),
             **_supervision(payload),
         )
         return self.manager.info(record.session_id)
@@ -163,7 +183,7 @@ class SessionService:
         if not isinstance(path, str) or not path:
             raise InputError("attach needs 'path': a session file path")
         record = self.manager.attach(
-            path, session_id=payload.get("session")
+            path, session_id=_session_id(payload)
         )
         return self.manager.info(record.session_id)
 
@@ -385,9 +405,14 @@ class SessionService:
                 session=record.session_id,
             )
         path = payload.get("path")
-        target = record.path if path is None else path
         if path is not None and not isinstance(path, str):
             raise InputError("save 'path' must be a string", path=repr(path))
+        if path is None:
+            target = record.path
+        else:
+            # Client-supplied targets go through path confinement: on a
+            # non-loopback bind they must stay inside the store dir.
+            target = self.manager.resolve_user_path(path)
         save_session(record.session, target)
         return {"saved": str(target)}
 

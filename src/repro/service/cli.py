@@ -80,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between eviction/reaping sweeps",
     )
     parser.add_argument(
+        "--allow-any-path",
+        action="store_true",
+        help="let save/attach use paths outside --store even on a "
+        "non-loopback bind (default: confined unless bound to loopback; "
+        "see the trust model in docs/service.md)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -137,6 +144,7 @@ def serve_main(argv: list[str] | None = None) -> int:
                 on_fault=args.on_fault,
                 task_timeout=args.task_timeout,
                 budget=budget,
+                confine_paths=False if args.allow_any_path else None,
             )
             server = CableServer(
                 manager,

@@ -51,7 +51,7 @@ from repro.fa.serialization import fa_from_text
 from repro.lang.traces import Trace, TraceSet, parse_trace
 from repro.learners.sk_strings import learn_sk_strings
 from repro.robustness.budget import Budget
-from repro.robustness.errors import InputError, LookupInputError, ReproError
+from repro.robustness.errors import InputError, LookupInputError
 from repro.service.lifecycle import (
     SessionBusy,
     SessionRecord,
@@ -98,6 +98,7 @@ class SessionManager:
         on_fault: str = "raise",
         task_timeout: float | None = None,
         budget: Budget | None = None,
+        confine_paths: bool | None = None,
         clock: Callable[[], float] | None = None,
     ) -> None:
         if max_sessions < 1:
@@ -116,6 +117,12 @@ class SessionManager:
         self.on_fault = on_fault
         self.task_timeout = task_timeout
         self.budget = budget
+        #: Restrict client-supplied save/attach paths to the store
+        #: directory.  ``None`` means "decide at bind time": the server
+        #: turns it on when listening on a non-loopback interface (an
+        #: unauthenticated remote client must not read or write
+        #: arbitrary files).
+        self.confine_paths = confine_paths
         self._clock = clock or time.monotonic
         #: LRU order: oldest first.  Guarded by ``_lock`` with every
         #: other piece of store metadata (record states, idle stamps).
@@ -129,6 +136,34 @@ class SessionManager:
 
     def _slot_path(self, session_id: str) -> Path:
         return self.store_dir / f"{session_id}.session.json"
+
+    def resolve_user_path(self, path: str | Path) -> Path:
+        """Vet a client-supplied session-file path (save/attach target).
+
+        With :attr:`confine_paths` on, the resolved path must live
+        inside the store directory; anything else is refused with
+        :class:`~repro.robustness.errors.InputError`.  Off (the
+        loopback-bind default), paths pass through untouched — the
+        trust model is documented in ``docs/service.md``.
+        """
+        if not isinstance(path, (str, Path)) or not str(path):
+            raise InputError(
+                "session file path must be a non-empty string",
+                path=repr(path),
+            )
+        if not self.confine_paths:
+            return Path(path)
+        resolved = Path(path).expanduser().resolve()
+        root = self.store_dir.resolve()
+        if resolved != root and root not in resolved.parents:
+            raise InputError(
+                "path is outside the session store (this server is not "
+                "bound to loopback, so save/attach paths are confined "
+                "to the store directory)",
+                path=str(path),
+                store=str(root),
+            )
+        return resolved
 
     def _register(self, session_id: str | None) -> SessionRecord:
         """Reserve a SPAWNING record (and its residency slot) atomically."""
@@ -256,7 +291,12 @@ class SessionManager:
                     retries=self.retries,
                     on_fault=on_fault if on_fault is not None else self.on_fault,
                 )
-            except ReproError:
+            except BaseException:
+                # Bury on *any* failure, not just the taxonomy: a record
+                # stuck in SPAWNING holds a residency slot forever and is
+                # never evictable, so a few malformed requests would fill
+                # the store. A bad request must fail one request, not the
+                # server.
                 self._bury(record)
                 raise
             with self._lock:
@@ -282,13 +322,14 @@ class SessionManager:
         than on a human's stderr.  Future suspensions write to the
         session's *store slot*, never back to the attached file.
         """
+        path = self.resolve_user_path(path)
         record = self._register(session_id)
         with obs.span(
             "service.attach", session=record.session_id, path=str(path)
         ) as span:
             try:
                 session, warnings = load_session_with_recovery(path)
-            except ReproError:
+            except BaseException:
                 self._bury(record)
                 raise
             session.jobs = self.jobs
@@ -467,11 +508,15 @@ class SessionManager:
                 ):
                     wedged = False
                     with self._lock:
-                        # Re-check under the lock: the request may have
-                        # finished while we were deciding.
+                        # Re-check under the lock — including the elapsed
+                        # time: the wedged request may have finished and a
+                        # *fresh* request started since the snapshot, and
+                        # a healthy session must not be zombified.
                         if (
                             record.state is SessionState.ACTIVE
                             and record.busy_since is not None
+                            and self._clock() - record.busy_since
+                            > self.zombie_after
                         ):
                             advance(record, SessionState.ZOMBIE)
                             wedged = True
@@ -529,7 +574,12 @@ class SessionManager:
             "requests": record.requests,
             "warnings": list(record.warnings),
         }
-        if record.stack:
+        # Live-object fields (lattice/clustering sizes) only while the
+        # session is quiescent: verbs mutate those structures under the
+        # *session* lock, and we hold only the store lock here.  While
+        # ``busy_since`` is set a verb may be mid-rebuild, so listings
+        # stick to metadata and never observe a transient state.
+        if record.stack and record.busy_since is None:
             session = record.stack[0]
             out["classes"] = session.clustering.num_objects
             out["concepts"] = len(session.lattice)

@@ -35,6 +35,7 @@ reaping) every ``maintenance_interval`` seconds.
 
 from __future__ import annotations
 
+import ipaddress
 import json
 import threading
 import time
@@ -62,6 +63,16 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 
 #: Content type of the Prometheus exposition format we emit.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def is_loopback_host(host: str) -> bool:
+    """Whether ``host`` can only be reached from this machine."""
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
 
 
 def status_for(exc: BaseException) -> int:
@@ -268,6 +279,12 @@ class CableServer:
         self.maintenance_interval = maintenance_interval
         self._httpd = _Server((host, port), self.service)
         self.host, self.port = self._httpd.server_address[:2]
+        # Path confinement by default when anyone off-box can reach us:
+        # save/attach take client-supplied file paths, and a non-loopback
+        # bind has no auth (docs/service.md, "Trust model").  An explicit
+        # SessionManager(confine_paths=...) choice is respected.
+        if self.manager.confine_paths is None:
+            self.manager.confine_paths = not is_loopback_host(str(self.host))
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
 
@@ -337,5 +354,6 @@ __all__ = [
     "MAX_BODY_BYTES",
     "PROMETHEUS_CONTENT_TYPE",
     "error_body",
+    "is_loopback_host",
     "status_for",
 ]

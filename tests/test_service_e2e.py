@@ -206,6 +206,35 @@ class TestErrorMapping:
             client.verb("v", "frobnicate")
         assert info.value.context["status"] == 400
 
+    def test_nonstring_fa_is_400_and_leaks_no_session(self, client):
+        """A non-string 'fa' used to escape the taxonomy (AttributeError
+        mid-spawn): the connection dropped with no response and the
+        reserved SPAWNING record leaked.  It must be a clean 400, and
+        the store must stay empty."""
+        with pytest.raises(ServiceError) as info:
+            client.request(
+                "POST", "/sessions", {"traces": TRACES, "fa": 123}
+            )
+        assert info.value.context["status"] == 400
+        assert client.sessions() == []
+        # The server is not poisoned: a good create still works.
+        assert client.create(TRACES, session="ok")["state"] == "active"
+
+    def test_nonstring_session_is_400(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.request(
+                "POST", "/sessions", {"traces": TRACES, "session": 123}
+            )
+        assert info.value.context["status"] == 400
+        with pytest.raises(ServiceError) as info:
+            client.request(
+                "POST",
+                "/sessions/attach",
+                {"path": "x.session.json", "session": 123},
+            )
+        assert info.value.context["status"] == 400
+        assert client.sessions() == []
+
     def test_attach_missing_file_is_409(self, client, tmp_path):
         with pytest.raises(ServiceError) as info:
             client.attach(str(tmp_path / "absent.session.json"))

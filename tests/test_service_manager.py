@@ -110,6 +110,35 @@ class TestSessionStore:
             manager.create([])
         assert len(manager) == 0
 
+    def test_spawn_failure_outside_taxonomy_is_buried(self, manager):
+        """A non-ReproError during spawn (here: AttributeError from FA
+        parsing on a non-string) must bury the reserved record too —
+        otherwise each bad request leaks a permanent SPAWNING ghost
+        that fills the residency bound (max_sessions=2)."""
+        for _ in range(3):
+            with pytest.raises(AttributeError):
+                manager.create(TRACES, fa_text=123)
+        assert len(manager) == 0
+        # The store is not poisoned: a good create still fits.
+        record = manager.create(TRACES)
+        assert record.state is SessionState.ACTIVE
+
+    def test_attach_failure_outside_taxonomy_is_buried(
+        self, manager, monkeypatch
+    ):
+        import repro.service.manager as manager_mod
+
+        def boom(path):
+            raise RuntimeError("unexpected loader fault")
+
+        monkeypatch.setattr(
+            manager_mod, "load_session_with_recovery", boom
+        )
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                manager.attach("whatever.session.json")
+        assert len(manager) == 0
+
     def test_lru_eviction_on_overflow(self, manager, clock):
         a = manager.create(TRACES, session_id="a")
         clock.tick(1)
@@ -306,6 +335,35 @@ class TestSessionStore:
             t.join(timeout=10.0)
         assert both_inside.broken is False
 
+    def test_busy_session_info_sticks_to_metadata(self, manager):
+        """Listings hold only the store lock, so while a verb is in
+        flight (and may be mutating the lattice under the session lock)
+        the snapshot must not dereference the live session object."""
+        manager.create(TRACES, session_id="a")
+        entered = threading.Event()
+        release = threading.Event()
+
+        def fn(record):
+            entered.set()
+            release.wait(timeout=10.0)
+
+        busy = threading.Thread(target=manager.run, args=("a", fn))
+        busy.start()
+        try:
+            assert entered.wait(timeout=5.0)
+            info = manager.info("a")
+            assert info["busy"] is True
+            assert "classes" not in info
+            assert "concepts" not in info
+            assert "operations" not in info
+        finally:
+            release.set()
+            busy.join()
+        # Quiescent again: the live-object fields come back.
+        info = manager.info("a")
+        assert info["busy"] is False
+        assert info["classes"] >= 1
+
     def test_attach_returns_recovery_warnings(self, manager, tmp_path):
         from repro.cable.persist import save_session
         from repro.robustness.faults import flip_bit
@@ -318,3 +376,76 @@ class TestSessionStore:
         attached = manager.attach(external, session_id="re")
         assert attached.warnings
         assert any("backup" in w for w in attached.warnings)
+
+
+class TestPathConfinement:
+    """Client-supplied save/attach paths on a non-loopback bind."""
+
+    @pytest.fixture
+    def confined(self, tmp_path, clock):
+        return SessionManager(
+            tmp_path / "store", confine_paths=True, clock=clock
+        )
+
+    def test_attach_outside_store_is_refused(self, confined, tmp_path):
+        outside = tmp_path / "elsewhere" / "x.session.json"
+        with pytest.raises(InputError):
+            confined.attach(outside)
+        assert len(confined) == 0
+
+    def test_save_outside_store_is_refused(self, confined, tmp_path):
+        from repro.service.api import SessionService
+
+        service = SessionService(confined)
+        record = confined.create(TRACES, session_id="a")
+        with pytest.raises(InputError):
+            service.handle_verb(
+                "a", "save", {"path": str(tmp_path / "evil.json")}
+            )
+        with pytest.raises(InputError):
+            service.handle_verb("a", "save", {"path": "../escape.json"})
+        # Inside the store directory is fine.
+        inside = confined.store_dir / "copy.session.json"
+        saved = service.handle_verb("a", "save", {"path": str(inside)})
+        assert saved["saved"] == str(inside.resolve())
+        assert inside.exists()
+        # And the default target (the session's own slot) still works.
+        assert service.handle_verb("a", "save", {})["saved"] == str(
+            record.path
+        )
+
+    def test_attach_inside_store_is_allowed(self, confined):
+        confined.create(TRACES, session_id="a")
+        assert confined.suspend("a") is True
+        attached = confined.attach(
+            confined.store_dir / "a.session.json", session_id="b"
+        )
+        assert attached.state is SessionState.ACTIVE
+
+    def test_unconfined_manager_passes_paths_through(
+        self, manager, tmp_path
+    ):
+        from repro.service.api import SessionService
+
+        service = SessionService(manager)
+        manager.create(TRACES, session_id="a")
+        external = tmp_path / "anywhere.session.json"
+        service.handle_verb("a", "save", {"path": str(external)})
+        assert external.exists()
+
+    def test_loopback_bind_leaves_paths_unconfined(self, tmp_path):
+        from repro.service.server import CableServer, is_loopback_host
+
+        manager = SessionManager(tmp_path / "store")
+        assert manager.confine_paths is None
+        server = CableServer(manager, host="127.0.0.1", port=0)
+        try:
+            assert manager.confine_paths is False
+        finally:
+            server._httpd.server_close()
+        assert is_loopback_host("127.0.0.1")
+        assert is_loopback_host("localhost")
+        assert is_loopback_host("::1")
+        assert not is_loopback_host("0.0.0.0")
+        assert not is_loopback_host("192.168.1.5")
+        assert not is_loopback_host("")
