@@ -3,17 +3,16 @@
 The conformance gate runs on every CI push, so its latency is a tracked
 number: the table splits model construction (parse + import resolution
 for the whole ``src/repro`` tree) from each CC pass's scan, and the
-autouse obs fixture writes ``BENCH_test_bench_conformance.json`` next
-to the other trajectories (compare runs with ``python
+document is claimed as ``BENCH_conformance.json`` via
+:func:`benchmarks.conftest.write_bench` (compare runs with ``python
 tools/calibrate.py --bench``).
 """
 
-import json
 import time
 from pathlib import Path
 
 import repro
-from benchmarks.conftest import RESULTS_DIR, report
+from benchmarks.conftest import report, write_bench
 from repro.analysis.conformance import ProjectModel, run_conformance
 from repro.analysis.conformance.engine import all_passes
 from repro.util.tables import format_table
@@ -54,7 +53,6 @@ def test_bench_conformance(benchmark):
     )
     report("conformance_costs", text)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
     scan_seconds = sum(r["ms"] for r in rows) / 1000
     doc = {
         "name": "conformance",
@@ -64,9 +62,7 @@ def test_bench_conformance(benchmark):
         "passes": rows,
         "scan_ms_total": scan_seconds * 1000,
     }
-    (RESULTS_DIR / "BENCH_conformance.json").write_text(
-        json.dumps(doc, indent=2) + "\n"
-    )
+    write_bench("conformance", doc)
 
     # The gate must stay interactive: a selfcheck that takes tens of
     # seconds would get skipped locally and rot.

@@ -14,12 +14,11 @@ writing the speedup table to ``benchmarks/results/BENCH_scalability.json``
 delta from it).
 """
 
-import json
 import os
 import time
 
 
-from benchmarks.conftest import RESULTS_DIR, report
+from benchmarks.conftest import report, write_bench
 from repro.core.context import FormalContext
 from repro.core.godin import build_lattice_godin
 from repro.util.rng import make_rng
@@ -145,15 +144,17 @@ def _relation_corpus(num_traces: int, length: int, seed: str):
 def test_scalability_relation_parallel(benchmark):
     """Ablation A4c: the relation phase, serial vs parallel vs cached.
 
-    Runs the same 600-trace corpus through ``relation_map`` serially
-    (``jobs=1``, no cache), over the process pool at ``jobs`` 2 and 4,
-    and once more against a hot cache; asserts all modes return
-    bit-identical rows and writes the speedup table to
+    Runs the same corpus (600 traces by default; the CI ``bench-kernels``
+    smoke job shrinks it with ``REPRO_BENCH_TRACES``) through
+    ``relation_map`` serially (``jobs=1``, no cache), over the process
+    pool at ``jobs`` 2 and 4, and once more against a hot cache; asserts
+    all modes return bit-identical rows and writes the speedup table to
     ``BENCH_scalability.json``.
     """
     from repro.parallel import RelationCache, relation_map
 
-    fa, traces = _relation_corpus(600, 40, "a4c")
+    corpus = int(os.environ.get("REPRO_BENCH_TRACES", "600"))
+    fa, traces = _relation_corpus(corpus, 40, "a4c")
 
     def timed(**kwargs):
         start = time.perf_counter()
@@ -191,11 +192,11 @@ def test_scalability_relation_parallel(benchmark):
     text += f"\n\n(measured on {cpus} CPU(s))"
     report("ablation_a4c_relation_parallel", text)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
     doc = {
         "name": "scalability",
         "corpus": len(traces),
         "cpus": cpus,
+        "seconds": serial_s,
         "parallel": [
             {
                 "mode": mode,
@@ -206,9 +207,7 @@ def test_scalability_relation_parallel(benchmark):
             for mode, jobs, seconds in modes
         ],
     }
-    (RESULTS_DIR / "BENCH_scalability.json").write_text(
-        json.dumps(doc, indent=2) + "\n"
-    )
+    write_bench("scalability", doc)
 
     # The hot cache must beat recomputing, on any machine.
     assert doc["parallel"][-1]["speedup"] > 1.0

@@ -10,10 +10,9 @@ a tracked number (compare runs with ``python tools/calibrate.py
 --bench``).
 """
 
-import json
 import time
 
-from benchmarks.conftest import RESULTS_DIR, report
+from benchmarks.conftest import report, write_bench
 from repro.analysis.semantic import diff_fas, label_flow, oracle_concept_labels
 from repro.core.trace_clustering import cluster_traces
 from repro.util.tables import format_table
@@ -76,16 +75,13 @@ def test_semantic_costs(benchmark):
     )
     report("semantic_costs", text)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
     doc = {
         "name": "semantic",
         "specs": rows,
         "diff_ms_total": sum(r["diff_ms"] for r in rows),
         "flow_ms_total": sum(r["flow_ms"] for r in rows),
     }
-    (RESULTS_DIR / "BENCH_semantic.json").write_text(
-        json.dumps(doc, indent=2) + "\n"
-    )
+    write_bench("semantic", doc)
 
     # Oracle-derived acts are conflict-free by construction; a conflict
     # here means the label-flow closures regressed.

@@ -5,11 +5,23 @@ artifacts are collected here and printed in the terminal summary (so
 ``pytest benchmarks/ --benchmark-only`` shows them even with output
 capture on) and written to ``benchmarks/results/``.
 
-Every benchmark also runs under :mod:`repro.obs` recording: an autouse
-fixture wraps the test in a root ``bench.<name>`` span and writes the
-phase times, span aggregates, and metrics it collected to
-``benchmarks/results/BENCH_<name>.json`` (compare runs with
-``python tools/calibrate.py --bench``).
+Every benchmark also runs under :mod:`repro.obs` recording, and every
+benchmark owns exactly **one** ``BENCH_<name>.json`` document:
+
+* a test that calls :func:`write_bench` claims its canonical name
+  (``write_bench("conformance", doc)`` →  ``BENCH_conformance.json``)
+  and the autouse fixture merges the obs profile into that same
+  document under a ``"profile"`` key — previously the fixture wrote a
+  second ``BENCH_test_<module>.json`` next to the claimed one and
+  ``calibrate.py --bench`` listed the benchmark twice;
+* a test that claims nothing gets an auto-named document derived from
+  its node id with the ``test_`` prefix stripped
+  (``test_bench_godin_800_objects`` → ``BENCH_bench_godin_800_objects
+  .json``).
+
+Stale documents under the old ``BENCH_test_*.json`` naming are removed
+at session start.  Compare runs with ``python tools/calibrate.py
+--bench``.
 """
 
 from __future__ import annotations
@@ -25,6 +37,11 @@ _REPORTS: list[tuple[str, str]] = []
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: The document claimed by the currently running benchmark, if any:
+#: ``(canonical_name, doc)`` staged by :func:`write_bench` and written
+#: (with the obs profile merged in) by the ``obs_profile`` fixture.
+_claimed: tuple[str, dict] | None = None
+
 
 def report(name: str, text: str) -> None:
     """Register a rendered table/figure for the terminal summary."""
@@ -34,19 +51,47 @@ def report(name: str, text: str) -> None:
     path.write_text(text + "\n")
 
 
+def write_bench(name: str, doc: dict) -> None:
+    """Claim the canonical ``BENCH_<name>.json`` document for the
+    running benchmark.
+
+    The document is written once, after the test body, with the obs
+    profile the autouse fixture recorded merged under ``"profile"`` —
+    one benchmark, one document, whatever ``doc.get("name")`` says.
+    """
+    global _claimed
+    if _claimed is not None and _claimed[0] != name:
+        raise ValueError(
+            f"benchmark already claimed BENCH_{_claimed[0]}.json; "
+            f"cannot also claim BENCH_{name}.json"
+        )
+    _claimed = (name, dict(doc, name=name))
+
+
 def _bench_name(nodeid: str) -> str:
-    """``bench_scalability.py::test_godin[800]`` -> ``test_godin_800``."""
+    """``bench_scalability.py::test_godin[800]`` -> ``bench_godin_800``."""
     name = nodeid.rsplit("::", 1)[-1]
-    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+    return name.removeprefix("test_")
+
+
+def pytest_sessionstart(session):
+    """Drop documents under the retired ``BENCH_test_*.json`` naming."""
+    if not RESULTS_DIR.is_dir():
+        return
+    for path in RESULTS_DIR.glob("BENCH_test_*.json"):
+        path.unlink(missing_ok=True)
 
 
 @pytest.fixture(autouse=True)
 def obs_profile(request):
-    """Record every benchmark under a root span and dump BENCH_*.json."""
+    """Record every benchmark under a root span and dump its BENCH doc."""
     from repro import obs
 
+    global _claimed
     name = _bench_name(request.node.nodeid)
     recorder = obs.configure(record=True)
+    _claimed = None
     try:
         with obs.span(f"bench.{name}"):
             yield
@@ -54,8 +99,14 @@ def obs_profile(request):
     finally:
         obs.shutdown()
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(profile.to_dict(), indent=2) + "\n")
+    if _claimed is not None:
+        doc_name, doc = _claimed
+        _claimed = None
+        doc["profile"] = profile.to_dict()
+    else:
+        doc_name, doc = name, profile.to_dict()
+    path = RESULTS_DIR / f"BENCH_{doc_name}.json"
+    path.write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

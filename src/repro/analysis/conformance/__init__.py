@@ -17,6 +17,9 @@ enforces one architectural invariant that earlier work paid for by hand:
             ``except``, swallowed ``ReproError`` subclasses)
 ``CC006``   lock discipline: writes to ``_lock``-guarded state outside
             a ``with <lock>`` block
+``CC007``   hardened accessors: ``*_index`` dict-comprehension lookup
+            tables subscripted directly, so unknown user-supplied names
+            raise bare ``KeyError`` instead of ``LookupInputError``
 ==========  ==========================================================
 
 Run it as ``cable selfcheck`` (text/JSON, exit-code gate, baseline file
@@ -43,6 +46,7 @@ from repro.analysis.conformance import (  # noqa: F401  (registration)
     cc004_plumbing,
     cc005_errors,
     cc006_locks,
+    cc007_accessors,
 )
 
 __all__ = [

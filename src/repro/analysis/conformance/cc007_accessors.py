@@ -1,0 +1,138 @@
+"""CC007 — hardened name-resolution accessors.
+
+PR 9 fixed :meth:`~repro.core.context.FormalContext.from_pairs` raising
+a bare ``KeyError`` (no offending name, no suggestion) when an incidence
+pair mentions an unknown object or attribute.  The defect class is
+general: a lookup table built as a dict comprehension (the repo names
+them ``*_index``), indexed directly with user-supplied text.  When the
+name is absent the caller gets ``KeyError: 'opne'`` with no hint of the
+input field, the candidates, or a near-miss suggestion — the exact
+failure mode the :class:`~repro.robustness.errors.LookupInputError`
+taxonomy (and :func:`repro.core.context._near_miss`) exists to prevent.
+
+This pass flags ``some_index[...]`` subscript *loads* where
+``some_index`` is a local assigned from a dict comprehension, unless the
+access sits inside a ``try`` whose handlers catch ``KeyError`` /
+``LookupError`` (or a taxonomy type that subsumes them).  The fix is
+``.get`` plus an explicit ``LookupInputError`` carrying the offending
+name and a ``difflib`` suggestion, as ``from_pairs`` now does.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.conformance.engine import ConformancePass, register_pass
+from repro.analysis.conformance.model import (
+    ModuleInfo,
+    ProjectModel,
+    enclosing_functions,
+)
+from repro.analysis.diagnostics import Diagnostic
+
+#: Lookup-table locals follow the repo's ``*_index`` naming convention.
+INDEX_SUFFIX = "_index"
+
+#: Handler types that make a direct subscript acceptable: the KeyError
+#: is caught and (presumably) translated right there.
+GUARD_TYPES = frozenset(
+    {
+        "KeyError",
+        "LookupError",
+        "LookupInputError",
+        "InputError",
+        "ReproError",
+        "Exception",
+        "BaseException",
+    }
+)
+
+
+def _handler_names(node: ast.expr | None) -> set[str]:
+    if node is None:
+        return set(GUARD_TYPES)  # bare except catches KeyError too
+    if isinstance(node, ast.Tuple):
+        out: set[str] = set()
+        for element in node.elts:
+            out |= _handler_names(element)
+        return out
+    dotted = ProjectModel.dotted_name(node)
+    return {dotted.split(".")[-1]} if dotted else set()
+
+
+def _guarded_ids(fn: ast.AST) -> set[int]:
+    """ids of nodes lying inside a try whose handlers catch lookups."""
+    guarded: set[int] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        caught: set[str] = set()
+        for handler in node.handlers:
+            caught |= _handler_names(handler.type)
+        if not caught & GUARD_TYPES:
+            continue
+        for stmt in node.body:
+            for inner in ast.walk(stmt):
+                guarded.add(id(inner))
+    return guarded
+
+
+def _index_locals(fn: ast.AST) -> set[str]:
+    """Local ``*_index`` names assigned from a dict comprehension."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.DictComp):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id.endswith(
+                INDEX_SUFFIX
+            ):
+                names.add(target.id)
+    return names
+
+
+@register_pass
+class HardenedAccessorPass(ConformancePass):
+    code = "CC007"
+    severity = "error"
+    summary = (
+        "dict-comprehension lookup tables (*_index) subscripted directly "
+        "— unknown names raise bare KeyError instead of LookupInputError "
+        "with a near-miss suggestion"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        for qualname, fn in enclosing_functions(module.tree):
+            tables = _index_locals(fn)
+            if not tables:
+                continue
+            guarded = _guarded_ids(fn)
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in tables
+                    and id(node) not in guarded
+                ):
+                    yield self.finding(
+                        module,
+                        qualname,
+                        node,
+                        f"{node.value.id}[...] raises a bare KeyError for "
+                        "unknown names — the caller learns neither the "
+                        "offending input nor the candidates",
+                        suggestion=(
+                            f"use {node.value.id}.get(...) and raise "
+                            "LookupInputError with a difflib near-miss "
+                            "suggestion (see FormalContext.from_pairs)"
+                        ),
+                    )
+
+
+__all__ = ["HardenedAccessorPass"]

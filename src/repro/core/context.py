@@ -13,11 +13,120 @@ The two derivation operators:
   ``τ(∅)`` is the full object set.
 
 The paper's similarity measure is ``sim(X) = |σ(X)|`` (Section 3.1).
+
+Internally every kernel runs over **int bitmasks**: bit ``i`` of a row
+mask is attribute ``i``, bit ``o`` of a column mask is object ``o``, so
+σ/τ/closure are chains of bitwise ANDs and ``sim`` is one ``bit_count``.
+:class:`BitContext` exposes that encoding directly for the construction
+algorithms (Godin, NextClosure, batch closure); the frozenset API of
+:class:`FormalContext` is kept as a thin adapter so existing callers —
+:mod:`repro.core.concepts`, :mod:`repro.core.trace_clustering`, the
+Cable views, the lint invariants — are untouched.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import difflib
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.robustness.errors import LookupInputError
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """The bitmask with exactly ``indices`` set."""
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def set_of(mask: int) -> frozenset[int]:
+    """The frozenset of set bit positions of ``mask``."""
+    return frozenset(iter_bits(mask))
+
+
+def _near_miss(name: str, candidates: Iterable[str]) -> str | None:
+    """A ``did you mean ...?`` suggestion for an unknown name, if any."""
+    close = difflib.get_close_matches(name, sorted(candidates), n=3)
+    if not close:
+        return None
+    return "did you mean " + " or ".join(repr(c) for c in close) + "?"
+
+
+class BitContext:
+    """The int-bitmask view of a formal context.
+
+    ``rows_bits[o]`` has bit ``a`` set iff ``(o, a) ∈ R``;
+    ``columns_bits[a]`` has bit ``o`` set iff ``(o, a) ∈ R``.  All
+    derivation kernels are bitwise AND chains with early exit, and
+    :meth:`similarity` is a popcount — no set objects are allocated.
+    """
+
+    __slots__ = (
+        "num_objects",
+        "num_attributes",
+        "rows_bits",
+        "columns_bits",
+        "all_objects_bits",
+        "all_attributes_bits",
+    )
+
+    def __init__(
+        self, rows_bits: Sequence[int], num_objects: int, num_attributes: int
+    ) -> None:
+        self.num_objects = num_objects
+        self.num_attributes = num_attributes
+        self.rows_bits: tuple[int, ...] = tuple(rows_bits)
+        columns = [0] * num_attributes
+        for o, row in enumerate(self.rows_bits):
+            bit = 1 << o
+            for a in iter_bits(row):
+                columns[a] |= bit
+        self.columns_bits: tuple[int, ...] = tuple(columns)
+        self.all_objects_bits = (1 << num_objects) - 1
+        self.all_attributes_bits = (1 << num_attributes) - 1
+
+    def sigma_bits(self, objs_bits: int) -> int:
+        """σ over masks: attributes shared by every object of ``objs_bits``."""
+        result = self.all_attributes_bits
+        rows = self.rows_bits
+        mask = objs_bits
+        while mask and result:
+            low = mask & -mask
+            result &= rows[low.bit_length() - 1]
+            mask ^= low
+        return result
+
+    def tau_bits(self, attrs_bits: int) -> int:
+        """τ over masks: objects enjoying every attribute of ``attrs_bits``."""
+        result = self.all_objects_bits
+        columns = self.columns_bits
+        mask = attrs_bits
+        while mask and result:
+            low = mask & -mask
+            result &= columns[low.bit_length() - 1]
+            mask ^= low
+        return result
+
+    def intent_closure_bits(self, attrs_bits: int) -> int:
+        """σ(τ(Y)) over masks."""
+        return self.sigma_bits(self.tau_bits(attrs_bits))
+
+    def extent_closure_bits(self, objs_bits: int) -> int:
+        """τ(σ(X)) over masks."""
+        return self.tau_bits(self.sigma_bits(objs_bits))
+
+    def similarity(self, objs_bits: int) -> int:
+        """``|σ(X)|`` as one popcount of the AND chain."""
+        return self.sigma_bits(objs_bits).bit_count()
 
 
 class FormalContext:
@@ -52,6 +161,7 @@ class FormalContext:
         )
         self.all_objects: frozenset[int] = frozenset(range(len(self.objects)))
         self.all_attributes: frozenset[int] = frozenset(range(num_attrs))
+        self._bits: BitContext | None = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -64,12 +174,33 @@ class FormalContext:
         attributes: Sequence[str],
         pairs: Iterable[tuple[str, str]],
     ) -> "FormalContext":
-        """Build a context from named ``(object, attribute)`` pairs."""
+        """Build a context from named ``(object, attribute)`` pairs.
+
+        An unknown object or attribute name raises
+        :class:`~repro.robustness.errors.LookupInputError` (an
+        :class:`InputError` that is also a :class:`KeyError`) carrying a
+        ``difflib`` near-miss suggestion, matching the hardened-accessor
+        convention everywhere else user-supplied names are resolved.
+        """
         obj_index = {name: i for i, name in enumerate(objects)}
         attr_index = {name: i for i, name in enumerate(attributes)}
         rows: list[set[int]] = [set() for _ in objects]
         for obj, attr in pairs:
-            rows[obj_index[obj]].add(attr_index[attr])
+            o = obj_index.get(obj)
+            if o is None:
+                raise LookupInputError(
+                    "unknown object name in incidence pairs",
+                    object=obj,
+                    suggestion=_near_miss(obj, obj_index),
+                )
+            a = attr_index.get(attr)
+            if a is None:
+                raise LookupInputError(
+                    "unknown attribute name in incidence pairs",
+                    attribute=attr,
+                    suggestion=_near_miss(attr, attr_index),
+                )
+            rows[o].add(a)
         return cls(objects, attributes, rows)
 
     @classmethod
@@ -97,35 +228,36 @@ class FormalContext:
     def num_attributes(self) -> int:
         return len(self.attributes)
 
+    @property
+    def bits(self) -> BitContext:
+        """The bitmask view (built lazily, cached for the context's life)."""
+        if self._bits is None:
+            self._bits = BitContext(
+                [mask_of(row) for row in self.rows],
+                self.num_objects,
+                self.num_attributes,
+            )
+        return self._bits
+
     def sigma(self, objs: Iterable[int]) -> frozenset[int]:
         """σ: attributes shared by every object in ``objs``."""
-        result: frozenset[int] | None = None
-        for o in objs:
-            result = self.rows[o] if result is None else result & self.rows[o]
-            if not result:
-                break
-        return self.all_attributes if result is None else result
+        return set_of(self.bits.sigma_bits(mask_of(objs)))
 
     def tau(self, attrs: Iterable[int]) -> frozenset[int]:
         """τ: objects enjoying every attribute in ``attrs``."""
-        result: frozenset[int] | None = None
-        for a in attrs:
-            result = self.columns[a] if result is None else result & self.columns[a]
-            if not result:
-                break
-        return self.all_objects if result is None else result
+        return set_of(self.bits.tau_bits(mask_of(attrs)))
 
     def intent_closure(self, attrs: Iterable[int]) -> frozenset[int]:
         """The closure σ(τ(Y)) of an attribute set."""
-        return self.sigma(self.tau(attrs))
+        return set_of(self.bits.intent_closure_bits(mask_of(attrs)))
 
     def extent_closure(self, objs: Iterable[int]) -> frozenset[int]:
         """The closure τ(σ(X)) of an object set."""
-        return self.tau(self.sigma(objs))
+        return set_of(self.bits.extent_closure_bits(mask_of(objs)))
 
     def similarity(self, objs: Iterable[int]) -> int:
         """The paper's similarity of an object set: ``|σ(X)|``."""
-        return len(self.sigma(objs))
+        return self.bits.similarity(mask_of(objs))
 
     def has(self, obj: int, attr: int) -> bool:
         """Membership test for R."""

@@ -18,6 +18,14 @@ intent; its parents are the new/modified concepts with maximal strictly
 smaller intent; edges that the insertion makes transitive (child-of-new to
 parent-of-new) are removed.
 
+Intents and extents are held as **int bitmasks** throughout (see
+:class:`~repro.core.context.BitContext`): the subset tests, meets, and
+maximality scans of every insertion are single bitwise ops instead of
+frozenset algebra, and batch insertion
+(:meth:`GodinLatticeBuilder.add_objects`) feeds the per-object loop
+straight from the context's precomputed row masks.  The public API is
+unchanged — checkpoints and built lattices still speak frozensets.
+
 The builder also maintains the lattice-wide invariant that a concept with
 intent = (all attributes seen so far) always exists — the canonical bottom
 — growing or splitting it when an object introduces fresh attributes.
@@ -38,12 +46,12 @@ contexts.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from repro import obs
 from repro.core.concepts import Concept, ConceptLattice
-from repro.core.context import FormalContext
+from repro.core.context import FormalContext, mask_of, set_of
 from repro.robustness.budget import Budget, BudgetMeter
 from repro.robustness.errors import BudgetExceeded
 
@@ -70,15 +78,20 @@ class LatticeCheckpoint:
 
 
 class GodinLatticeBuilder:
-    """Incrementally builds a concept lattice, one object at a time."""
+    """Incrementally builds a concept lattice, one object at a time.
+
+    Extents and intents live as int bitmasks while the build runs;
+    :meth:`snapshot` and :meth:`build` convert back to frozensets at the
+    boundary.
+    """
 
     def __init__(self, budget: Budget | None = None,
                  clock: Callable[[], float] | None = None) -> None:
-        self._extents: list[set[int]] = []
-        self._intents: list[frozenset[int]] = []
+        self._extents: list[int] = []
+        self._intents: list[int] = []
         self._parents: list[set[int]] = []
         self._children: list[set[int]] = []
-        self._all_attrs: frozenset[int] = frozenset()
+        self._all_attrs: int = 0
         self._num_objects = 0
         self._budget = budget if budget and not budget.unlimited else None
         self._clock = clock
@@ -99,11 +112,11 @@ class GodinLatticeBuilder:
         """
         builder = cls(budget=budget)
         for concept in lattice.concepts:
-            builder._extents.append(set(concept.extent))
-            builder._intents.append(concept.intent)
+            builder._extents.append(mask_of(concept.extent))
+            builder._intents.append(mask_of(concept.intent))
         builder._parents = [set(p) for p in lattice.parents]
         builder._children = [set(c) for c in lattice.children]
-        builder._all_attrs = lattice.context.all_attributes
+        builder._all_attrs = mask_of(lattice.context.all_attributes)
         builder._num_objects = lattice.context.num_objects
         obs.inc("godin.resumes")
         return builder
@@ -118,11 +131,11 @@ class GodinLatticeBuilder:
         """Resume from a :class:`LatticeCheckpoint` (e.g. one carried by a
         ``BudgetExceeded``).  The wall clock restarts at the first insert."""
         builder = cls(budget=budget, clock=clock)
-        builder._extents = [set(e) for e in checkpoint.extents]
-        builder._intents = list(checkpoint.intents)
+        builder._extents = [mask_of(e) for e in checkpoint.extents]
+        builder._intents = [mask_of(i) for i in checkpoint.intents]
         builder._parents = [set(p) for p in checkpoint.parents]
         builder._children = [set(c) for c in checkpoint.children]
-        builder._all_attrs = checkpoint.all_attrs
+        builder._all_attrs = mask_of(checkpoint.all_attrs)
         builder._num_objects = checkpoint.num_objects
         obs.inc("godin.resumes")
         return builder
@@ -131,11 +144,11 @@ class GodinLatticeBuilder:
         """A consistent, immutable copy of the current partial lattice."""
         obs.inc("godin.snapshots")
         return LatticeCheckpoint(
-            extents=tuple(frozenset(e) for e in self._extents),
-            intents=tuple(self._intents),
+            extents=tuple(set_of(e) for e in self._extents),
+            intents=tuple(set_of(i) for i in self._intents),
             parents=tuple(frozenset(p) for p in self._parents),
             children=tuple(frozenset(c) for c in self._children),
-            all_attrs=self._all_attrs,
+            all_attrs=set_of(self._all_attrs),
             num_objects=self._num_objects,
         )
 
@@ -190,7 +203,7 @@ class GodinLatticeBuilder:
     def num_concepts(self) -> int:
         return len(self._intents)
 
-    def _new_concept(self, extent: set[int], intent: frozenset[int]) -> int:
+    def _new_concept(self, extent: int, intent: int) -> int:
         self._extents.append(extent)
         self._intents.append(intent)
         self._parents.append(set())
@@ -229,20 +242,42 @@ class GodinLatticeBuilder:
         """
         with obs.span("godin.insert", objects=self._num_objects + 1):
             self._check_budget(self._num_objects + 1)
-            self._insert(obj, row)
+            self._insert(obj, mask_of(row))
             self._check_budget(self._num_objects)
             self._refresh_checkpoint()
         obs.inc("godin.inserts")
 
-    def _insert(self, obj: int, row: Iterable[int]) -> None:
-        row = frozenset(row)
+    def add_objects(
+        self, rows_bits: Sequence[int], first_obj: int | None = None
+    ) -> None:
+        """Batch-insert consecutive objects whose rows are attribute masks.
+
+        The per-object budget discipline of :meth:`add_object` is kept
+        (wall/object check before each insertion, concept check after,
+        periodic checkpoint refresh), but the whole batch runs under one
+        ``godin.batch_insert`` span instead of one span per object —
+        the per-insert observability overhead was measurable at the
+        100k-object scale this path targets.
+        """
+        start = self._num_objects if first_obj is None else first_obj
+        with obs.span("godin.batch_insert", objects=len(rows_bits)) as span:
+            for offset, row_bits in enumerate(rows_bits):
+                self._check_budget(self._num_objects + 1)
+                self._insert(start + offset, row_bits)
+                self._check_budget(self._num_objects)
+                self._refresh_checkpoint()
+            span.set(concepts=len(self._intents))
+        obs.inc("godin.inserts", len(rows_bits))
+
+    def _insert(self, obj: int, row: int) -> None:
+        obj_bit = 1 << obj
         self._num_objects += 1
         if not self._intents:
             self._all_attrs = row
-            self._new_concept({obj}, row)
+            self._new_concept(obj_bit, row)
             return
 
-        if not row <= self._all_attrs:
+        if row & ~self._all_attrs:
             # The object brings new attributes: restore the bottom
             # invariant before the main pass.
             grown = self._all_attrs | row
@@ -250,52 +285,65 @@ class GodinLatticeBuilder:
             if not self._extents[bottom]:
                 self._intents[bottom] = grown
             else:
-                fresh = self._new_concept(set(), grown)
+                fresh = self._new_concept(0, grown)
                 self._link(fresh, bottom)
             self._all_attrs = grown
 
         # Process a snapshot of the existing concepts by ascending intent
         # size; concepts created during the pass are consulted through
         # ``updated`` only.
-        snapshot = sorted(range(len(self._intents)), key=lambda c: len(self._intents[c]))
-        updated: dict[frozenset[int], int] = {}
+        intents = self._intents
+        extents = self._extents
+        snapshot = sorted(
+            range(len(intents)), key=lambda c: intents[c].bit_count()
+        )
+        updated: dict[int, int] = {}
         for c in snapshot:
-            intent = self._intents[c]
-            if intent <= row:
-                # Modified concept.
-                self._extents[c].add(obj)
+            intent = intents[c]
+            if not intent & ~row:
+                # Modified concept (intent ⊆ row).
+                extents[c] |= obj_bit
                 updated[intent] = c
                 continue
             meet = intent & row
             if meet in updated:
                 continue
             # ``c`` is the canonical generator for this intersection.
-            new = self._new_concept(set(self._extents[c]) | {obj}, meet)
+            new = self._new_concept(extents[c] | obj_bit, meet)
             updated[meet] = new
 
             # Children: the generator plus maximal updated concepts whose
             # intent strictly contains ``meet``.
             candidates = [
-                d for intent_d, d in updated.items() if meet < intent_d and d != new
+                d
+                for intent_d, d in updated.items()
+                if intent_d != meet and not meet & ~intent_d and d != new
             ]
             candidates.append(c)
             children = [
                 d
                 for d in candidates
                 if not any(
-                    e != d and self._extents[d] < self._extents[e]
+                    e != d
+                    and extents[d] != extents[e]
+                    and not extents[d] & ~extents[e]
                     for e in candidates
                 )
             ]
             # Parents: updated concepts with maximal intent strictly below.
             above = [
-                d for intent_d, d in updated.items() if intent_d < meet and d != new
+                d
+                for intent_d, d in updated.items()
+                if intent_d != meet and not intent_d & ~meet and d != new
             ]
             parents = [
                 d
                 for d in above
                 if not any(
-                    e != d and self._intents[d] < self._intents[e] for e in above
+                    e != d
+                    and intents[d] != intents[e]
+                    and not intents[d] & ~intents[e]
+                    for e in above
                 )
             ]
             for child in children:
@@ -316,7 +364,7 @@ class GodinLatticeBuilder:
         """Freeze the builder into a :class:`ConceptLattice` for ``context``."""
         with obs.span("godin.freeze", concepts=len(self._intents)):
             concepts = [
-                Concept(frozenset(extent), intent)
+                Concept(set_of(extent), set_of(intent))
                 for extent, intent in zip(self._extents, self._intents)
             ]
             return ConceptLattice(
@@ -349,23 +397,26 @@ def build_lattice_godin(
         attributes=context.num_attributes,
         resumed=resume_from is not None,
     ) as build_span:
-        for obj in range(builder._num_objects, context.num_objects):
-            builder.add_object(obj, context.rows[obj])
+        if builder._num_objects < context.num_objects:
+            builder.add_objects(
+                context.bits.rows_bits[builder._num_objects:],
+                first_obj=builder._num_objects,
+            )
         build_span.set(concepts=builder.num_concepts)
+    all_attrs_bits = context.bits.all_attributes_bits
     if context.num_objects == 0:
         # Degenerate context: the lattice is the single concept (∅, A).
-        builder._new_concept(set(), context.all_attributes)
-        builder._all_attrs = context.all_attributes
+        builder._new_concept(0, all_attrs_bits)
+        builder._all_attrs = all_attrs_bits
     else:
         # Attributes that occur in no row still belong to the bottom intent.
-        missing = context.all_attributes - builder._all_attrs
-        if missing:
+        if all_attrs_bits & ~builder._all_attrs:
             bottom = builder._bottom_concept()
             if builder._extents[bottom]:
-                fresh = builder._new_concept(set(), context.all_attributes)
+                fresh = builder._new_concept(0, all_attrs_bits)
                 builder._link(fresh, bottom)
             else:
-                builder._intents[bottom] = context.all_attributes
-            builder._all_attrs = context.all_attributes
+                builder._intents[bottom] = all_attrs_bits
+            builder._all_attrs = all_attrs_bits
     obs.set_gauge("lattice.concepts", builder.num_concepts)
     return builder.build(context)

@@ -4,6 +4,13 @@ Enumerates the closed attribute sets of a context in lectic order.  Kept
 as a second independent construction (the A1 ablation compares it with
 Godin's incremental algorithm and the batch intersection closure, and the
 property tests require all three to agree).
+
+The enumeration runs entirely over int bitmasks
+(:class:`~repro.core.context.BitContext`): the lectic-successor
+candidate is two bitwise ops, the closure is an AND chain, and the
+"adds nothing below i" test is one mask-and-compare —
+:func:`closed_intents` converts to frozensets only at the yield
+boundary, so existing callers see the exact sequence they always did.
 """
 
 from __future__ import annotations
@@ -12,31 +19,42 @@ from collections.abc import Iterator
 
 from repro import obs
 from repro.core.concepts import Concept, ConceptLattice
-from repro.core.context import FormalContext
+from repro.core.context import FormalContext, set_of
 
 
-def closed_intents(context: FormalContext) -> Iterator[frozenset[int]]:
-    """Yield every closed intent of ``context`` in lectic order."""
+def closed_intent_bits(context: FormalContext) -> Iterator[int]:
+    """Yield every closed intent of ``context`` as a bitmask, in lectic
+    order."""
+    bits = context.bits
     m = context.num_attributes
-    current = context.intent_closure(frozenset())
+    current = bits.intent_closure_bits(0)
     yield current
     if m == 0:
         return
-    while current != context.all_attributes:
+    all_attrs = bits.all_attributes_bits
+    while current != all_attrs:
         advanced = False
         for i in range(m - 1, -1, -1):
-            if i in current:
+            bit = 1 << i
+            if current & bit:
                 continue
-            candidate = frozenset(a for a in current if a < i) | {i}
-            closed = context.intent_closure(candidate)
+            below = bit - 1
+            candidate = (current & below) | bit
+            closed = bits.intent_closure_bits(candidate)
             # Lectic-successor test: the closure must add nothing below i.
-            if not any(a < i and a not in current for a in closed):
+            if not closed & below & ~current:
                 current = closed
                 yield current
                 advanced = True
                 break
         if not advanced:
             raise RuntimeError("NextClosure failed to advance (internal error)")
+
+
+def closed_intents(context: FormalContext) -> Iterator[frozenset[int]]:
+    """Yield every closed intent of ``context`` in lectic order."""
+    for intent_bits in closed_intent_bits(context):
+        yield set_of(intent_bits)
 
 
 def build_lattice_nextclosure(context: FormalContext) -> ConceptLattice:
@@ -46,9 +64,10 @@ def build_lattice_nextclosure(context: FormalContext) -> ConceptLattice:
         objects=context.num_objects,
         attributes=context.num_attributes,
     ) as span:
+        bits = context.bits
         concepts = [
-            Concept(context.tau(intent), intent)
-            for intent in closed_intents(context)
+            Concept(set_of(bits.tau_bits(intent_bits)), set_of(intent_bits))
+            for intent_bits in closed_intent_bits(context)
         ]
         span.set(concepts=len(concepts))
         obs.inc("nextclosure.concepts", len(concepts))

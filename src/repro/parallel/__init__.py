@@ -37,12 +37,16 @@ from repro.parallel.pool import (
 )
 from repro.parallel.relation import (
     DEFAULT_CACHE_SIZE,
+    PersistentRelationCache,
     RelationCache,
     RelationMapResult,
     cached_relation,
     clear_relation_caches,
+    fa_fingerprint,
+    persistent_relation_cache,
     relation_cache,
     relation_map,
+    reset_persistent_relation_cache,
 )
 from repro.robustness.supervise import (
     PartialMapResult,
@@ -57,6 +61,7 @@ __all__ = [
     "FAULT_MODES",
     "MapCheckpoint",
     "PartialMapResult",
+    "PersistentRelationCache",
     "RelationCache",
     "RelationMapResult",
     "RetryPolicy",
@@ -64,8 +69,11 @@ __all__ = [
     "auto_chunk_size",
     "cached_relation",
     "clear_relation_caches",
+    "fa_fingerprint",
     "parallel_map",
+    "persistent_relation_cache",
     "relation_cache",
     "relation_map",
+    "reset_persistent_relation_cache",
     "resolve_jobs",
 ]

@@ -257,9 +257,14 @@ class _Supervisor:
         clock: Callable[[], float] | None,
         chunk_size: int | None,
         done: dict[int, Any],
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
     ) -> None:
         self.fn = fn
         self.items = items
+        self.initializer = initializer
+        self.initargs = initargs
+        self._initialized_local = False
         self.total = len(items)
         self.njobs = njobs
         self.policy = policy
@@ -365,7 +370,20 @@ class _Supervisor:
             self.record_downgrade(current, nxt, reason, len(queue))
             current = nxt
 
+    def _ensure_local_init(self) -> None:
+        """Run the worker initializer once in this process.
+
+        The serial rung (and the thread rung's workers, which share this
+        process) must see the same per-worker state a process worker
+        would, so downgrades along the ladder keep the mapped function's
+        preconditions intact.
+        """
+        if self.initializer is not None and not self._initialized_local:
+            self.initializer(*self.initargs)
+            self._initialized_local = True
+
     def _run_serial(self, queue: deque[tuple[int, int]]) -> None:
+        self._ensure_local_init()
         while queue:
             index, attempt = queue.popleft()
             self.check_budget()
@@ -409,7 +427,11 @@ class _Supervisor:
         executor_cls = (
             ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
         )
-        pool = executor_cls(max_workers=max_workers)
+        pool = executor_cls(
+            max_workers=max_workers,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
         inflight: dict[Future, tuple[list[tuple[int, int]], float | None]] = {}
         abandoned = 0
         broken: str | None = None
@@ -581,6 +603,8 @@ def parallel_map(
     task_timeout: float | None = None,
     on_fault: str = "raise",
     span_name: str = "parallel.map",
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> list[Any] | PartialMapResult:
     """Apply ``fn`` to every item, with deterministic result ordering.
 
@@ -594,6 +618,14 @@ def parallel_map(
     :class:`~repro.robustness.supervise.PartialMapResult`).  ``clock``
     is injectable (as for :meth:`~repro.robustness.budget.Budget.meter`)
     so tests can trip the wall budget deterministically.
+
+    ``initializer``/``initargs`` run once per worker before any task
+    (the :class:`~concurrent.futures.Executor` contract), and once in
+    the calling process for the serial rung, so shared per-worker state
+    — e.g. a reference FA and its trace corpus, materialized once
+    instead of pickled into every chunk — survives downgrades along the
+    ``process`` → ``thread`` → ``serial`` ladder.  Both must pickle for
+    the process backend.
     """
     if backend not in BACKENDS:
         raise InputError(
@@ -634,6 +666,8 @@ def parallel_map(
             clock=clock,
             chunk_size=chunk_size,
             done=done,
+            initializer=initializer,
+            initargs=initargs,
         )
         supervisor.run(effective, todo)
         span.set(

@@ -1,4 +1,4 @@
-"""The conformance passes (CC001–CC006): synthetic triggers, the clean
+"""The conformance passes (CC001–CC007): synthetic triggers, the clean
 counterparts, and seeded mutations on the real tree.
 
 The seeded mutations are the acceptance tests: each re-plants a bug
@@ -42,9 +42,11 @@ def real_tree() -> ProjectModel:
 
 
 class TestRegistry:
-    def test_all_six_passes_registered(self):
+    def test_all_passes_registered(self):
         codes = [p.code for p in all_passes()]
-        assert codes == ["CC001", "CC002", "CC003", "CC004", "CC005", "CC006"]
+        assert codes == [
+            "CC001", "CC002", "CC003", "CC004", "CC005", "CC006", "CC007",
+        ]
 
     def test_unknown_code_raises(self):
         with pytest.raises(InputError):
@@ -501,6 +503,67 @@ class TestCC006:
             "        self.data[k] = v\n"
         )
         assert not findings({"pkg.m": src}, codes=["CC006"])
+
+
+class TestCC007:
+    def test_direct_index_subscript_flagged(self):
+        # The from_pairs bug, distilled: a dict-comp lookup table
+        # subscripted with user-supplied text.
+        src = (
+            "def resolve(names, wanted):\n"
+            "    name_index = {n: i for i, n in enumerate(names)}\n"
+            "    return [name_index[w] for w in wanted]\n"
+        )
+        assert fingerprints({"pkg.m": src}, codes=["CC007"]) == {
+            "CC007@code:resolve"
+        }
+
+    def test_get_accessor_not_flagged(self):
+        src = (
+            "def resolve(names, wanted):\n"
+            "    name_index = {n: i for i, n in enumerate(names)}\n"
+            "    return [name_index.get(w) for w in wanted]\n"
+        )
+        assert not findings({"pkg.m": src}, codes=["CC007"])
+
+    def test_guarded_subscript_not_flagged(self):
+        src = (
+            "def resolve(names, w):\n"
+            "    name_index = {n: i for i, n in enumerate(names)}\n"
+            "    try:\n"
+            "        return name_index[w]\n"
+            "    except KeyError:\n"
+            "        return None\n"
+        )
+        assert not findings({"pkg.m": src}, codes=["CC007"])
+
+    def test_store_subscript_not_flagged(self):
+        # Writing into the table is construction, not lookup.
+        src = (
+            "def build(names):\n"
+            "    name_index = {n: i for i, n in enumerate(names)}\n"
+            "    name_index['extra'] = len(name_index)\n"
+            "    return name_index\n"
+        )
+        assert not findings({"pkg.m": src}, codes=["CC007"])
+
+    def test_non_index_name_not_flagged(self):
+        # Only the *_index convention declares "this is a lookup table".
+        src = (
+            "def resolve(names, w):\n"
+            "    table = {n: i for i, n in enumerate(names)}\n"
+            "    return table[w]\n"
+        )
+        assert not findings({"pkg.m": src}, codes=["CC007"])
+
+    def test_from_pairs_regression_stays_fixed(self, real_tree):
+        # The satellite fix: FormalContext.from_pairs must never regress
+        # to bare-KeyError lookups.
+        reports = run_conformance(real_tree, codes=["CC007"])
+        flagged = {
+            r.target for r in reports for _ in r.diagnostics
+        }
+        assert "repro/core/context.py" not in flagged
 
 
 # --------------------------------------------------------------------- #

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.context import FormalContext
+from repro.robustness.errors import InputError, LookupInputError
 
 
 class TestConstruction:
@@ -10,6 +11,35 @@ class TestConstruction:
         assert animals.num_objects == 6
         assert animals.num_attributes == 5
         assert animals.has(0, animals.attributes.index("four-legged"))
+
+    def test_from_pairs_unknown_object_is_input_error(self):
+        with pytest.raises(LookupInputError) as exc_info:
+            FormalContext.from_pairs(
+                ["cats", "dogs"], ["furry"], [("ctas", "furry")]
+            )
+        # Part of both taxonomies: precise catchers and legacy
+        # KeyError-expecting callers both keep working.
+        assert isinstance(exc_info.value, InputError)
+        assert isinstance(exc_info.value, KeyError)
+        message = str(exc_info.value)
+        assert "ctas" in message
+        assert "did you mean 'cats'" in message
+
+    def test_from_pairs_unknown_attribute_is_input_error(self):
+        with pytest.raises(LookupInputError) as exc_info:
+            FormalContext.from_pairs(
+                ["cats"], ["furry", "four-legged"], [("cats", "fourlegged")]
+            )
+        message = str(exc_info.value)
+        assert "fourlegged" in message
+        assert "four-legged" in message
+
+    def test_from_pairs_no_near_miss_still_names_input(self):
+        with pytest.raises(LookupInputError) as exc_info:
+            FormalContext.from_pairs(
+                ["cats"], ["furry"], [("zzzzzz", "furry")]
+            )
+        assert "zzzzzz" in str(exc_info.value)
 
     def test_from_bools(self):
         ctx = FormalContext.from_bools(

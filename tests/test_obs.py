@@ -331,9 +331,11 @@ class TestPipelineInstrumentation:
         context = _random_context(30)
         lattice = build_lattice_godin(context)
         build, = recorder.named("godin.build")
-        inserts = recorder.named("godin.insert")
-        assert len(inserts) == 30
-        assert all(s.parent_id == build.span_id for s in inserts)
+        # Batch construction: one godin.batch_insert span for the whole
+        # row block (not one span per object), same insert counter.
+        batch, = recorder.named("godin.batch_insert")
+        assert batch.parent_id == build.span_id
+        assert batch.attrs["objects"] == 30
         assert build.attrs["concepts"] == len(lattice)
         registry = recorder.registry
         assert registry.counter("godin.inserts").value == 30

@@ -96,7 +96,14 @@ def bench_main(argv):
             base_s = f"{base:10.4f}"
             delta = f"{100.0 * (seconds - base) / base:+7.1f}%" if base else "-"
         print(f"{name:40s} {seconds:10.4f} {base_s:>10s} {delta:>8s}")
-    _print_parallel_delta(current.get("scalability"))
+    scalability = current.get("scalability")
+    if scalability is None:
+        print(f"\nwarning: BENCH_scalability.json is missing from "
+              f"{RESULTS_DIR} — no serial-vs-parallel speedup table; "
+              "regenerate it with:\n"
+              "  PYTHONPATH=src python -m pytest "
+              "benchmarks/bench_scalability.py --benchmark-only")
+    _print_parallel_delta(scalability)
     _print_semantic_delta(
         current.get("semantic"), baseline.get("semantic")
     )
