@@ -20,7 +20,20 @@ enforces one architectural invariant that earlier work paid for by hand:
 ``CC007``   hardened accessors: ``*_index`` dict-comprehension lookup
             tables subscripted directly, so unknown user-supplied names
             raise bare ``KeyError`` instead of ``LookupInputError``
+``CC008``   resource leaks: handles acquired into locals but not
+            released on every CFG path out (flow-sensitive)
+``CC009``   exception flow: non-``ReproError`` escapes from the public
+            API surface, dead except arms, cause-dropping re-raises
+``CC010``   flow-sensitive plumbing: supervision parameters forwarded
+            on one branch but dropped on another; fan-out result
+            envelopes stored and never read
+``CC011``   Eraser-style per-attribute locksets: no single lock
+            serializes every write to a guarded attribute
 ==========  ==========================================================
+
+CC008–CC011 are built on :mod:`repro.analysis.dataflow` (per-function
+CFGs + worklist fixpoints) and report *path* witnesses — the ordered
+``path:line`` steps from where the story starts to where it goes wrong.
 
 Run it as ``cable selfcheck`` (text/JSON, exit-code gate, baseline file
 under ``tools/baselines/conformance.json``); programmatic entry points
@@ -47,6 +60,10 @@ from repro.analysis.conformance import (  # noqa: F401  (registration)
     cc005_errors,
     cc006_locks,
     cc007_accessors,
+    cc008_leaks,
+    cc009_exceptions,
+    cc010_flowplumbing,
+    cc011_lockset,
 )
 
 __all__ = [

@@ -13,6 +13,14 @@ signature accepts the same parameter: if the call passes it neither by
 keyword nor positionally (and does not splat ``**kwargs``), that is a
 dropped forward.  Passing an explicit different value is fine — the
 author made a decision; absence is the bug.
+
+A parameter the function *deliberately consumes locally* — read in some
+non-call-argument position, like ``if strict:`` or
+``budget.remaining()`` — is exempt: the author visibly branched on or
+interrogated the value, so "didn't forward it" is a choice, not an
+oversight.  (The branch-inconsistent case, where the same callee gets
+the parameter on one path and not another, is CC010's flow-sensitive
+territory.)
 """
 
 from __future__ import annotations
@@ -58,6 +66,29 @@ def _call_passes_param(
     return False
 
 
+def _locally_consumed_params(
+    fn: ast.AST, held: list[str]
+) -> set[str]:
+    """Plumbed params with a Load outside every call-argument position."""
+    in_call_args: set[int] = set()
+    for node in walk_scope(fn):
+        if isinstance(node, ast.Call):
+            for arg in (*node.args, *[kw.value for kw in node.keywords]):
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name):
+                        in_call_args.add(id(sub))
+    consumed: set[str] = set()
+    for node in walk_scope(fn):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in held
+            and id(node) not in in_call_args
+        ):
+            consumed.add(node.id)
+    return consumed
+
+
 @register_pass
 class PlumbingPass(ConformancePass):
     code = "CC004"
@@ -73,6 +104,10 @@ class PlumbingPass(ConformancePass):
         for qualname, fn in enclosing_functions(module.tree):
             params, _ = _own_params(fn)
             held = [p for p in PLUMBED_PARAMS if p in params]
+            if not held:
+                continue
+            consumed = _locally_consumed_params(fn, held)
+            held = [p for p in held if p not in consumed]
             if not held:
                 continue
             for node in walk_scope(fn):

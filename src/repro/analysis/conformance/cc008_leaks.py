@@ -1,0 +1,276 @@
+"""CC008 — resource handles that leak on some path.
+
+The flow-sensitive sibling of the paper's "forgot the release"
+concept-analysis demo: a handle acquired into a local name (``open``,
+an executor constructor, an explicit ``.acquire()``/``__enter__()``)
+must be released on *every* path out of the function — including the
+exceptional ones the happy-path test suite never walks.  ``with``
+blocks are release-by-construction; a ``try/finally`` that closes the
+handle covers the unwinding edges because the CFG duplicates the
+``finally`` suite onto them.
+
+The analysis is a forward/*may* fixpoint with edge-sensitive
+exceptional states: an ``except`` edge fires partway through its
+source block, so it carries only the facts held *before* each
+may-raising statement — an acquisition whose own call raises never
+acquired anything, and a release interrupted mid-statement is
+(optimistically) credited.  A fact is the local name the handle is
+bound to, killed by a release call, by entering a ``with`` over it, or
+by *escaping* (returned, yielded, aliased, passed to another call —
+ownership moved, someone else's problem).  Anything still held when an
+exit edge is crossed is a leak, and the witness is the shortest path
+from the acquisition to that exit.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.conformance.engine import ConformancePass, register_pass
+from repro.analysis.conformance.model import (
+    ModuleInfo,
+    ProjectModel,
+    enclosing_functions,
+)
+from repro.analysis.dataflow.cfg import (
+    CFG,
+    BasicBlock,
+    Marker,
+    Stmt,
+    _may_raise,
+    build_cfg,
+    stmt_exprs,
+)
+from repro.analysis.dataflow.paths import witness_path
+from repro.analysis.dataflow.solver import DataflowProblem, solve
+from repro.analysis.diagnostics import Diagnostic, Location
+
+#: Constructors whose result owns an OS-level resource.
+ACQUIRING_CALLS = frozenset(
+    {
+        "open",
+        "TemporaryFile",
+        "NamedTemporaryFile",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "Pool",
+        "socket",
+        "create_connection",
+        "popen",
+        "Popen",
+    }
+)
+
+#: Methods that hand the resource back.
+RELEASING_METHODS = frozenset(
+    {"close", "release", "shutdown", "terminate", "join", "__exit__"}
+)
+
+
+def _call_name(call: ast.Call) -> str | None:
+    dotted = ProjectModel.dotted_name(call.func)
+    if dotted is None:
+        return None
+    return dotted.split(".")[-1]
+
+
+def _acquisitions(stmt: Stmt) -> list[tuple[str, ast.AST, str]]:
+    """``(local name, anchor node, what kind of handle)`` acquisitions."""
+    out: list[tuple[str, ast.AST, str]] = []
+    if isinstance(stmt, Marker):
+        return out
+    if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+        if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+            name = _call_name(stmt.value)
+            if name in ACQUIRING_CALLS:
+                out.append((stmt.targets[0].id, stmt, name))
+            elif name == "__enter__":
+                out.append((stmt.targets[0].id, stmt, "context manager"))
+            elif name == "acquire" and isinstance(
+                stmt.value.func, ast.Attribute
+            ) and isinstance(stmt.value.func.value, ast.Name):
+                out.append((stmt.value.func.value.id, stmt, "lock"))
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        call = stmt.value
+        if (
+            _call_name(call) == "acquire"
+            and isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+        ):
+            out.append((call.func.value.id, stmt, "lock"))
+    return out
+
+
+def _releases(stmt: Stmt, tracked: frozenset[str]) -> set[str]:
+    """Names released, escaped, or rebound by this block entry."""
+    out: set[str] = set()
+    if isinstance(stmt, Marker) and stmt.kind == "with-enter":
+        node = stmt.node
+        assert isinstance(node, (ast.With, ast.AsyncWith))
+        for item in node.items:
+            if (
+                isinstance(item.context_expr, ast.Name)
+                and item.context_expr.id in tracked
+            ):
+                out.add(item.context_expr.id)
+    roots = list(stmt_exprs(stmt))
+    # Explicit release calls anywhere in the entry.
+    for root in roots:
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in RELEASING_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in tracked
+            ):
+                out.add(node.func.value.id)
+    # Escapes: the name read anywhere except as a method-call receiver —
+    # returned, yielded, aliased, passed to another call.
+    receivers = {
+        id(node.func.value)
+        for root in roots
+        for node in ast.walk(root)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+    }
+    for root in roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name) and node.id in tracked:
+                # Loads escape (unless receiver-only); stores/deletes
+                # rebind the name away from the live handle.
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    out.add(node.id)
+                elif id(node) not in receivers:
+                    out.add(node.id)
+    return out
+
+
+class _LeakProblem(DataflowProblem):
+    """Forward/may held-handles analysis with exceptional edge states."""
+
+    direction = "forward"
+
+    def __init__(self, tracked: frozenset[str]) -> None:
+        self.tracked = tracked
+        self._ins: dict[int, frozenset[str]] = {}
+
+    def boundary(self, cfg: CFG) -> frozenset[str]:
+        return frozenset()
+
+    def join(self, values: list[frozenset[str]]) -> frozenset[str]:
+        return frozenset().union(*values)
+
+    def transfer(
+        self, block: BasicBlock, value: frozenset[str]
+    ) -> frozenset[str]:
+        self._ins[block.index] = value
+        cur = set(value)
+        for stmt in block.statements:
+            cur -= _releases(stmt, self.tracked)
+            cur |= {n for n, _, _ in _acquisitions(stmt)}
+        return frozenset(cur)
+
+    def edge_value(
+        self, block: BasicBlock, kind: str, value: frozenset[str]
+    ) -> frozenset[str]:
+        if kind != "except":
+            return value
+        # The exception fires partway through the block: facts from
+        # later acquisitions never happened; the interrupted statement's
+        # own releases are credited optimistically (its acquisition is
+        # not).
+        cur = set(self._ins.get(block.index, frozenset()))
+        escaped: set[str] = set()
+        for stmt in block.statements:
+            kills = _releases(stmt, self.tracked)
+            if _may_raise(stmt):
+                escaped |= cur - kills
+            cur -= kills
+            cur |= {n for n, _, _ in _acquisitions(stmt)}
+        return frozenset(escaped)
+
+
+@register_pass
+class ResourceLeakPass(ConformancePass):
+    code = "CC008"
+    severity = "error"
+    summary = (
+        "resource handle acquired into a local but not released on every "
+        "path out of the function"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        for qualname, fn in enclosing_functions(module.tree):
+            yield from self._check_function(module, qualname, fn)
+
+    def _check_function(
+        self, module: ModuleInfo, qualname: str, fn: ast.AST
+    ) -> Iterator[Diagnostic]:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        acquired: dict[str, tuple[ast.AST, str]] = {}
+        cfg = build_cfg(fn, qualname)
+        for block in cfg.blocks:
+            for stmt in block.statements:
+                for name, anchor, kind in _acquisitions(stmt):
+                    acquired.setdefault(name, (anchor, kind))
+        if not acquired:
+            return
+        problem = _LeakProblem(frozenset(acquired))
+        result = solve(cfg, problem)
+
+        def held_in(index: int) -> frozenset[str]:
+            value = result.inputs[index]
+            return value if value is not None else frozenset()
+
+        for name in sorted(held_in(CFG.EXIT)):
+            anchor, kind = acquired[name]
+            src_loc = cfg.locate(anchor)
+            exceptional = any(
+                name
+                in (
+                    problem.edge_value(
+                        cfg.blocks[pred], edge, result.outputs[pred]
+                    )
+                    or frozenset()
+                )
+                and edge in ("except", "raise")
+                for pred, edge in cfg.exit.preds
+                if result.outputs[pred] is not None
+            )
+            path_note = (
+                "an exceptional path" if exceptional else "a fall-through path"
+            )
+            witness = (
+                witness_path(
+                    cfg,
+                    src_loc[0],
+                    CFG.EXIT,
+                    module.relpath,
+                    first_line_text=module.line(
+                        getattr(anchor, "lineno", 0) or 0
+                    ),
+                    allowed=lambda b, n=name: n in held_in(b),
+                )
+                if src_loc is not None
+                else module.witness(anchor)
+            )
+            yield Diagnostic(
+                code=self.code,
+                severity=self.severity,
+                location=Location.code(qualname or "<module>"),
+                message=(
+                    f"{kind} handle `{name}` is acquired here but not "
+                    f"released on {path_note} out of the function"
+                ),
+                suggestion=(
+                    f"wrap the use of `{name}` in `with` or release it in "
+                    "a `finally:` that dominates every exit"
+                ),
+                witness=witness,
+            )
+
+
+__all__ = ["ACQUIRING_CALLS", "RELEASING_METHODS", "ResourceLeakPass"]

@@ -1,0 +1,249 @@
+"""CC009 — exception flow: what actually escapes the public API.
+
+Three checks, all powered by the interprocedural raises-set inference
+in :mod:`repro.analysis.dataflow.raises`:
+
+* **Taxonomy at the boundary.**  The error-taxonomy contract (PR 3)
+  says callers of the public mining/parallel/cable surface can catch
+  ``ReproError`` and be done.  For every public function in a declared
+  boundary module, any escaping raise of a non-``ReproError`` builtin
+  is reported — as an ``error`` when the ``raise`` is physically inside
+  the function, as ``info`` when it only arrives transitively through
+  callees (visible in ``--format json``, not gated).
+
+* **Dead except arms.**  ``except B: ... except A: ...`` where every
+  type ``A`` catches is already a subtype of something ``B`` catches —
+  the second arm is unreachable.
+
+* **Cause-dropping re-raises.**  A handler that raises a *newly
+  constructed* exception without ``from exc``/``from None`` destroys
+  the chain the Cable session prints for debugging.
+
+Control-flow exceptions (``StopIteration``, ``KeyboardInterrupt``,
+``SystemExit``, ``NotImplementedError``, ``AssertionError``) are
+exempt: they are contracts with the interpreter, not the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.conformance.engine import ConformancePass, register_pass
+from repro.analysis.conformance.model import (
+    ModuleInfo,
+    ProjectModel,
+    enclosing_functions,
+    walk_scope,
+)
+from repro.analysis.dataflow.raises import (
+    ExceptionHierarchy,
+    RaisesAnalysis,
+    _handler_names,
+)
+from repro.analysis.diagnostics import Diagnostic
+
+#: Modules whose public functions form the supported API surface; the
+#: taxonomy check applies only here (the internals may raise whatever
+#: is locally precise — boundaries must translate).
+API_BOUNDARY_MODULES = frozenset(
+    {
+        "repro.mining.strauss",
+        "repro.mining.miner",
+        "repro.parallel.relation",
+        "repro.cable.session",
+        "repro.verify.checker",
+    }
+)
+
+#: Exception types that are interpreter protocol, not API surface.
+CONTROL_FLOW_EXEMPT = frozenset(
+    {
+        "StopIteration",
+        "StopAsyncIteration",
+        "GeneratorExit",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "NotImplementedError",
+        "AssertionError",
+        "TimeoutError",
+    }
+)
+
+
+def _is_public(qualname: str) -> bool:
+    """No private (``_x``) or dunder segment anywhere in the qualname."""
+    return all(
+        not part.startswith("_") for part in qualname.split(".")
+    ) and "<locals>" not in qualname
+
+
+@register_pass
+class ExceptionFlowPass(ConformancePass):
+    code = "CC009"
+    severity = "error"
+    summary = (
+        "public API leaks non-ReproError exceptions; dead except arms; "
+        "cause-dropping re-raises"
+    )
+
+    def __init__(self) -> None:
+        self._cache: tuple[int, RaisesAnalysis] | None = None
+
+    def _analysis(self, project: ProjectModel) -> RaisesAnalysis:
+        if self._cache is None or self._cache[0] != id(project):
+            self._cache = (id(project), RaisesAnalysis(project))
+        return self._cache[1]
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        analysis = self._analysis(project)
+        hierarchy = analysis.hierarchy
+        if module.name in API_BOUNDARY_MODULES:
+            yield from self._check_boundary(module, analysis)
+        yield from self._check_dead_arms(module, hierarchy)
+        yield from self._check_cause_drops(module)
+
+    # -- taxonomy at the boundary -------------------------------------- #
+
+    def _check_boundary(
+        self, module: ModuleInfo, analysis: RaisesAnalysis
+    ) -> Iterator[Diagnostic]:
+        hierarchy = analysis.hierarchy
+        for qualname, fn in enclosing_functions(module.tree):
+            full = f"{module.name}.{qualname}"
+            if not _is_public(full):
+                continue
+            for site in sorted(
+                analysis.raises(full),
+                key=lambda s: (s.relpath, s.lineno, s.exc_type),
+            ):
+                exc = site.exc_type
+                if not hierarchy.is_exception(exc):
+                    continue  # unknown name; give it the benefit
+                if hierarchy.is_repro_error(exc):
+                    continue
+                if exc in CONTROL_FLOW_EXEMPT:
+                    continue
+                direct = site.origin == full
+                if direct:
+                    yield self.finding(
+                        module,
+                        qualname,
+                        fn,
+                        f"public API raises bare {exc} — callers who "
+                        "`except ReproError` will not catch it",
+                        suggestion=(
+                            f"raise the taxonomy equivalent (e.g. "
+                            f"InputError, which is-a ValueError) instead "
+                            f"of {exc}"
+                        ),
+                    )
+                else:
+                    origin = site.origin.rsplit(".", 1)[-1]
+                    yield self.finding(
+                        module,
+                        qualname,
+                        fn,
+                        f"{exc} can escape this public function via "
+                        f"{origin}() ({site.relpath}:{site.lineno})",
+                        severity="info",
+                        suggestion=(
+                            "translate at the boundary or document the "
+                            "escape"
+                        ),
+                    )
+
+    # -- dead except arms ---------------------------------------------- #
+
+    def _check_dead_arms(
+        self, module: ModuleInfo, hierarchy: ExceptionHierarchy
+    ) -> Iterator[Diagnostic]:
+        for qualname, fn in enclosing_functions(module.tree):
+            for node in walk_scope(fn):
+                if not isinstance(node, ast.Try):
+                    continue
+                caught_before: list[str] = []
+                for handler in node.handlers:
+                    names = _handler_names(handler)
+                    shadowed = [
+                        name
+                        for name in sorted(names)
+                        if any(
+                            hierarchy.is_subtype(name, prev)
+                            or prev == "BaseException"
+                            for prev in caught_before
+                        )
+                    ]
+                    if shadowed and len(shadowed) == len(names):
+                        yield self.finding(
+                            module,
+                            qualname,
+                            handler,
+                            f"except arm for {', '.join(shadowed)} is dead "
+                            "— an earlier arm already catches every type "
+                            "it names",
+                            suggestion=(
+                                "reorder the handlers narrowest-first or "
+                                "delete the dead arm"
+                            ),
+                        )
+                    caught_before.extend(names)
+
+    # -- cause-dropping re-raises -------------------------------------- #
+
+    def _check_cause_drops(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for qualname, fn in enclosing_functions(module.tree):
+            for node in walk_scope(fn):
+                if not isinstance(node, ast.Try):
+                    continue
+                for handler in node.handlers:
+                    for raise_node in self._handler_raises(handler):
+                        if (
+                            isinstance(raise_node.exc, ast.Call)
+                            and raise_node.cause is None
+                        ):
+                            yield self.finding(
+                                module,
+                                qualname,
+                                raise_node,
+                                "re-raise inside an except arm constructs "
+                                "a new exception without `from` — the "
+                                "original traceback chain is demoted to "
+                                "an implicit context",
+                                severity="warning",
+                                suggestion=(
+                                    "add `from exc` (or an explicit "
+                                    "`from None` if hiding the cause is "
+                                    "intended)"
+                                ),
+                            )
+
+    @staticmethod
+    def _handler_raises(handler: ast.ExceptHandler) -> Iterator[ast.Raise]:
+        """Raises lexically in the handler body, not nested scopes/trys."""
+        stack: list[ast.stmt] = list(handler.body)
+        while stack:
+            stmt = stack.pop(0)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(stmt, ast.Raise):
+                yield stmt
+                continue
+            if isinstance(stmt, ast.Try):
+                continue  # its own handlers own their raises
+            for _, value in ast.iter_fields(stmt):
+                if isinstance(value, list) and value and isinstance(
+                    value[0], ast.stmt
+                ):
+                    stack.extend(value)
+
+
+__all__ = [
+    "API_BOUNDARY_MODULES",
+    "CONTROL_FLOW_EXEMPT",
+    "ExceptionFlowPass",
+]

@@ -1,0 +1,197 @@
+"""CC010 — flow-sensitive supervision plumbing.
+
+CC004 answers "is the parameter forwarded at this call site?"
+syntactically.  This pass adds the two bugs that only control flow can
+see:
+
+* **Branch-dropped forwarding.**  The same callee is invoked on one
+  path *with* ``budget=``/``task_timeout=``/``on_fault=`` and on
+  another path *without* it.  The author clearly knows the callee takes
+  the parameter — the inconsistent site is almost certainly the bug,
+  and the witness is the path from the function entry through the
+  branch to the dropping call.
+
+* **Dead stores of map results.**  ``results = relation_map(...)``
+  where ``results`` is never live afterwards: the fan-out ran, faults
+  were collected into the result envelope, and then the envelope was
+  dropped on the floor — fault reporting silently vanishes.
+  (``_``-prefixed names are the documented "deliberately ignored"
+  convention and stay exempt.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.conformance.cc004_plumbing import (
+    PLUMBED_PARAMS,
+    _call_passes_param,
+)
+from repro.analysis.conformance.engine import ConformancePass, register_pass
+from repro.analysis.conformance.model import (
+    ModuleInfo,
+    ProjectModel,
+    enclosing_functions,
+    walk_scope,
+)
+from repro.analysis.dataflow.cfg import build_cfg
+from repro.analysis.dataflow.analyses import liveness
+from repro.analysis.dataflow.paths import witness_path
+from repro.analysis.diagnostics import Diagnostic, Location
+
+#: Fan-out entry points whose result envelope carries the fault report.
+RESULT_BEARING_CALLS = frozenset(
+    {"relation_map", "parallel_map", "relation_map_indexed"}
+)
+
+
+@register_pass
+class FlowPlumbingPass(ConformancePass):
+    code = "CC010"
+    severity = "error"
+    summary = (
+        "supervision parameter forwarded on one branch but dropped on "
+        "another; fan-out result envelopes stored then never read"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        for qualname, fn in enclosing_functions(module.tree):
+            assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+            yield from self._check_branch_drops(module, project, qualname, fn)
+            yield from self._check_dead_stores(module, qualname, fn)
+
+    # -- branch-inconsistent forwarding -------------------------------- #
+
+    def _check_branch_drops(
+        self,
+        module: ModuleInfo,
+        project: ProjectModel,
+        qualname: str,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Diagnostic]:
+        own = {a.arg for a in (*fn.args.args, *fn.args.kwonlyargs)}
+        held = [p for p in PLUMBED_PARAMS if p in own]
+        if not held:
+            return
+        # callee qualname -> param -> [(call node, forwarded?)]
+        by_callee: dict[str, dict[str, list[tuple[ast.Call, bool]]]] = {}
+        for node in walk_scope(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = project.resolve(module, node.func)
+            if resolved is None:
+                continue
+            info = project.function(resolved)
+            if info is None or project.is_class(resolved):
+                continue
+            for param in held:
+                if param not in info.params:
+                    continue
+                passed = _call_passes_param(node, param, info.params)
+                by_callee.setdefault(info.qualname, {}).setdefault(
+                    param, []
+                ).append((node, passed))
+        cfg = None
+        for callee, per_param in sorted(by_callee.items()):
+            callee_local = callee.rsplit(".", 1)[-1]
+            for param, sites in per_param.items():
+                if not any(p for _, p in sites) or all(p for _, p in sites):
+                    continue  # consistent either way; CC004's territory
+                if cfg is None:
+                    cfg = build_cfg(fn, qualname)
+                for call, passed in sites:
+                    if passed:
+                        continue
+                    loc = cfg.locate(self._anchor_stmt(fn, call))
+                    witness = (
+                        witness_path(
+                            cfg,
+                            0,
+                            loc[0],
+                            module.relpath,
+                            first_line_text=f"def {fn.name}(...{param}...)",
+                        )
+                        if loc is not None
+                        else module.witness(call)
+                    )
+                    yield Diagnostic(
+                        code=self.code,
+                        severity=self.severity,
+                        location=Location.code(qualname or "<module>"),
+                        message=(
+                            f"{callee_local}() is called with {param}= on "
+                            "another path but without it here — the "
+                            "setting silently stops applying on this "
+                            "branch"
+                        ),
+                        suggestion=(
+                            f"forward {param}={param} on every call to "
+                            f"{callee_local}(), or hoist the call out of "
+                            "the branch"
+                        ),
+                        witness=witness,
+                    )
+
+    @staticmethod
+    def _anchor_stmt(fn: ast.AST, target: ast.AST) -> ast.AST:
+        """The enclosing statement of ``target`` (CFG blocks hold stmts)."""
+        best: ast.AST = target
+        for node in ast.walk(fn):
+            if isinstance(node, ast.stmt):
+                for child in ast.walk(node):
+                    if child is target:
+                        best = node
+                        # keep narrowing: inner statements win
+        return best
+
+    # -- dead stores of fan-out results -------------------------------- #
+
+    def _check_dead_stores(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Diagnostic]:
+        stores: list[tuple[ast.Assign, str, str]] = []
+        for node in walk_scope(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and not node.targets[0].id.startswith("_")
+                and isinstance(node.value, ast.Call)
+            ):
+                dotted = ProjectModel.dotted_name(node.value.func)
+                if dotted and dotted.split(".")[-1] in RESULT_BEARING_CALLS:
+                    stores.append(
+                        (node, node.targets[0].id, dotted.split(".")[-1])
+                    )
+        if not stores:
+            return
+        cfg = build_cfg(fn, qualname)
+        live = liveness(cfg)
+        for assign, name, callee in stores:
+            loc = cfg.locate(assign)
+            if loc is None:
+                continue
+            if name in live.live_after(loc[0], loc[1]):
+                continue
+            yield self.finding(
+                module,
+                qualname,
+                assign,
+                f"result of {callee}() is stored in `{name}` but never "
+                "read — per-item faults collected by the fan-out are "
+                "silently discarded",
+                suggestion=(
+                    f"inspect `{name}` (check faults / propagate) or bind "
+                    "it to an `_`-prefixed name to record that ignoring "
+                    "it is deliberate"
+                ),
+            )
+
+
+__all__ = ["RESULT_BEARING_CALLS", "FlowPlumbingPass"]

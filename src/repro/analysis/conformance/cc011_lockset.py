@@ -1,0 +1,326 @@
+"""CC011 — Eraser-style per-attribute lockset race detection.
+
+CC006 asks the syntactic question "is this write lexically inside a
+``with self._lock`` block?".  This pass asks the Eraser question: for
+each guarded attribute, is there *one* lock that every write site
+holds?  The lockset at a write is computed flow-sensitively over the
+function CFG (forward/*must* held-facts), so it understands
+``lock.acquire()``/``release()`` pairs, writes after a ``with`` block
+has already ended, and early exits — and it catches the two-lock class
+whose attribute is written under ``_a_lock`` in one method and
+``_b_lock`` in another, which is lexically "locked everywhere" and
+still a race.
+
+The repo's *lock-held helper* convention carries over
+interprocedurally: a private method's entry lockset is the
+intersection of the locksets held at its intra-class call sites, so a
+helper only ever called under the lock analyzes as holding it.
+
+Findings:
+
+* a write site whose lockset misses the candidate lockset every other
+  write of that attribute agrees on (the classic unguarded write, with
+  a path witness from the method entry to the write);
+* an attribute whose write sites hold locks but whose common lockset
+  is *empty* (disjoint locks — no single lock serializes the writes).
+
+``__init__``/``__post_init__``/``__new__`` and reads stay exempt for
+the same reasons as CC006.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.conformance.cc006_locks import (
+    CONSTRUCTORS,
+    MUTATING_METHODS,
+    _is_self_attr,
+    _lock_attrs,
+)
+from repro.analysis.conformance.engine import ConformancePass, register_pass
+from repro.analysis.conformance.model import (
+    FunctionNode,
+    ModuleInfo,
+    ProjectModel,
+)
+from repro.analysis.dataflow.cfg import CFG, Marker, Stmt, build_cfg
+from repro.analysis.dataflow.analyses import HeldFacts, held_facts
+from repro.analysis.dataflow.paths import witness_path
+from repro.analysis.diagnostics import Diagnostic, Location
+
+
+def _lock_gen(stmt: Stmt, locks: set[str]) -> list[str]:
+    """Locks this entry acquires (``with self.X`` / ``self.X.acquire()``)."""
+    out: list[str] = []
+    if isinstance(stmt, Marker):
+        if stmt.kind == "with-enter":
+            node = stmt.node
+            assert isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items:
+                attr = _is_self_attr(item.context_expr, locks)
+                if attr is not None:
+                    out.append(attr)
+        return out
+    if isinstance(stmt, ast.stmt):
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+            ):
+                attr = _is_self_attr(node.func.value, locks)
+                if attr is not None:
+                    out.append(attr)
+    return out
+
+
+def _lock_kill(stmt: Stmt, locks: set[str]) -> list[str]:
+    """Locks this entry releases (``with`` exit / ``.release()``)."""
+    out: list[str] = []
+    if isinstance(stmt, Marker):
+        if stmt.kind == "with-exit":
+            node = stmt.node
+            assert isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items:
+                attr = _is_self_attr(item.context_expr, locks)
+                if attr is not None:
+                    out.append(attr)
+        return out
+    if isinstance(stmt, ast.stmt):
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "release"
+            ):
+                attr = _is_self_attr(node.func.value, locks)
+                if attr is not None:
+                    out.append(attr)
+    return out
+
+
+def _writes_in(stmt: Stmt) -> list[tuple[ast.AST, str, str]]:
+    """Self-attribute writes in one block entry: ``(node, attr, kind)``."""
+    out: list[tuple[ast.AST, str, str]] = []
+    if isinstance(stmt, Marker):
+        return out
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    kind = (
+                        "augmented assignment"
+                        if isinstance(node, ast.AugAssign)
+                        else "assignment"
+                    )
+                    out.append((node, attr, kind))
+                elif isinstance(target, ast.Subscript):
+                    base = _is_self_attr(target.value)
+                    if base is not None:
+                        out.append((node, base, "subscript store"))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    out.append((node, attr, "delete"))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+        ):
+            base = _is_self_attr(node.func.value)
+            if base is not None:
+                out.append((node, base, f".{node.func.attr}() call"))
+    return out
+
+
+@dataclass
+class _WriteSite:
+    method: str
+    node: ast.AST
+    attr: str
+    kind: str
+    block: int
+    pos: int
+    lockset: frozenset[str]
+
+
+class _ClassAnalysis:
+    """Flow-sensitive locksets for every method of one locked class."""
+
+    def __init__(self, cls: ast.ClassDef, locks: set[str]) -> None:
+        self.cls = cls
+        self.locks = locks
+        self.methods: dict[str, FunctionNode] = {
+            m.name: m
+            for m in cls.body
+            if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and m.name not in CONSTRUCTORS
+        }
+        self.cfgs: dict[str, CFG] = {
+            name: build_cfg(m, f"{cls.name}.{name}")
+            for name, m in self.methods.items()
+        }
+        #: method -> lockset assumed held at entry (helper convention).
+        self.entry: dict[str, frozenset[str]] = {
+            name: frozenset() for name in self.methods
+        }
+        self.held: dict[str, HeldFacts] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        # Iterate: held-facts per method, then recompute private-helper
+        # entry locksets from their call sites, until stable.  Public
+        # methods keep an empty entry lockset (anyone may call them).
+        for _ in range(len(self.methods) + 1):
+            self.held = {
+                name: held_facts(
+                    self.cfgs[name],
+                    lambda s: _lock_gen(s, self.locks),
+                    lambda s: _lock_kill(s, self.locks),
+                    entry=self.entry[name],
+                )
+                for name in self.methods
+            }
+            new_entry: dict[str, frozenset[str]] = {}
+            for name in self.methods:
+                if not name.startswith("_"):
+                    new_entry[name] = frozenset()
+                    continue
+                call_locksets = list(self._call_site_locksets(name))
+                new_entry[name] = (
+                    frozenset.intersection(*call_locksets)
+                    if call_locksets
+                    else frozenset()
+                )
+            if new_entry == self.entry:
+                return
+            self.entry = new_entry
+
+    def _call_site_locksets(self, callee: str) -> Iterator[frozenset[str]]:
+        for name, cfg in self.cfgs.items():
+            held = self.held[name]
+            for block in cfg.blocks:
+                for pos, stmt in enumerate(block.statements):
+                    if isinstance(stmt, Marker):
+                        continue
+                    for node in ast.walk(stmt):
+                        if (
+                            isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr == callee
+                            and _is_self_attr(node.func) is not None
+                        ):
+                            yield held.at(block.index, pos)
+
+    def write_sites(self) -> Iterator[_WriteSite]:
+        for name, cfg in self.cfgs.items():
+            held = self.held[name]
+            for block in cfg.blocks:
+                for pos, stmt in enumerate(block.statements):
+                    for node, attr, kind in _writes_in(stmt):
+                        if attr in self.locks:
+                            continue
+                        yield _WriteSite(
+                            name,
+                            node,
+                            attr,
+                            kind,
+                            block.index,
+                            pos,
+                            held.at(block.index, pos),
+                        )
+
+
+@register_pass
+class LocksetPass(ConformancePass):
+    code = "CC011"
+    severity = "error"
+    summary = (
+        "per-attribute lockset races: no single lock protects every "
+        "write to a guarded attribute"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        locks = _lock_attrs(cls)
+        if not locks:
+            return
+        analysis = _ClassAnalysis(cls, locks)
+        by_attr: dict[str, list[_WriteSite]] = {}
+        for site in analysis.write_sites():
+            by_attr.setdefault(site.attr, []).append(site)
+        for attr in sorted(by_attr):
+            sites = by_attr[attr]
+            locked = [s for s in sites if s.lockset]
+            if not locked:
+                continue  # never written under any lock: CC006 territory
+            candidate = frozenset.intersection(*[s.lockset for s in locked])
+            if not candidate:
+                involved = sorted(
+                    {lock for s in locked for lock in s.lockset}
+                )
+                yield Diagnostic(
+                    code=self.code,
+                    severity=self.severity,
+                    location=Location.code(f"{cls.name}.{attr}"),
+                    message=(
+                        f"writes to self.{attr} are guarded by disjoint "
+                        f"locks ({', '.join(f'self.{k}' for k in involved)})"
+                        " — no single lock serializes them"
+                    ),
+                    suggestion=(
+                        "pick one lock for this attribute and take it at "
+                        "every write site"
+                    ),
+                    witness=module.witness(locked[0].node),
+                )
+                continue
+            lock_name = sorted(candidate)[0]
+            for site in sites:
+                if site.lockset & candidate:
+                    continue
+                cfg = analysis.cfgs[site.method]
+                witness = witness_path(
+                    cfg,
+                    0,
+                    site.block,
+                    module.relpath,
+                    first_line_text=module.line(
+                        getattr(site.node, "lineno", 0) or 0
+                    ),
+                )
+                yield Diagnostic(
+                    code=self.code,
+                    severity=self.severity,
+                    location=Location.code(f"{cls.name}.{site.method}"),
+                    message=(
+                        f"{site.kind} to self.{attr} without holding "
+                        f"self.{lock_name}, the lock every other write of "
+                        "this attribute holds — a racing path exists"
+                    ),
+                    suggestion=(
+                        f"take `with self.{lock_name}:` around this write "
+                        "(flow-sensitive: the lock must be held *at* the "
+                        "write, not merely somewhere in the method)"
+                    ),
+                    witness=witness,
+                )
+
+
+__all__ = ["LocksetPass"]

@@ -6,9 +6,16 @@ the repo's own source tree.
     cable selfcheck                              # text report on src/repro
     cable selfcheck --format json                # machine-readable
     cable selfcheck --codes CC001,CC006          # a subset of passes
+    cable selfcheck --changed                    # modules touched vs HEAD
+    cable selfcheck --changed origin/main        # ... vs a merge base
     cable selfcheck --baseline tools/baselines/conformance.json
     cable selfcheck --baseline B --update-baseline   # accept current
     cable selfcheck --list                       # pass catalog
+
+``--changed`` is the pre-commit entry point: it narrows the scan to the
+modules ``git diff --name-only <base>`` reports as touched (the project
+model still loads everything, so cross-module resolution stays whole)
+and is fast enough to run on every commit.
 
 The gate is stricter than ``cable lint``: *warnings* count too.  The
 selfcheck contract is "every finding is either fixed or baselined with
@@ -22,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -30,7 +38,10 @@ from typing import IO
 import repro
 from repro import obs
 from repro.analysis.baseline import Baseline, load_baseline
-from repro.analysis.conformance.engine import all_passes, run_conformance
+from repro.analysis.conformance.engine import (
+    all_passes,
+    run_conformance_timed,
+)
 from repro.analysis.conformance.model import ProjectModel
 from repro.analysis.diagnostics import SEVERITIES, LintReport
 from repro.robustness.errors import ReproError
@@ -61,6 +72,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--changed",
+        metavar="BASE",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        help=(
+            "scan only modules touched since BASE per `git diff "
+            "--name-only` (default HEAD); the pre-commit entry point"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         metavar="FILE",
         help="suppression baseline; only non-baselined findings fail",
@@ -82,6 +104,35 @@ def _build_parser() -> argparse.ArgumentParser:
 def _default_root() -> Path:
     """The source tree of the imported ``repro`` package itself."""
     return Path(repro.__file__).resolve().parent
+
+
+def _changed_targets(
+    project: ProjectModel, root: Path, base: str
+) -> frozenset[str]:
+    """Repo-relative module paths touched since ``base``, per git.
+
+    ``git diff --name-only`` emits paths relative to the *repository*
+    root while the project model keys modules by path relative to the
+    package root's parent, so matching is by path suffix.
+    """
+    proc = subprocess.run(
+        ["git", "-C", str(root), "diff", "--name-only", base],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise ReproError(
+            "git diff failed for --changed",
+            base=base,
+            stderr=proc.stderr.strip(),
+        )
+    changed = [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+    targets = {
+        module.relpath
+        for module in project
+        if any(path.endswith(module.relpath) for path in changed)
+    }
+    return frozenset(targets)
 
 
 def _parse_codes(raw: str | None) -> tuple[str, ...] | None:
@@ -122,7 +173,14 @@ def selfcheck_main(
         root = Path(args.root) if args.root else _default_root()
         with obs.span("conformance.load"):
             project = ProjectModel.load(root)
-        reports = run_conformance(project, codes=codes)
+        targets = (
+            _changed_targets(project, root, args.changed)
+            if args.changed is not None
+            else None
+        )
+        reports, pass_seconds = run_conformance_timed(
+            project, codes=codes, targets=targets
+        )
         baseline = (
             load_baseline(args.baseline, missing_ok=True)
             if args.baseline
@@ -170,7 +228,12 @@ def selfcheck_main(
             "version": 1,
             "root": str(root),
             "passes": [
-                {"code": p.code, "severity": p.severity, "summary": p.summary}
+                {
+                    "code": p.code,
+                    "severity": p.severity,
+                    "summary": p.summary,
+                    "seconds": pass_seconds.get(p.code, 0.0),
+                }
                 for p in all_passes()
                 if codes is None or p.code in codes
             ],
@@ -179,7 +242,10 @@ def selfcheck_main(
                 **totals,
                 "new_findings": num_new,
                 "baselined_findings": gated_total - num_new,
-                "modules_scanned": len(project.modules),
+                "modules_scanned": (
+                    len(targets) if targets is not None
+                    else len(project.modules)
+                ),
                 "seconds": elapsed,
             },
         }
@@ -187,9 +253,12 @@ def selfcheck_main(
     else:
         for report in reports:
             print(report.render_text(), file=out)
+        scanned = (
+            len(targets) if targets is not None else len(project.modules)
+        )
         summary = (
             f"selfcheck: {gated_total} finding(s) ({num_new} new) across "
-            f"{len(project.modules)} module(s) in {elapsed * 1e3:.1f}ms"
+            f"{scanned} module(s) in {elapsed * 1e3:.1f}ms"
         )
         if gated_total - num_new:
             summary += f"; {gated_total - num_new} baselined"

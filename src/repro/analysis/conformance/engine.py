@@ -4,7 +4,7 @@ A pass is a small class with a stable ``code`` (``CC001``), a default
 ``severity``, and a ``check_module`` hook that yields
 :class:`~repro.analysis.diagnostics.Diagnostic` records.  Passes
 register themselves via :func:`register_pass` when their module is
-imported (:mod:`repro.analysis.conformance` imports all six), and the
+imported (:mod:`repro.analysis.conformance` imports them all), and the
 runner groups findings into one
 :class:`~repro.analysis.diagnostics.LintReport` per *file* — the report
 target is the repo-relative path, which is also the baseline key.
@@ -19,6 +19,7 @@ the same code, later ones get a ``#2``/``#3`` suffix in source order.
 from __future__ import annotations
 
 from collections import Counter
+import time
 from collections.abc import Iterable, Iterator, Sequence
 from typing import ClassVar
 
@@ -131,9 +132,68 @@ def _dedup_fingerprints(diagnostics: Sequence[Diagnostic]) -> list[Diagnostic]:
     return out
 
 
+def run_conformance_timed(
+    project: ProjectModel,
+    codes: Iterable[str] | None = None,
+    targets: Iterable[str] | None = None,
+) -> tuple[list[LintReport], dict[str, float]]:
+    """Run the (selected) passes and report where the time went.
+
+    Returns ``(reports, seconds_by_code)``.  The loop is pass-outer so
+    each pass gets one ``conformance.pass`` span and one sample in the
+    ``conformance.pass.seconds`` histogram — a pass that amortizes
+    project-wide work across modules (CC009's interprocedural fixpoint)
+    is attributed the whole bill.  ``targets`` restricts the scan to
+    modules whose repo-relative path is in the set (the ``--changed``
+    entry point); the *project model* still covers everything, so
+    cross-module resolution is unaffected by the filter.
+    """
+    passes = (
+        [pass_by_code(c) for c in codes] if codes is not None else all_passes()
+    )
+    modules = sorted(project, key=lambda m: m.relpath)
+    if targets is not None:
+        wanted = set(targets)
+        modules = [m for m in modules if m.relpath in wanted]
+    reports: list[LintReport] = []
+    seconds: dict[str, float] = {}
+    with obs.span(
+        "conformance.run", modules=len(modules), passes=len(passes)
+    ) as span:
+        by_module: dict[str, list[Diagnostic]] = {}
+        for check in passes:
+            started = time.perf_counter()
+            with obs.span("conformance.pass", code=check.code) as pass_span:
+                found_here = 0
+                for module in modules:
+                    found = list(check.check_module(module, project))
+                    if found:
+                        by_module.setdefault(module.relpath, []).extend(found)
+                        found_here += len(found)
+                pass_span.set(findings=found_here)
+            seconds[check.code] = time.perf_counter() - started
+            obs.observe("conformance.pass.seconds", seconds[check.code])
+        total = 0
+        for relpath in sorted(by_module):
+            found = _dedup_fingerprints(
+                sorted(
+                    by_module[relpath],
+                    key=lambda d: (d.code, d.location.ref),
+                )
+            )
+            reports.append(
+                LintReport(relpath, tuple(sort_diagnostics(found)))
+            )
+            total += len(found)
+        span.set(findings=total)
+        obs.inc("conformance.findings", total)
+    return reports, seconds
+
+
 def run_conformance(
     project: ProjectModel,
     codes: Iterable[str] | None = None,
+    targets: Iterable[str] | None = None,
 ) -> list[LintReport]:
     """Run the (selected) passes over every module of ``project``.
 
@@ -141,28 +201,7 @@ def run_conformance(
     module's repo-relative path; modules that come back clean produce no
     report.  Reports are ordered by path.
     """
-    passes = (
-        [pass_by_code(c) for c in codes] if codes is not None else all_passes()
-    )
-    reports: list[LintReport] = []
-    with obs.span(
-        "conformance.run", modules=len(project), passes=len(passes)
-    ) as span:
-        total = 0
-        for module in sorted(project, key=lambda m: m.relpath):
-            found: list[Diagnostic] = []
-            for check in passes:
-                found.extend(check.check_module(module, project))
-            if found:
-                found = _dedup_fingerprints(
-                    sorted(found, key=lambda d: (d.code, d.location.ref))
-                )
-                reports.append(
-                    LintReport(module.relpath, tuple(sort_diagnostics(found)))
-                )
-                total += len(found)
-        span.set(findings=total)
-        obs.inc("conformance.findings", total)
+    reports, _ = run_conformance_timed(project, codes=codes, targets=targets)
     return reports
 
 
@@ -172,4 +211,5 @@ __all__ = [
     "pass_by_code",
     "register_pass",
     "run_conformance",
+    "run_conformance_timed",
 ]

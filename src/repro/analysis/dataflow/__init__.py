@@ -1,0 +1,93 @@
+"""Flow-sensitive program analysis for the conformance self-checks.
+
+The package upgrades :mod:`repro.analysis.conformance` from syntactic
+AST matching to path-aware reasoning, in the spirit of the paper's
+"explain the bug" standard:
+
+* :mod:`~repro.analysis.dataflow.cfg` — per-function control-flow
+  graphs with branch, loop, ``try``/``except``/``finally``/``else``,
+  ``with``, and exceptional edges;
+* :mod:`~repro.analysis.dataflow.solver` — a generic worklist fixpoint
+  solver (forward/backward, gen–kill or arbitrary monotone transfer);
+* :mod:`~repro.analysis.dataflow.analyses` — reaching definitions,
+  liveness, and the forward/must "held facts" analysis;
+* :mod:`~repro.analysis.dataflow.paths` — shortest-path witnesses
+  rendered as ordered ``path:line`` steps;
+* :mod:`~repro.analysis.dataflow.raises` — interprocedural raises-set
+  inference against the builtin + project exception hierarchy.
+
+The CC008–CC011 passes are the consumers; see
+``docs/static-analysis.md`` for the catalog.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.analyses import (
+    HeldFacts,
+    Liveness,
+    ReachingDefinitions,
+    held_facts,
+    liveness,
+    reaching_definitions,
+    stmt_defs,
+    stmt_uses,
+)
+from repro.analysis.dataflow.cfg import (
+    CFG,
+    EDGE_KINDS,
+    BasicBlock,
+    Marker,
+    build_cfg,
+    build_cfg_from_source,
+    iter_statements,
+    stmt_exprs,
+)
+from repro.analysis.dataflow.paths import (
+    render_path,
+    shortest_path,
+    witness_path,
+)
+from repro.analysis.dataflow.raises import (
+    ExceptionHierarchy,
+    RaiseSite,
+    RaisesAnalysis,
+    raises_summary,
+)
+from repro.analysis.dataflow.solver import (
+    DataflowProblem,
+    DataflowResult,
+    GenKillProblem,
+    solve,
+    solve_gen_kill,
+)
+
+__all__ = [
+    "CFG",
+    "EDGE_KINDS",
+    "BasicBlock",
+    "DataflowProblem",
+    "DataflowResult",
+    "ExceptionHierarchy",
+    "GenKillProblem",
+    "HeldFacts",
+    "Liveness",
+    "Marker",
+    "RaiseSite",
+    "RaisesAnalysis",
+    "ReachingDefinitions",
+    "build_cfg",
+    "build_cfg_from_source",
+    "held_facts",
+    "iter_statements",
+    "liveness",
+    "raises_summary",
+    "reaching_definitions",
+    "render_path",
+    "shortest_path",
+    "solve",
+    "solve_gen_kill",
+    "stmt_defs",
+    "stmt_exprs",
+    "stmt_uses",
+    "witness_path",
+]

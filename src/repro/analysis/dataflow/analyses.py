@@ -1,0 +1,309 @@
+"""Ready-made dataflow analyses: reaching definitions, liveness, and
+generic "held facts".
+
+These are the three shapes the conformance passes compose:
+
+* :func:`reaching_definitions` — forward/may; which assignments can
+  reach a use (CC010's branch-coverage reasoning);
+* :func:`liveness` — backward/may; is a variable's value ever read
+  again (CC010's dead-store detection);
+* :func:`held_facts` — forward/must; which resources/locks are held at
+  a program point on *every* path (CC008's leak check, CC011's
+  locksets), with per-statement gen/kill callbacks so acquiring and
+  releasing inside one block stays ordered.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.analysis.dataflow.cfg import (
+    CFG,
+    BasicBlock,
+    Marker,
+    Stmt,
+    stmt_exprs,
+)
+from repro.analysis.dataflow.solver import (
+    DataflowResult,
+    GenKillProblem,
+    solve,
+)
+
+# --------------------------------------------------------------------- #
+# per-statement uses/defs
+# --------------------------------------------------------------------- #
+
+
+def stmt_defs(stmt: Stmt) -> set[str]:
+    """Variable names this block entry binds."""
+    out: set[str] = set()
+    if isinstance(stmt, Marker):
+        if stmt.kind == "params":
+            args = stmt.node
+            assert isinstance(args, ast.arguments)
+            for a in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ):
+                out.add(a.arg)
+            if args.vararg:
+                out.add(args.vararg.arg)
+            if args.kwarg:
+                out.add(args.kwarg.arg)
+            return out
+        if stmt.kind == "handler":
+            node = stmt.node
+            assert isinstance(node, ast.ExceptHandler)
+            if node.name:
+                out.add(node.name)
+            return out
+        for root in stmt_exprs(stmt):
+            for n in ast.walk(root):
+                if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store):
+                    out.add(n.id)
+        return out
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return {stmt.name}
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if bound != "*":
+                out.add(bound)
+        return out
+    for n in ast.walk(stmt):
+        if isinstance(n, ast.Name) and isinstance(
+            n.ctx, (ast.Store, ast.Del)
+        ):
+            out.add(n.id)
+    return out
+
+
+def stmt_uses(stmt: Stmt) -> set[str]:
+    """Variable names this block entry reads.
+
+    Conservative: names loaded anywhere inside the entry count,
+    including inside nested lambdas/comprehensions (they really do read
+    the binding).  Nested ``def`` bodies are *not* descended into for
+    real statements — a nested function's free variables are uses at
+    its *call*, which the lint-grade analyses cannot see anyway, but
+    its ``def`` line does not read them.
+    """
+    out: set[str] = set()
+    roots: Iterable[ast.AST]
+    if isinstance(stmt, Marker):
+        if stmt.kind in ("params",):
+            return out
+        roots = stmt_exprs(stmt)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        roots = stmt.decorator_list
+    else:
+        roots = [stmt]
+    for root in roots:
+        for n in ast.walk(root):
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load):
+                out.add(n.id)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# reaching definitions
+# --------------------------------------------------------------------- #
+
+#: One definition site: ``(variable, block index, position in block)``.
+DefSite = tuple[str, int, int]
+
+
+@dataclass
+class ReachingDefinitions:
+    """Forward/may fixpoint: which def sites reach each block entry."""
+
+    cfg: CFG
+    result: DataflowResult
+    #: Every definition site, grouped by variable.
+    sites: dict[str, list[DefSite]]
+
+    def reaching(self, block_index: int) -> frozenset[DefSite]:
+        value = self.result.inputs[block_index]
+        return value if value is not None else frozenset()
+
+    def definitions_of(self, var: str, block_index: int) -> frozenset[DefSite]:
+        return frozenset(
+            s for s in self.reaching(block_index) if s[0] == var
+        )
+
+
+def reaching_definitions(cfg: CFG) -> ReachingDefinitions:
+    sites: dict[str, list[DefSite]] = {}
+    block_defs: dict[int, dict[str, DefSite]] = {}
+    for block in cfg.blocks:
+        last: dict[str, DefSite] = {}
+        for pos, stmt in enumerate(block.statements):
+            for var in stmt_defs(stmt):
+                site = (var, block.index, pos)
+                sites.setdefault(var, []).append(site)
+                last[var] = site
+        block_defs[block.index] = last
+
+    def gen(block: BasicBlock) -> frozenset[DefSite]:
+        return frozenset(block_defs[block.index].values())
+
+    def kill(block: BasicBlock) -> frozenset[DefSite]:
+        out: set[DefSite] = set()
+        for var in block_defs[block.index]:
+            out.update(sites[var])
+        return frozenset(out)
+
+    problem = GenKillProblem(gen=gen, kill=kill, may=True, forward=True)
+    return ReachingDefinitions(cfg, solve(cfg, problem), sites)
+
+
+# --------------------------------------------------------------------- #
+# liveness
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class Liveness:
+    """Backward/may fixpoint over variable names."""
+
+    cfg: CFG
+    result: DataflowResult
+
+    def live_out(self, block_index: int) -> frozenset[str]:
+        value = self.result.inputs[block_index]
+        return value if value is not None else frozenset()
+
+    def live_in(self, block_index: int) -> frozenset[str]:
+        value = self.result.outputs[block_index]
+        return value if value is not None else frozenset()
+
+    def live_after(self, block_index: int, pos: int) -> frozenset[str]:
+        """Names live immediately after ``statements[pos]`` executes."""
+        live = set(self.live_out(block_index))
+        statements = self.cfg.blocks[block_index].statements
+        for i in range(len(statements) - 1, pos, -1):
+            live -= stmt_defs(statements[i])
+            live |= stmt_uses(statements[i])
+        return frozenset(live)
+
+
+def liveness(cfg: CFG) -> Liveness:
+    def gen(block: BasicBlock) -> frozenset[str]:
+        exposed: set[str] = set()
+        defined: set[str] = set()
+        for stmt in block.statements:
+            exposed |= stmt_uses(stmt) - defined
+            defined |= stmt_defs(stmt)
+        return frozenset(exposed)
+
+    def kill(block: BasicBlock) -> frozenset[str]:
+        out: set[str] = set()
+        for stmt in block.statements:
+            out |= stmt_defs(stmt)
+        return frozenset(out)
+
+    problem = GenKillProblem(gen=gen, kill=kill, may=True, forward=False)
+    return Liveness(cfg, solve(cfg, problem))
+
+
+# --------------------------------------------------------------------- #
+# held facts (forward/must)
+# --------------------------------------------------------------------- #
+
+FactFn = Callable[[Stmt], Iterable[Hashable]]
+
+
+@dataclass
+class HeldFacts:
+    """Forward/must fixpoint over analysis-defined facts.
+
+    A fact is held at a point iff it was generated on *every* path
+    reaching it without an intervening kill — the shape of "this lock
+    is held here" and "this resource is still open here".
+    """
+
+    cfg: CFG
+    result: DataflowResult
+    gen_stmt: FactFn
+    kill_stmt: FactFn
+
+    def held_in(self, block_index: int) -> frozenset[Hashable]:
+        value = self.result.inputs[block_index]
+        return value if value is not None else frozenset()
+
+    def held_out(self, block_index: int) -> frozenset[Hashable]:
+        value = self.result.outputs[block_index]
+        return value if value is not None else frozenset()
+
+    def at(self, block_index: int, pos: int) -> frozenset[Hashable]:
+        """Facts held just before ``statements[pos]`` executes."""
+        held = set(self.held_in(block_index))
+        for stmt in self.cfg.blocks[block_index].statements[:pos]:
+            held -= set(self.kill_stmt(stmt))
+            held |= set(self.gen_stmt(stmt))
+        return frozenset(held)
+
+
+def held_facts(
+    cfg: CFG,
+    gen_stmt: FactFn,
+    kill_stmt: FactFn,
+    *,
+    entry: Iterable[Hashable] = (),
+    may: bool = False,
+) -> HeldFacts:
+    """Run the forward "held facts" analysis.
+
+    ``gen_stmt``/``kill_stmt`` are per-statement so a block that
+    acquires then releases nets out correctly; block-level gen/kill is
+    derived by an ordered scan.  The default is the *must* variant
+    (held on every path — locksets); ``may=True`` switches the join to
+    union (held on some path — leak detection).
+    """
+
+    def block_gen_kill(
+        block: BasicBlock,
+    ) -> tuple[frozenset[Hashable], frozenset[Hashable]]:
+        g: set[Hashable] = set()
+        k: set[Hashable] = set()
+        for stmt in block.statements:
+            for fact in kill_stmt(stmt):
+                g.discard(fact)
+                k.add(fact)
+            for fact in gen_stmt(stmt):
+                g.add(fact)
+                k.discard(fact)
+        return frozenset(g), frozenset(k)
+
+    cache: dict[int, tuple[frozenset[Hashable], frozenset[Hashable]]] = {}
+
+    def cached(block: BasicBlock) -> tuple[frozenset, frozenset]:
+        if block.index not in cache:
+            cache[block.index] = block_gen_kill(block)
+        return cache[block.index]
+
+    problem = GenKillProblem(
+        gen=lambda b: cached(b)[0],
+        kill=lambda b: cached(b)[1],
+        may=may,
+        forward=True,
+        entry_value=frozenset(entry),
+    )
+    return HeldFacts(cfg, solve(cfg, problem), gen_stmt, kill_stmt)
+
+
+__all__ = [
+    "DefSite",
+    "HeldFacts",
+    "Liveness",
+    "ReachingDefinitions",
+    "held_facts",
+    "liveness",
+    "reaching_definitions",
+    "stmt_defs",
+    "stmt_uses",
+]

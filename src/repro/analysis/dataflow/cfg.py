@@ -1,0 +1,718 @@
+"""Per-function control-flow graphs over plain :mod:`ast` nodes.
+
+:func:`build_cfg` turns one function (or a synthetic statement list)
+into a :class:`CFG` of :class:`BasicBlock` records connected by labeled
+edges.  The builder models the control constructs the conformance
+passes care about:
+
+* branches (``if``/``elif``/``else``) with ``true``/``false`` edges;
+* ``while``/``for`` loops including their ``else`` clauses, with
+  ``break``/``continue`` routed to the right continuation;
+* ``try``/``except``/``else``/``finally`` — handler entries receive
+  ``except`` edges from every may-raise block of the protected body,
+  and the ``finally`` suite is *duplicated* per continuation (normal,
+  raising, returning, breaking) so "a release inside ``finally``
+  dominates the exceptional exit" is a plain graph property;
+* ``with`` blocks as an implicit try/finally: synthetic
+  :class:`Marker` pseudo-statements record the ``__enter__`` and the
+  normal/exceptional ``__exit__`` points, which is what the held-facts
+  analyses key on;
+* ``return``/``raise`` routed through every enclosing ``finally`` and
+  ``with`` exit on their way to the single ``exit`` block.
+
+Exceptional flow is approximated at block granularity: any block that
+contains a may-raise statement (a call, a ``raise``, an ``assert``, an
+attribute or subscript access) gets an ``except`` edge to the innermost
+enclosing handler entries and — for the unmatched case — onward to the
+next interceptor, ultimately the function exit.  Loop conditions are
+treated as opaque (both edges always exist, even for ``while True``),
+so every block reaches ``exit``; this is the usual lint-grade
+conservative CFG, not an execution-precise one.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.robustness.errors import InputError
+
+#: Edge kinds, used as witness annotations and in golden tests.
+EDGE_KINDS = (
+    "next",  # straight-line fallthrough
+    "true",  # branch/loop condition holds
+    "false",  # branch/loop condition fails (includes loop exit)
+    "loop",  # back edge to a loop header
+    "break",
+    "continue",
+    "except",  # implicit may-raise: fires partway through the source block
+    "raise",  # explicit raise / interceptor pass-on (block ran to its end)
+    "return",
+    "finally",  # entering a duplicated finally suite
+)
+
+FunctionLike = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class Marker:
+    """A synthetic pseudo-statement for control points with no stmt node.
+
+    ``kind`` is one of:
+
+    ``params``
+        function entry; ``node`` is the ``ast.arguments``.
+    ``test``
+        a branch or loop condition; ``node`` is the test expression.
+    ``loop-iter``
+        a ``for`` header; ``node`` is the ``ast.For``/``AsyncFor``.
+    ``with-enter``
+        context managers entered; ``node`` is the ``With``/``AsyncWith``.
+    ``with-exit``
+        context managers exited (``exceptional`` distinguishes the
+        unwinding copy); ``node`` is the ``With``/``AsyncWith``.
+    ``handler``
+        an ``except`` clause entry; ``node`` is the ``ExceptHandler``.
+    """
+
+    kind: str
+    node: ast.AST
+    lineno: int
+    exceptional: bool = False
+
+    def __repr__(self) -> str:  # compact, for golden tests
+        flag = "!" if self.exceptional else ""
+        return f"<{self.kind}{flag}@{self.lineno}>"
+
+
+#: What a block may hold: real statements or synthetic markers.
+Stmt = ast.stmt | Marker
+
+
+def stmt_exprs(stmt: Stmt) -> Iterator[ast.AST]:
+    """The AST nodes an analysis should walk for one block entry.
+
+    For real statements this is the statement itself; for markers it is
+    the relevant sub-expressions only (a ``with-enter`` yields the
+    context expressions and optional targets, never the body).
+    """
+    if isinstance(stmt, Marker):
+        node = stmt.node
+        if stmt.kind == "params":
+            yield node
+        elif stmt.kind == "test":
+            yield node
+        elif stmt.kind == "loop-iter":
+            assert isinstance(node, (ast.For, ast.AsyncFor))
+            yield node.iter
+            yield node.target
+        elif stmt.kind in ("with-enter", "with-exit"):
+            assert isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items:
+                yield item.context_expr
+                if stmt.kind == "with-enter" and item.optional_vars:
+                    yield item.optional_vars
+        elif stmt.kind == "handler":
+            assert isinstance(node, ast.ExceptHandler)
+            if node.type is not None:
+                yield node.type
+    else:
+        yield stmt
+
+
+def _may_raise(stmt: Stmt) -> bool:
+    """Conservative: could executing this entry raise?"""
+    if isinstance(stmt, Marker):
+        if stmt.kind in ("params",):
+            return False
+        if stmt.kind in ("with-enter", "with-exit", "loop-iter", "handler"):
+            return True  # __enter__/__exit__/next()/match may all raise
+        return any(
+            isinstance(n, (ast.Call, ast.Attribute, ast.Subscript))
+            for root in stmt_exprs(stmt)
+            for n in ast.walk(root)
+        )
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.Return, ast.Break, ast.Continue, ast.Pass)):
+        return bool(
+            isinstance(stmt, ast.Return)
+            and stmt.value is not None
+            and any(
+                isinstance(n, (ast.Call, ast.Attribute, ast.Subscript))
+                for n in ast.walk(stmt.value)
+            )
+        )
+    return any(
+        isinstance(n, (ast.Call, ast.Attribute, ast.Subscript, ast.BinOp))
+        for n in ast.walk(stmt)
+    )
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of statements/markers."""
+
+    index: int
+    label: str = ""
+    statements: list[Stmt] = field(default_factory=list)
+    #: Outgoing edges as ``(successor index, kind)`` in insertion order.
+    succs: list[tuple[int, str]] = field(default_factory=list)
+    #: Incoming edges as ``(predecessor index, kind)``.
+    preds: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> int | None:
+        """The first source line this block covers, if any."""
+        for stmt in self.statements:
+            line = getattr(stmt, "lineno", None)
+            if line:
+                return line
+        return None
+
+    def describe(self) -> str:
+        """One golden-test line: ``i[label@line] -> j(kind), k(kind)``."""
+        where = f"@{self.lineno}" if self.lineno else ""
+        edges = ", ".join(f"{j}({kind})" for j, kind in self.succs)
+        return f"{self.index}[{self.label}{where}] -> {edges or '-'}"
+
+
+class CFG:
+    """The control-flow graph of one function.
+
+    ``blocks[0]`` is the unique entry, ``blocks[1]`` the unique exit;
+    every other index is in no particular order.  Edges carry a kind
+    from :data:`EDGE_KINDS`.
+    """
+
+    ENTRY = 0
+    EXIT = 1
+
+    def __init__(self, name: str, func: ast.AST | None) -> None:
+        self.name = name
+        self.func = func
+        self.blocks: list[BasicBlock] = [
+            BasicBlock(self.ENTRY, label="entry"),
+            BasicBlock(self.EXIT, label="exit"),
+        ]
+
+    # -- construction (used by the builder) ---------------------------- #
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(len(self.blocks), label=label)
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: int, dst: int, kind: str = "next") -> None:
+        if kind not in EDGE_KINDS:
+            raise InputError("unknown CFG edge kind", kind=kind)
+        if (dst, kind) not in self.blocks[src].succs:
+            self.blocks[src].succs.append((dst, kind))
+            self.blocks[dst].preds.append((src, kind))
+
+    # -- queries ------------------------------------------------------- #
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.ENTRY]
+
+    @property
+    def exit(self) -> BasicBlock:
+        return self.blocks[self.EXIT]
+
+    def successors(self, index: int) -> list[int]:
+        return [j for j, _ in self.blocks[index].succs]
+
+    def predecessors(self, index: int) -> list[int]:
+        return [j for j, _ in self.blocks[index].preds]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def reachable_from_entry(self) -> set[int]:
+        seen = {self.ENTRY}
+        stack = [self.ENTRY]
+        while stack:
+            for succ in self.successors(stack.pop()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def reaches_exit(self) -> set[int]:
+        seen = {self.EXIT}
+        stack = [self.EXIT]
+        while stack:
+            for pred in self.predecessors(stack.pop()):
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append(pred)
+        return seen
+
+    def locate(self, node: ast.AST) -> tuple[int, int] | None:
+        """``(block index, position)`` of a statement, by identity."""
+        for block in self.blocks:
+            for pos, stmt in enumerate(block.statements):
+                if stmt is node or (
+                    isinstance(stmt, Marker) and stmt.node is node
+                ):
+                    return block.index, pos
+        return None
+
+    def describe(self) -> str:
+        """A stable multi-line rendering for golden tests."""
+        return "\n".join(b.describe() for b in self.blocks)
+
+
+# --------------------------------------------------------------------- #
+# builder
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _LoopFrame:
+    header: int  # continue target
+    after: int  # break target
+
+
+@dataclass
+class _TryFrame:
+    handler_entries: list[int]
+
+
+@dataclass
+class _FinallyFrame:
+    finalbody: list[ast.stmt]
+    #: Shared duplicated suite for unwinding exceptions (built eagerly).
+    raise_entry: int
+
+
+@dataclass
+class _WithFrame:
+    node: ast.With | ast.AsyncWith
+    #: Shared exceptional ``__exit__`` block (built eagerly).
+    exc_exit: int
+
+
+_Frame = _LoopFrame | _TryFrame | _FinallyFrame | _WithFrame
+
+
+class _Builder:
+    def __init__(self, name: str, func: ast.AST | None) -> None:
+        self.cfg = CFG(name, func)
+        self.frames: list[_Frame] = []
+
+    # -- frame-sensitive routing --------------------------------------- #
+
+    def raise_destinations(self) -> list[tuple[int, str]]:
+        """Where an exception raised *here* can go first.
+
+        Walks the frame stack inward-out: ``try`` frames contribute
+        their handler entries and stay transparent (the unmatched
+        case); ``with``/``finally`` frames intercept (their shared
+        blocks route onward themselves); no interceptor means the
+        function exit.
+        """
+        out: list[tuple[int, str]] = []
+        for frame in reversed(self.frames):
+            if isinstance(frame, _TryFrame):
+                out.extend((h, "except") for h in frame.handler_entries)
+            elif isinstance(frame, _FinallyFrame):
+                out.append((frame.raise_entry, "except"))
+                return out
+            elif isinstance(frame, _WithFrame):
+                out.append((frame.exc_exit, "except"))
+                return out
+        out.append((self.cfg.EXIT, "raise"))
+        return out
+
+    def _wire_may_raise(self, block: BasicBlock) -> None:
+        # Implicit escapes are always labeled "except", even when the
+        # destination is the function exit: the exception may fire
+        # partway through the block, so an analysis must not assume the
+        # block's later statements executed on these edges.  Explicit
+        # ``raise`` statements and interceptor pass-ons use "raise" —
+        # there the block *did* run to completion first.
+        for dst, _ in self.raise_destinations():
+            self.cfg.add_edge(block.index, dst, "except")
+
+    # -- statement appending ------------------------------------------- #
+
+    def append(self, block: BasicBlock | None, stmt: Stmt) -> BasicBlock | None:
+        if block is None:  # unreachable code after return/raise/...
+            block = self.cfg.new_block(label="unreachable")
+        block.statements.append(stmt)
+        if _may_raise(stmt):
+            self._wire_may_raise(block)
+        return block
+
+    # -- abrupt exits through finally/with ----------------------------- #
+
+    def _inline_exit_path(
+        self, start: int, kind: str, stop_at: type | None = None
+    ) -> int:
+        """Route an abrupt exit (return/break/continue) outward.
+
+        Inlines a fresh copy of every enclosing ``finally`` suite and a
+        ``with-exit`` marker for every enclosing ``with``, innermost
+        first, stopping at the first ``stop_at`` frame (for
+        break/continue: the loop).  Returns the index of the last block
+        on the path; the caller connects it to the final target.
+        """
+        current = start
+        for frame in reversed(self.frames):
+            if stop_at is not None and isinstance(frame, stop_at):
+                break
+            if isinstance(frame, _WithFrame):
+                marker = Marker(
+                    "with-exit",
+                    frame.node,
+                    getattr(frame.node, "lineno", 0),
+                )
+                exit_block = self.cfg.new_block(label="with-exit")
+                exit_block.statements.append(marker)
+                self.cfg.add_edge(current, exit_block.index, kind)
+                current = exit_block.index
+            elif isinstance(frame, _FinallyFrame):
+                entry, end = self._copy_suite(frame.finalbody, "finally")
+                self.cfg.add_edge(current, entry, "finally")
+                current = end
+        return current
+
+    def _copy_suite(self, stmts: list[ast.stmt], label: str) -> tuple[int, int]:
+        """Build a fresh copy of a finally suite; ``(entry, end)``.
+
+        The copy is built under the *current* frame stack minus the
+        frames the suite escapes — close enough for a finally body,
+        whose own raises unwind outward anyway.
+        """
+        entry = self.cfg.new_block(label=label)
+        end = self.visit_body(stmts, entry)
+        if end is None:  # the suite itself always raises/returns
+            return entry.index, entry.index
+        return entry.index, end.index
+
+    # -- visitors ------------------------------------------------------ #
+
+    def visit_body(
+        self, stmts: Sequence[ast.stmt], block: BasicBlock | None
+    ) -> BasicBlock | None:
+        """Append a statement list; returns the live trailing block
+        (``None`` when control cannot fall off the end)."""
+        current = block
+        for stmt in stmts:
+            current = self.visit(stmt, current)
+        return current
+
+    def visit(
+        self, stmt: ast.stmt, block: BasicBlock | None
+    ) -> BasicBlock | None:
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, block)
+        if isinstance(stmt, (ast.While,)):
+            return self._visit_while(stmt, block)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._visit_for(stmt, block)
+        if isinstance(stmt, ast.Try):
+            return self._visit_try(stmt, block)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._visit_with(stmt, block)
+        if isinstance(stmt, ast.Return):
+            return self._visit_return(stmt, block)
+        if isinstance(stmt, ast.Raise):
+            return self._visit_raise(stmt, block)
+        if isinstance(stmt, ast.Break):
+            return self._visit_break_continue(stmt, block, "break")
+        if isinstance(stmt, ast.Continue):
+            return self._visit_break_continue(stmt, block, "continue")
+        # Nested defs/classes and plain statements are block entries;
+        # their bodies are separate CFGs built on demand.
+        return self.append(block, stmt)
+
+    def _ensure(self, block: BasicBlock | None, label: str = "") -> BasicBlock:
+        return block if block is not None else self.cfg.new_block(label=label)
+
+    def _visit_if(
+        self, stmt: ast.If, block: BasicBlock | None
+    ) -> BasicBlock | None:
+        block = self._ensure(block)
+        block = self.append(block, Marker("test", stmt.test, stmt.lineno))
+        assert block is not None
+        then_entry = self.cfg.new_block(label="then")
+        self.cfg.add_edge(block.index, then_entry.index, "true")
+        then_end = self.visit_body(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block(label="else")
+            self.cfg.add_edge(block.index, else_entry.index, "false")
+            else_end = self.visit_body(stmt.orelse, else_entry)
+        else:
+            else_end = block  # condition false falls through
+        if then_end is None and else_end is None:
+            return None
+        join = self.cfg.new_block(label="join")
+        if then_end is not None:
+            self.cfg.add_edge(then_end.index, join.index, "next")
+        if else_end is not None:
+            kind = "false" if else_end is block else "next"
+            self.cfg.add_edge(else_end.index, join.index, kind)
+        return join
+
+    def _visit_while(
+        self, stmt: ast.While, block: BasicBlock | None
+    ) -> BasicBlock | None:
+        block = self._ensure(block)
+        header = self.cfg.new_block(label="while")
+        header.statements.append(Marker("test", stmt.test, stmt.lineno))
+        if _may_raise(header.statements[0]):
+            self._wire_may_raise(header)
+        self.cfg.add_edge(block.index, header.index, "next")
+        after = self.cfg.new_block(label="after-loop")
+        body_entry = self.cfg.new_block(label="loop-body")
+        self.cfg.add_edge(header.index, body_entry.index, "true")
+        self.frames.append(_LoopFrame(header.index, after.index))
+        body_end = self.visit_body(stmt.body, body_entry)
+        self.frames.pop()
+        if body_end is not None:
+            self.cfg.add_edge(body_end.index, header.index, "loop")
+        if stmt.orelse:
+            else_entry = self.cfg.new_block(label="loop-else")
+            self.cfg.add_edge(header.index, else_entry.index, "false")
+            else_end = self.visit_body(stmt.orelse, else_entry)
+            if else_end is not None:
+                self.cfg.add_edge(else_end.index, after.index, "next")
+        else:
+            self.cfg.add_edge(header.index, after.index, "false")
+        return after
+
+    def _visit_for(
+        self, stmt: ast.For | ast.AsyncFor, block: BasicBlock | None
+    ) -> BasicBlock | None:
+        block = self._ensure(block)
+        header = self.cfg.new_block(label="for")
+        header.statements.append(Marker("loop-iter", stmt, stmt.lineno))
+        self._wire_may_raise(header)
+        self.cfg.add_edge(block.index, header.index, "next")
+        after = self.cfg.new_block(label="after-loop")
+        body_entry = self.cfg.new_block(label="loop-body")
+        self.cfg.add_edge(header.index, body_entry.index, "true")
+        self.frames.append(_LoopFrame(header.index, after.index))
+        body_end = self.visit_body(stmt.body, body_entry)
+        self.frames.pop()
+        if body_end is not None:
+            self.cfg.add_edge(body_end.index, header.index, "loop")
+        if stmt.orelse:
+            else_entry = self.cfg.new_block(label="loop-else")
+            self.cfg.add_edge(header.index, else_entry.index, "false")
+            else_end = self.visit_body(stmt.orelse, else_entry)
+            if else_end is not None:
+                self.cfg.add_edge(else_end.index, after.index, "next")
+        else:
+            self.cfg.add_edge(header.index, after.index, "false")
+        return after
+
+    def _visit_with(
+        self, stmt: ast.With | ast.AsyncWith, block: BasicBlock | None
+    ) -> BasicBlock | None:
+        block = self._ensure(block)
+        block = self.append(
+            block, Marker("with-enter", stmt, stmt.lineno)
+        )
+        assert block is not None
+        # Shared exceptional __exit__, routed onward from *outside* the
+        # with (computed before the frame is pushed).
+        exc_exit = self.cfg.new_block(label="with-exit")
+        exc_exit.statements.append(
+            Marker("with-exit", stmt, stmt.lineno, exceptional=True)
+        )
+        for dst, _ in self.raise_destinations():
+            self.cfg.add_edge(exc_exit.index, dst, "raise")
+        body_entry = self.cfg.new_block(label="with-body")
+        self.cfg.add_edge(block.index, body_entry.index, "next")
+        self.frames.append(_WithFrame(stmt, exc_exit.index))
+        body_end = self.visit_body(stmt.body, body_entry)
+        self.frames.pop()
+        if body_end is None:
+            return None
+        normal_exit = self.cfg.new_block(label="with-exit")
+        normal_exit.statements.append(
+            Marker("with-exit", stmt, stmt.lineno)
+        )
+        self.cfg.add_edge(body_end.index, normal_exit.index, "next")
+        return normal_exit
+
+    def _visit_try(
+        self, stmt: ast.Try, block: BasicBlock | None
+    ) -> BasicBlock | None:
+        block = self._ensure(block)
+        pushed: list[_Frame] = []
+        if stmt.finalbody:
+            # The shared unwinding copy, built under the *outer* frames
+            # so its onward edges skip this try entirely.
+            entry, end = self._copy_suite(stmt.finalbody, "finally")
+            for dst, _ in self.raise_destinations():
+                self.cfg.add_edge(end, dst, "raise")
+            frame = _FinallyFrame(stmt.finalbody, entry)
+            self.frames.append(frame)
+            pushed.append(frame)
+
+        # Handlers run under the finally frame but not the try frame:
+        # an exception inside a handler unwinds outward.
+        handler_entries: list[int] = []
+        handler_ends: list[BasicBlock] = []
+        for handler in stmt.handlers:
+            entry_block = self.cfg.new_block(
+                label=f"except {ast.unparse(handler.type) if handler.type else ''}".rstrip()
+            )
+            entry_block.statements.append(
+                Marker("handler", handler, handler.lineno)
+            )
+            handler_entries.append(entry_block.index)
+            end = self.visit_body(handler.body, entry_block)
+            if end is not None:
+                handler_ends.append(end)
+
+        try_frame = _TryFrame(handler_entries)
+        self.frames.append(try_frame)
+        pushed.append(try_frame)
+        body_entry = self.cfg.new_block(label="try")
+        self.cfg.add_edge(block.index, body_entry.index, "next")
+        body_end = self.visit_body(stmt.body, body_entry)
+        self.frames.remove(try_frame)
+        pushed.remove(try_frame)
+
+        # else runs after a normally-completed body, outside the
+        # handlers' protection.
+        if stmt.orelse and body_end is not None:
+            else_entry = self.cfg.new_block(label="try-else")
+            self.cfg.add_edge(body_end.index, else_entry.index, "next")
+            body_end = self.visit_body(stmt.orelse, else_entry)
+
+        for frame in pushed:
+            self.frames.remove(frame)
+
+        normal_ends = list(handler_ends)
+        if body_end is not None:
+            normal_ends.append(body_end)
+        if not normal_ends:
+            return None
+        if stmt.finalbody:
+            entry, end = self._copy_suite(stmt.finalbody, "finally")
+            for source in normal_ends:
+                self.cfg.add_edge(source.index, entry, "finally")
+            after = self.cfg.new_block(label="after-try")
+            self.cfg.add_edge(end, after.index, "next")
+            return after
+        after = self.cfg.new_block(label="after-try")
+        for source in normal_ends:
+            self.cfg.add_edge(source.index, after.index, "next")
+        return after
+
+    def _visit_return(
+        self, stmt: ast.Return, block: BasicBlock | None
+    ) -> None:
+        block = self._ensure(block)
+        block = self.append(block, stmt)
+        assert block is not None
+        last = self._inline_exit_path(block.index, "return")
+        self.cfg.add_edge(last, self.cfg.EXIT, "return")
+        return None
+
+    def _visit_raise(
+        self, stmt: ast.Raise, block: BasicBlock | None
+    ) -> None:
+        block = self._ensure(block)
+        block.statements.append(stmt)
+        for dst, _ in self.raise_destinations():
+            self.cfg.add_edge(block.index, dst, "raise")
+        return None
+
+    def _visit_break_continue(
+        self, stmt: ast.Break | ast.Continue, block: BasicBlock | None, kind: str
+    ) -> None:
+        block = self._ensure(block)
+        block = self.append(block, stmt)
+        assert block is not None
+        loop = next(
+            (f for f in reversed(self.frames) if isinstance(f, _LoopFrame)),
+            None,
+        )
+        if loop is None:
+            # break/continue outside a loop is a syntax error upstream;
+            # route to exit so the graph stays connected.
+            self.cfg.add_edge(block.index, self.cfg.EXIT, kind)
+            return None
+        last = self._inline_exit_path(block.index, kind, stop_at=_LoopFrame)
+        target = loop.after if kind == "break" else loop.header
+        self.cfg.add_edge(last, target, kind)
+        return None
+
+
+def _prune(cfg: CFG) -> CFG:
+    """Drop empty, disconnected scaffolding blocks and re-index."""
+    keep: list[BasicBlock] = []
+    for block in cfg.blocks:
+        if block.index in (CFG.ENTRY, CFG.EXIT):
+            keep.append(block)
+        elif block.statements or block.preds or block.succs:
+            keep.append(block)
+    remap = {b.index: i for i, b in enumerate(keep)}
+    for i, block in enumerate(keep):
+        block.index = i
+        block.succs = [
+            (remap[j], kind) for j, kind in block.succs if j in remap
+        ]
+        block.preds = [
+            (remap[j], kind) for j, kind in block.preds if j in remap
+        ]
+    cfg.blocks = keep
+    return cfg
+
+
+def build_cfg(func: FunctionLike, name: str | None = None) -> CFG:
+    """The CFG of one function definition."""
+    builder = _Builder(name or func.name, func)
+    entry = builder.cfg.entry
+    entry.statements.append(Marker("params", func.args, func.lineno))
+    first = builder.cfg.new_block(label="body")
+    builder.cfg.add_edge(CFG.ENTRY, first.index, "next")
+    end = builder.visit_body(func.body, first)
+    if end is not None:
+        builder.cfg.add_edge(end.index, CFG.EXIT, "return")
+    return _prune(builder.cfg)
+
+
+def build_cfg_from_source(source: str, name: str = "<test>") -> CFG:
+    """Parse ``source`` as a module holding one function; build its CFG.
+
+    Test convenience: the module's first function definition is used.
+    """
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return build_cfg(node, name=name)
+    raise InputError("source holds no function definition", name=name)
+
+
+def iter_statements(cfg: CFG) -> Iterator[tuple[BasicBlock, int, Stmt]]:
+    """Every ``(block, position, statement)`` triple, in block order."""
+    for block in cfg.blocks:
+        for pos, stmt in enumerate(block.statements):
+            yield block, pos, stmt
+
+
+__all__ = [
+    "CFG",
+    "EDGE_KINDS",
+    "BasicBlock",
+    "FunctionLike",
+    "Marker",
+    "Stmt",
+    "build_cfg",
+    "build_cfg_from_source",
+    "iter_statements",
+    "stmt_exprs",
+]

@@ -1,0 +1,323 @@
+"""Interprocedural raises-set inference over the project model.
+
+For every function in a :class:`~repro.analysis.conformance.model.
+ProjectModel`, compute the set of exception types that can *escape* it:
+local ``raise`` statements filtered through enclosing handlers, plus
+everything escaping from resolvable callees that the call site's
+handler context does not catch.  A bare ``raise`` inside a handler
+re-raises that handler's caught types.
+
+Type identity is by last-component class name, checked against a
+hierarchy assembled from two sources: the interpreter's own builtin
+exception tree (introspected by name — the analyzed code is never
+imported) and the project's ``class X(Y)`` definitions, so
+``InputError`` is known to be both a ``ReproError`` and a
+``ValueError`` without executing anything.
+
+This powers the CC009 exception-flow pass; its per-function summary is
+also available directly via :func:`raises_summary`.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # real import would be circular: conformance passes
+    # (cc009) import this module while the conformance package loads.
+    from repro.analysis.conformance.model import (
+        FunctionInfo,
+        ModuleInfo,
+        ProjectModel,
+    )
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    from repro.analysis.conformance.model import ProjectModel
+
+    return ProjectModel.dotted_name(node)
+
+#: Handler context: one frozenset of caught type names per enclosing try.
+Context = tuple[frozenset[str], ...]
+
+
+class ExceptionHierarchy:
+    """Subtype relation over exception *names* (builtin + project)."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        #: name -> set of ancestor names (including itself).
+        self._ancestors: dict[str, frozenset[str]] = {}
+        parents: dict[str, set[str]] = {}
+        for name in dir(builtins):
+            obj = getattr(builtins, name)
+            if isinstance(obj, type) and issubclass(obj, BaseException):
+                parents[name] = {
+                    base.__name__
+                    for base in obj.__mro__[1:]
+                    if issubclass(base, BaseException)
+                }
+        for qual, cls in project.classes.items():
+            module = project.modules.get(
+                qual.rsplit(".", 1)[0].rsplit(".", 1)[0]
+            )
+            bases: set[str] = set()
+            for base in cls.bases:
+                dotted = _dotted_name(base)
+                if dotted:
+                    bases.add(dotted.split(".")[-1])
+            parents.setdefault(cls.name, set()).update(bases)
+        # Transitive closure (names only; cycles cannot occur in real
+        # class hierarchies but the visited set guards anyway).
+        def close(name: str, seen: set[str]) -> set[str]:
+            out = {name}
+            for parent in parents.get(name, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    out |= close(parent, seen)
+            return out
+
+        for name in parents:
+            self._ancestors[name] = frozenset(close(name, {name}))
+
+    def is_subtype(self, name: str, base: str) -> bool:
+        if name == base:
+            return True
+        return base in self._ancestors.get(name, frozenset())
+
+    def is_repro_error(self, name: str) -> bool:
+        return self.is_subtype(name, "ReproError")
+
+    def is_exception(self, name: str) -> bool:
+        """Is the name a known exception type at all?"""
+        return name in self._ancestors
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """One escaping raise, tagged with where it originally happened."""
+
+    exc_type: str  # last-component class name
+    origin: str  # qualname of the function holding the raise
+    relpath: str  # repo-relative path of that module
+    lineno: int
+
+
+def _handler_names(handler: ast.ExceptHandler) -> frozenset[str]:
+    if handler.type is None:
+        return frozenset({"BaseException"})
+    names: set[str] = set()
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in nodes:
+        dotted = _dotted_name(node)
+        if dotted:
+            names.add(dotted.split(".")[-1])
+    return frozenset(names or {"BaseException"})
+
+
+def _caught(hierarchy: ExceptionHierarchy, exc: str, context: Context) -> bool:
+    for caught in context:
+        for name in caught:
+            if name == "BaseException" or hierarchy.is_subtype(exc, name):
+                return True
+    return False
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """The statement's direct expressions, not its nested statements."""
+    for _, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item
+
+
+def _calls_in(expr: ast.AST) -> Iterator[ast.Call]:
+    """Calls evaluated by this expression (lambda bodies excluded)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class RaisesAnalysis:
+    """The project-wide fixpoint; query with :meth:`raises`."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        self.hierarchy = ExceptionHierarchy(project)
+        #: qualname -> escaping raise sites.
+        self._escapes: dict[str, set[RaiseSite]] = {}
+        #: qualname -> [(callee qualname, handler context)].
+        self._calls: dict[str, list[tuple[str, Context]]] = {}
+        for qual, info in project.functions.items():
+            self._analyze_local(qual, info)
+        self._fixpoint()
+
+    # -- local pass ---------------------------------------------------- #
+
+    def _analyze_local(self, qual: str, info: FunctionInfo) -> None:
+        module = self.project.modules[info.module]
+        sites: set[RaiseSite] = set()
+        calls: list[tuple[str, Context]] = []
+        class_name = self._class_of(qual)
+
+        def record_raise(
+            node: ast.Raise, context: Context, handler_types: frozenset[str]
+        ) -> None:
+            if node.exc is None:
+                # Bare re-raise: the caught types escape again.
+                for name in handler_types:
+                    if not _caught(self.hierarchy, name, context):
+                        sites.add(
+                            RaiseSite(name, qual, module.relpath, node.lineno)
+                        )
+                return
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                for call in _calls_in(exc):
+                    self._record_call(module, class_name, call, context, calls)
+                exc = exc.func
+            dotted = _dotted_name(exc)
+            if dotted is None:
+                return  # a computed exception object; untracked
+            name = dotted.split(".")[-1]
+            if not _caught(self.hierarchy, name, context):
+                sites.add(RaiseSite(name, qual, module.relpath, node.lineno))
+
+        def walk(
+            stmts: Iterable[ast.stmt],
+            context: Context,
+            handler_types: frozenset[str],
+        ) -> None:
+            for stmt in stmts:
+                if isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue  # separate scope, analyzed on its own
+                if isinstance(stmt, ast.Raise):
+                    record_raise(stmt, context, handler_types)
+                    continue
+                if isinstance(stmt, ast.Try):
+                    caught = frozenset().union(
+                        *[_handler_names(h) for h in stmt.handlers]
+                    ) if stmt.handlers else frozenset()
+                    body_context = (
+                        context + (caught,) if caught else context
+                    )
+                    walk(stmt.body, body_context, handler_types)
+                    for handler in stmt.handlers:
+                        walk(
+                            handler.body,
+                            context,
+                            _handler_names(handler),
+                        )
+                    walk(stmt.orelse, context, handler_types)
+                    walk(stmt.finalbody, context, handler_types)
+                    continue
+                for expr in _own_exprs(stmt):
+                    for call in _calls_in(expr):
+                        self._record_call(
+                            module, class_name, call, context, calls
+                        )
+                for field_name, value in ast.iter_fields(stmt):
+                    if isinstance(value, list) and value and isinstance(
+                        value[0], ast.stmt
+                    ):
+                        walk(value, context, handler_types)
+                    elif isinstance(value, ast.excepthandler):
+                        pass  # only Try has handlers, handled above
+
+        walk(info.node.body, (), frozenset())
+        self._escapes[qual] = sites
+        self._calls[qual] = calls
+
+    def _class_of(self, qualname: str) -> str | None:
+        parts = qualname.split(".")
+        if len(parts) >= 2 and parts[-2][:1].isupper():
+            return parts[-2]
+        return None
+
+    def _record_call(
+        self,
+        module: ModuleInfo,
+        class_name: str | None,
+        call: ast.Call,
+        context: Context,
+        calls: list[tuple[str, Context]],
+    ) -> None:
+        dotted = _dotted_name(call.func)
+        if dotted is None:
+            return
+        if dotted.startswith("self.") and class_name is not None:
+            parts = dotted.split(".")
+            if len(parts) == 2:
+                candidate = f"{module.name}.{class_name}.{parts[1]}"
+                if self.project.function(candidate) is not None:
+                    calls.append((self.project.chase(candidate), context))
+            return
+        resolved = self.project.resolve(module, call.func)
+        if resolved is None:
+            return
+        info = self.project.function(resolved)
+        if info is not None:
+            calls.append((info.qualname, context))
+
+    # -- fixpoint ------------------------------------------------------ #
+
+    def _fixpoint(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for qual, call_sites in self._calls.items():
+                escapes = self._escapes[qual]
+                before = len(escapes)
+                for callee, context in call_sites:
+                    for site in self._escapes.get(callee, ()):
+                        if not _caught(
+                            self.hierarchy, site.exc_type, context
+                        ):
+                            escapes.add(site)
+                if len(escapes) != before:
+                    changed = True
+
+    # -- queries ------------------------------------------------------- #
+
+    def raises(self, qualname: str) -> frozenset[RaiseSite]:
+        return frozenset(self._escapes.get(qualname, frozenset()))
+
+    def local_raises(self, qualname: str) -> frozenset[RaiseSite]:
+        """Only the sites physically inside ``qualname`` itself."""
+        return frozenset(
+            s for s in self._escapes.get(qualname, ()) if s.origin == qualname
+        )
+
+
+def raises_summary(project: ProjectModel) -> dict[str, frozenset[str]]:
+    """``{qualname: escaping exception type names}`` for every function."""
+    analysis = RaisesAnalysis(project)
+    return {
+        qual: frozenset(s.exc_type for s in analysis.raises(qual))
+        for qual in project.functions
+    }
+
+
+__all__ = [
+    "ExceptionHierarchy",
+    "RaiseSite",
+    "RaisesAnalysis",
+    "raises_summary",
+]

@@ -29,6 +29,7 @@ from repro.cable.views import ConceptState, ConceptSummary
 from repro.core.trace_clustering import TraceClustering
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace
+from repro.robustness.errors import InputError
 from repro.learners.sk_strings import learn_sk_strings
 
 if TYPE_CHECKING:
@@ -39,8 +40,13 @@ if TYPE_CHECKING:
 Selection = str | tuple[str, str]
 
 
-class SelectionError(ValueError):
-    """Raised when a selection is malformed or selects no traces."""
+class SelectionError(InputError):
+    """Raised when a selection is malformed or selects no traces.
+
+    An :class:`InputError` (so ``except ReproError`` at the API
+    boundary catches it) that is still a ``ValueError`` for callers
+    holding on to the historical contract.
+    """
 
 
 @dataclass

@@ -26,6 +26,7 @@ from repro.lang.traces import Trace, dedup_traces
 from repro.learners.coring import core_fa
 from repro.learners.sk_strings import LearnedFA, learn_sk_strings
 from repro.mining.scenarios import ScenarioExtractor
+from repro.robustness.errors import InputError
 
 if TYPE_CHECKING:
     from repro.analysis.diagnostics import LintReport
@@ -87,7 +88,7 @@ class Strauss:
     def back_end(self, scenarios: Sequence[Trace]) -> MinedSpecification:
         """Learn a specification FA from scenario traces."""
         if not scenarios:
-            raise ValueError("no scenario traces to learn from")
+            raise InputError("no scenario traces to learn from")
         with obs.span(
             "strauss.back_end", scenarios=len(scenarios), k=self.k, s=self.s
         ) as span:
@@ -172,6 +173,6 @@ class Strauss:
         out: dict[str, MinedSpecification] = {}
         for label, bucket in buckets.items():
             if not bucket:
-                raise ValueError(f"no scenarios labeled {label!r}")
+                raise InputError(f"no scenarios labeled {label!r}")
             out[label] = self.back_end(bucket)
         return out

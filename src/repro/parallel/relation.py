@@ -68,7 +68,7 @@ from repro.lang.traces import Trace
 from repro.parallel.pool import MapCheckpoint, parallel_map, resolve_jobs
 from repro.robustness.atomicio import atomic_write_text
 from repro.robustness.budget import Budget
-from repro.robustness.errors import BudgetExceeded, TaskError
+from repro.robustness.errors import BudgetExceeded, InputError, TaskError
 from repro.robustness.supervise import (
     BackendDowngrade,
     PartialMapResult,
@@ -104,7 +104,7 @@ class RelationCache:
         self, maxsize: int = DEFAULT_CACHE_SIZE, fa: FA | None = None
     ) -> None:
         if maxsize < 1:
-            raise ValueError("maxsize must be positive")
+            raise InputError("maxsize must be positive", maxsize=maxsize)
         self.maxsize = maxsize
         self._data: OrderedDict[tuple, RelationResult] = OrderedDict()
         self._lock = threading.Lock()

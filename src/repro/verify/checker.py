@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.fa.automaton import FA
 from repro.lang.traces import Trace
+from repro.robustness.errors import InputError
 
 
 @dataclass(frozen=True)
@@ -87,7 +88,7 @@ class TemporalChecker:
             if pos is None:
                 continue
             if pos >= len(event.args):
-                raise ValueError(
+                raise InputError(
                     f"creation event {event} lacks argument {pos}"
                 )
             out.append((event.args[pos], i))

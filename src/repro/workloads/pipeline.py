@@ -129,6 +129,7 @@ class SpecRun:
         ``tracegen 12.3ms | mine 45.6ms | ... (total 123.4ms)``, phases
         in execution order.
         """
+        obs.inc("pipeline.reports")
         parts = [
             f"{name} {self.phase_seconds[name] * 1e3:.1f}ms"
             for name in PHASES

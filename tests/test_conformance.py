@@ -1,4 +1,4 @@
-"""The conformance passes (CC001–CC007): synthetic triggers, the clean
+"""The conformance passes (CC001–CC011): synthetic triggers, the clean
 counterparts, and seeded mutations on the real tree.
 
 The seeded mutations are the acceptance tests: each re-plants a bug
@@ -44,9 +44,7 @@ def real_tree() -> ProjectModel:
 class TestRegistry:
     def test_all_passes_registered(self):
         codes = [p.code for p in all_passes()]
-        assert codes == [
-            "CC001", "CC002", "CC003", "CC004", "CC005", "CC006", "CC007",
-        ]
+        assert codes == [f"CC{n:03d}" for n in range(1, 12)]
 
     def test_unknown_code_raises(self):
         with pytest.raises(InputError):
@@ -358,6 +356,23 @@ class TestCC004:
             codes=["CC004"],
         )
 
+    def test_local_consumption_exempt(self):
+        # Reading the param outside any call argument ("if strict:",
+        # "budget.remaining()") is a visible decision, not a drop.
+        assert not findings(
+            {
+                **self.BASE,
+                "pkg.caller": (
+                    "from pkg.callee import deep\n"
+                    "def run(items, budget=None):\n"
+                    "    if budget is not None:\n"
+                    "        items = items[:10]\n"
+                    "    return deep(items)\n"
+                ),
+            },
+            codes=["CC004"],
+        )
+
     def test_callee_without_param_ignored(self):
         assert not findings(
             {
@@ -623,12 +638,27 @@ class TestSeededMutations:
         assert "CC006@code:RelationCache.clear" in fps
 
     def test_dropped_budget_forward_trips_cc004(self, real_tree):
+        # extend_clustering never reads ``budget`` locally — it only
+        # forwards it — so dropping the relation_map forward is a pure
+        # plumbing break (cluster_traces, by contrast, tests ``budget
+        # is not None`` and is exempt under the local-consumption rule).
         name = "repro.core.trace_clustering"
         original = real_tree.modules[name].source
-        forwarded = "build_lattice_godin(context, budget=budget)"
+        forwarded = (
+            "            [group[0] for group in candidates.values()],\n"
+            "            jobs=jobs,\n"
+            "            backend=backend,\n"
+            "            budget=budget,\n"
+        )
         assert forwarded in original, "anchor for the seeded mutation moved"
         mutated = real_tree.with_module_source(
-            name, original.replace(forwarded, "build_lattice_godin(context)")
+            name,
+            original.replace(
+                forwarded,
+                "            [group[0] for group in candidates.values()],\n"
+                "            jobs=jobs,\n"
+                "            backend=backend,\n",
+            ),
         )
         fps = _module_findings(
             mutated, "repro/core/trace_clustering.py", ["CC004"]

@@ -1,10 +1,12 @@
-"""``cable selfcheck``: formats, gating, baseline round-trips, and the
-shared baseline loader's legacy-path redirect."""
+"""``cable selfcheck``: formats, gating, baseline round-trips, the
+``--changed`` pre-commit narrowing, per-pass timings, and the shared
+baseline loader's legacy-path redirect."""
 
 from __future__ import annotations
 
 import io
 import json
+import subprocess
 
 import pytest
 
@@ -117,6 +119,99 @@ class TestSelfcheckCLI:
     def test_cable_dispatch(self, capsys):
         assert cable_main(["selfcheck", "--list"]) == 0
         assert "CC006" in capsys.readouterr().out
+
+    def test_json_reports_per_pass_seconds(self, dirty_root):
+        status, out, _ = run(
+            ["--root", str(dirty_root), "--format", "json"]
+        )
+        assert status == 1
+        document = json.loads(out)
+        codes = [p["code"] for p in document["passes"]]
+        assert codes == [f"CC{n:03d}" for n in range(1, 12)]
+        for entry in document["passes"]:
+            assert isinstance(entry["seconds"], float)
+            assert entry["seconds"] >= 0.0
+        assert document["summary"]["seconds"] >= sum(
+            p["seconds"] for p in document["passes"]
+        )
+
+
+def _git(cwd, *argv):
+    subprocess.run(
+        [
+            "git",
+            "-c",
+            "user.email=selfcheck@test",
+            "-c",
+            "user.name=selfcheck",
+            *argv,
+        ],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestChangedNarrowing:
+    @pytest.fixture
+    def committed_root(self, tmp_path):
+        """A git repo whose package has one dirty and one clean module."""
+        root = tmp_path / "repro"
+        root.mkdir()
+        (root / "leaf.py").write_text(BAD_MODULE)
+        (root / "clean.py").write_text("def g(x):\n    return x\n")
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", ".")
+        _git(tmp_path, "commit", "-q", "-m", "seed")
+        return root
+
+    def test_untouched_tree_scans_nothing(self, committed_root):
+        status, out, _ = run(
+            ["--root", str(committed_root), "--changed", "--format", "json"]
+        )
+        assert status == 0
+        assert json.loads(out)["summary"]["modules_scanned"] == 0
+
+    def test_narrows_to_touched_modules(self, committed_root):
+        # leaf.py carries the finding but only clean.py was edited, so
+        # the pre-commit gate stays green and scans exactly one module.
+        (committed_root / "clean.py").write_text(
+            "def g(x):\n    return x\n\ndef h(x):\n    return x + 1\n"
+        )
+        status, out, _ = run(
+            [
+                "--root",
+                str(committed_root),
+                "--changed",
+                "HEAD",
+                "--format",
+                "json",
+            ]
+        )
+        assert status == 0
+        document = json.loads(out)
+        assert document["summary"]["modules_scanned"] == 1
+        assert {r["target"] for r in document["reports"]} <= {
+            "repro/clean.py"
+        }
+        # The full scan still sees leaf.py's finding.
+        status, _, _ = run(["--root", str(committed_root)])
+        assert status == 1
+
+    def test_touching_the_dirty_module_gates(self, committed_root):
+        (committed_root / "leaf.py").write_text(BAD_MODULE + "\n# edited\n")
+        status, out, _ = run(
+            ["--root", str(committed_root), "--changed"]
+        )
+        assert status == 1
+        assert "CC005" in out
+
+    def test_outside_a_repo_is_an_error(self, dirty_root, monkeypatch):
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(dirty_root.parent))
+        monkeypatch.delenv("GIT_DIR", raising=False)
+        status, _, err = run(["--root", str(dirty_root), "--changed"])
+        assert status == 2
+        assert "git diff failed" in err
 
 
 class TestBaselineLoader:
